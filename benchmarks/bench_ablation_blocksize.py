@@ -1,0 +1,66 @@
+"""Ablation: how does the orderer's block-cut size change the picture?
+
+Smaller blocks mean a key's events spread over more blocks but each
+deserialization is cheaper; larger blocks mean fewer, fatter reads.  TQF
+cost is dominated by *bytes* deserialized (it reads nearly everything up
+to the window's end), so block size shifts the block counts dramatically
+while the byte counts stay comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.common.config import BlockCuttingConfig, FabricConfig
+from repro.bench.experiments import table1_windows, u_small
+from repro.workload.datasets import ds1
+from repro.workload.generator import generate
+
+BLOCK_SIZES = [5, 10, 50]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(ds1())
+
+
+@pytest.fixture(scope="module", params=BLOCK_SIZES, ids=lambda s: f"msgcount{s}")
+def runner(request, data):
+    config = FabricConfig(
+        block_cutting=BlockCuttingConfig(max_message_count=request.param)
+    )
+    runner = ExperimentRunner.build(data, "plain", fabric_config=config)
+    runner.ingest()
+    runner.build_m1_index(u=u_small(data.config.t_max))
+    yield runner
+    runner.close()
+
+
+def test_tqf_late_window(benchmark, runner, data):
+    window = table1_windows(data.config.t_max)[-1]
+    result = benchmark.pedantic(
+        runner.run_join, args=("tqf", window), rounds=3, iterations=1
+    )
+    assert result.stats.blocks_deserialized > 0
+
+
+def test_m1_late_window(benchmark, runner, data):
+    window = table1_windows(data.config.t_max)[-1]
+    result = benchmark.pedantic(
+        runner.run_join, args=("m1", window), rounds=3, iterations=1
+    )
+    # M1's advantage is block-size independent: one block per bundle.
+    assert result.stats.blocks_deserialized <= result.stats.ghfk_calls
+
+
+def test_block_size_shifts_block_counts(data):
+    """Fewer txs per block -> more blocks deserialized by TQF."""
+    window = table1_windows(data.config.t_max)[-1]
+    counts = {}
+    for size in (5, 50):
+        config = FabricConfig(block_cutting=BlockCuttingConfig(max_message_count=size))
+        with ExperimentRunner.build(data, "plain", fabric_config=config) as runner:
+            runner.ingest()
+            counts[size] = runner.run_join("tqf", window).stats.blocks_deserialized
+    assert counts[5] > counts[50]

@@ -1,0 +1,51 @@
+"""Ablation: block serialization codec (JSON vs from-scratch binary).
+
+GHFK cost is deserialization cost, so the codec is a real lever: the
+binary codec produces smaller blocks (fewer bytes read) at different
+decode throughput.  This bench compares a TQF join -- the most
+deserialization-heavy operation -- under both codecs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import table1_windows
+from repro.bench.runner import ExperimentRunner
+from repro.common.config import BlockStoreConfig, FabricConfig
+from repro.workload.datasets import ds1
+from repro.workload.generator import generate
+
+CODECS = ["json", "binary"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(ds1())
+
+
+@pytest.fixture(scope="module", params=CODECS, ids=str)
+def runner(request, data):
+    config = FabricConfig(block_store=BlockStoreConfig(codec=request.param))
+    runner = ExperimentRunner.build(data, "plain", fabric_config=config)
+    runner.ingest()
+    yield runner
+    runner.close()
+
+
+def test_tqf_join_by_codec(benchmark, runner, data):
+    window = table1_windows(data.config.t_max)[-1]
+    result = benchmark.pedantic(
+        runner.run_join, args=("tqf", window), rounds=3, iterations=1
+    )
+    assert result.stats.block_bytes_read > 0
+
+
+def test_binary_blocks_are_smaller(data):
+    sizes = {}
+    for codec in CODECS:
+        config = FabricConfig(block_store=BlockStoreConfig(codec=codec))
+        with ExperimentRunner.build(data, "plain", fabric_config=config) as runner:
+            runner.ingest()
+            sizes[codec] = runner.storage_bytes()
+    assert sizes["binary"] < sizes["json"]

@@ -1,0 +1,57 @@
+"""Ablation: SE vs ME ingestion on the same dataset.
+
+SE spends one transaction per event (more transactions, more blocks,
+each key's events spread thinner); ME batches maximal distinct-key runs.
+The paper fixes SE for DS3 and ME for DS1/DS2 -- this ablation quantifies
+what that choice does to ingestion cost and query cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.experiments import table1_windows
+from repro.bench.runner import ExperimentRunner
+from repro.workload.datasets import ds3
+from repro.workload.generator import generate
+
+STRATEGIES = ["se", "me"]
+
+
+@pytest.fixture(scope="module")
+def data_by_strategy():
+    config = ds3()
+    return {
+        strategy: generate(dataclasses.replace(config, ingestion=strategy))
+        for strategy in STRATEGIES
+    }
+
+
+@pytest.fixture(scope="module", params=STRATEGIES, ids=str)
+def runner(request, data_by_strategy):
+    runner = ExperimentRunner.build(data_by_strategy[request.param], "plain")
+    yield runner
+    runner.close()
+
+
+def test_ingestion_cost(benchmark, runner):
+    report = benchmark.pedantic(runner.ingest, rounds=1, iterations=1)
+    assert report.events == len(runner.data.events)
+    if report.strategy == "se":
+        assert report.transactions == report.events
+    else:
+        assert report.transactions < report.events
+
+
+def test_query_cost_after_ingest(data_by_strategy):
+    """SE produces more blocks; TQF reads more of them per query."""
+    window = None
+    blocks = {}
+    for strategy in STRATEGIES:
+        with ExperimentRunner.build(data_by_strategy[strategy], "plain") as runner:
+            runner.ingest()
+            window = table1_windows(runner.data.config.t_max)[-1]
+            blocks[strategy] = runner.run_join("tqf", window).stats.blocks_deserialized
+    assert blocks["se"] > blocks["me"]

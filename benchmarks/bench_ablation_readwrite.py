@@ -1,0 +1,80 @@
+"""Ablation: read-write transaction workloads (the paper's future work).
+
+"We also plan to benchmark the performance of model M1 and M2 against
+workloads wherein each transaction also reads the current state of
+various keys" (Section VIII).  Checked recording reads the entity's
+current state before every write:
+
+* on the **plain** ledger that is one GetState per event;
+* under **Model M2** the current state hides behind some ``(k, θ)`` key,
+  so each transaction runs the GetState-Base probing loop -- more
+  GetState calls per event, and more the smaller u is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.common import metrics as metric_names
+from repro.workload.datasets import ds3
+from repro.workload.generator import generate
+from repro.workload.ingest import ingest_checked
+
+VARIANTS = {
+    "plain": ("plain", None),
+    "m2-small-u": ("m2", 75),  # u = t_max/200 at the default scale
+    "m2-large-u": ("m2", None),  # filled in from t_max below
+}
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(ds3(scale=0.05))
+
+
+def build_runner(data, variant_name):
+    variant, u = VARIANTS[variant_name]
+    if variant == "m2" and u is None:
+        u = data.config.t_max // 3
+    return ExperimentRunner.build(data, variant, m2_u=u)
+
+
+@pytest.mark.parametrize("variant_name", list(VARIANTS), ids=str)
+def test_checked_ingest(benchmark, data, variant_name):
+    def run():
+        runner = build_runner(data, variant_name)
+        try:
+            return runner, ingest_checked(
+                runner.network.gateway("ingestor"),
+                data.events,
+                runner.chaincode_name,
+            )
+        finally:
+            runner.close()
+
+    _, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.events == len(data.events)
+
+
+def test_m2_checked_costs_more_reads(data):
+    """GetState calls per event: plain = 1, M2 > 1, and more for small u."""
+    reads = {}
+    for variant_name in VARIANTS:
+        runner = build_runner(data, variant_name)
+        try:
+            before = runner.network.metrics.counter(metric_names.GET_STATE_CALLS)
+            ingest_checked(
+                runner.network.gateway("ingestor"),
+                data.events,
+                runner.chaincode_name,
+            )
+            reads[variant_name] = (
+                runner.network.metrics.counter(metric_names.GET_STATE_CALLS) - before
+            )
+        finally:
+            runner.close()
+    events = len(data.events)
+    assert reads["plain"] == events
+    assert reads["m2-large-u"] > events
+    assert reads["m2-small-u"] > reads["m2-large-u"]

@@ -1,0 +1,55 @@
+"""Ablation: state-db backend (in-memory vs file-backed LSM).
+
+Model M2 leans on state-db harder than the others: every query range-scans
+a key's index intervals, and state-db holds one entry per (key, interval).
+This bench compares M2 joins and GetState-heavy access across backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import table1_windows, u_small
+from repro.bench.runner import ExperimentRunner
+from repro.common.config import FabricConfig, StateDbConfig
+from repro.workload.datasets import ds1
+from repro.workload.generator import generate
+
+BACKENDS = ["memory", "lsm"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(ds1())
+
+
+@pytest.fixture(scope="module", params=BACKENDS, ids=str)
+def runner(request, data):
+    config = FabricConfig(state_db=StateDbConfig(backend=request.param))
+    runner = ExperimentRunner.build(
+        data, "m2", m2_u=u_small(data.config.t_max), fabric_config=config
+    )
+    runner.ingest()
+    yield runner
+    runner.close()
+
+
+def test_m2_join_by_backend(benchmark, runner, data):
+    window = table1_windows(data.config.t_max)[4]
+    result = benchmark.pedantic(
+        runner.run_join, args=("m2", window), rounds=3, iterations=1
+    )
+    assert result.stats.range_scan_calls > 0
+
+
+def test_state_count_identical_across_backends(data):
+    """The backend must not change semantics: same state-db contents."""
+    counts = {}
+    for backend in BACKENDS:
+        config = FabricConfig(state_db=StateDbConfig(backend=backend))
+        with ExperimentRunner.build(
+            data, "m2", m2_u=u_small(data.config.t_max), fabric_config=config
+        ) as runner:
+            runner.ingest()
+            counts[backend] = runner.state_count()
+    assert counts["memory"] == counts["lsm"]

@@ -1,0 +1,59 @@
+"""BLOCKBENCH-style database workloads against the Fabric simulator.
+
+The paper's related work ([8]) benchmarks Fabric against database
+workloads; the paper adds temporal ones.  These benches run the YCSB
+mixes A/B/C/F so the simulator's baseline transaction-processing shape
+is on record next to the temporal results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.network import FabricNetwork
+from repro.common.config import BlockCuttingConfig, FabricConfig
+from repro.workload.ycsb import (
+    YCSBChaincode,
+    YCSBDriver,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_f,
+)
+
+PRESETS = {
+    "A-update-heavy": workload_a,
+    "B-read-mostly": workload_b,
+    "C-read-only": workload_c,
+    "F-read-modify-write": workload_f,
+}
+
+
+@pytest.mark.parametrize("preset_name", list(PRESETS), ids=str)
+def test_ycsb_run_phase(benchmark, tmp_path_factory, preset_name):
+    config = PRESETS[preset_name](record_count=100, operation_count=300)
+    network = FabricNetwork(
+        tmp_path_factory.mktemp(preset_name),
+        config=FabricConfig(block_cutting=BlockCuttingConfig(max_message_count=10)),
+    )
+    network.install(YCSBChaincode())
+    driver = YCSBDriver(network.gateway("bench"), config)
+    driver.load()
+
+    report = benchmark.pedantic(driver.run, rounds=1, iterations=1)
+    assert sum(report.operation_counts.values()) == config.operation_count
+    network.close()
+
+
+def test_read_only_beats_update_heavy(tmp_path_factory):
+    """Sanity on ordering: C (no commits) must out-run A (50% commits)."""
+    throughput = {}
+    for name in ("A-update-heavy", "C-read-only"):
+        config = PRESETS[name](record_count=100, operation_count=300)
+        network = FabricNetwork(tmp_path_factory.mktemp(f"cmp-{name}"))
+        network.install(YCSBChaincode())
+        driver = YCSBDriver(network.gateway("bench"), config)
+        driver.load()
+        throughput[name] = driver.run().throughput
+        network.close()
+    assert throughput["C-read-only"] > throughput["A-update-heavy"]

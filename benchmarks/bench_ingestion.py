@@ -1,0 +1,82 @@
+"""Ingestion-throughput benchmarks: SE vs ME vs checked, plain vs M2.
+
+The paper reports ingestion wall times per dataset (DS1 via ME took
+~134 min on its testbed; Section VI-2 and VII-B3 compare indexing models'
+ingestion overheads).  These benchmarks measure the simulator's
+transaction pipeline throughput under each strategy, and verify the
+paper's claim that Model M2's ingestion cost matches plain ingestion
+(Section VII-B3: "model M2 neither executes any additional costly GHFK
+calls ... nor executes any additional transactions").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.experiments import u_small
+from repro.bench.runner import ExperimentRunner
+from repro.workload.datasets import ds3
+from repro.workload.generator import generate
+
+
+@pytest.fixture(scope="module")
+def data_me():
+    return generate(dataclasses.replace(ds3(), ingestion="me"))
+
+
+@pytest.fixture(scope="module")
+def data_se():
+    return generate(ds3())
+
+
+@pytest.mark.parametrize("variant", ["plain", "m2"])
+def test_me_ingestion(benchmark, data_me, variant):
+    def run():
+        u = u_small(data_me.config.t_max) if variant == "m2" else None
+        runner = ExperimentRunner.build(data_me, variant, m2_u=u)
+        try:
+            return runner.ingest()
+        finally:
+            runner.close()
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.events == len(data_me.events)
+
+
+def test_se_ingestion(benchmark, data_se):
+    def run():
+        runner = ExperimentRunner.build(data_se, "plain")
+        try:
+            return runner.ingest()
+        finally:
+            runner.close()
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.transactions == len(data_se.events)
+
+
+def test_m2_ingestion_cost_matches_plain(data_me):
+    """Section VII-B3: M2's ingestion time is similar to plain ingestion
+    (same transaction count; the key transformation is O(1) per event)."""
+    counts = {}
+    for variant in ("plain", "m2"):
+        u = u_small(data_me.config.t_max) if variant == "m2" else None
+        with ExperimentRunner.build(data_me, variant, m2_u=u) as runner:
+            report = runner.ingest()
+            counts[variant] = report.transactions
+    assert counts["plain"] == counts["m2"]
+
+
+def test_m1_indexing_adds_transactions(data_me):
+    """Section VI-2: Model M1's separate indexing phase submits two extra
+    transactions per bundle on top of ingestion."""
+    with ExperimentRunner.build(data_me, "plain") as runner:
+        ingest_txs = runner.ingest().transactions
+        report = runner.build_m1_index(u=u_small(data_me.config.t_max))
+        # 2 txs per bundle + 1 run-metadata tx.
+        indexing_txs = 2 * report.indexes_written + 1
+        assert indexing_txs > 0
+        total_committed = runner.network.metrics.counter("ledger.txs_committed")
+        assert total_committed == ingest_txs + indexing_txs

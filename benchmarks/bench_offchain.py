@@ -1,0 +1,101 @@
+"""On-chain vs off-chain: measuring the trade-off the paper argues about.
+
+Related work [11]-[13] exports blockchain data to a database before
+analyzing it; the paper deliberately processes on-chain.  The crossover
+is quantitative: the off-chain ETL pays one full-chain scan up front
+(plus a re-sync per freshness window), after which every query is two
+binary searches per key.  On-chain Model M1 pays an indexing pass (also a
+full scan, via GHFK) and then a handful of block reads per query.
+
+The break-even: the warehouse wins when many queries amortize its ETL and
+staleness is acceptable; M1 wins on trust (results derive from verified
+blocks on the peer) and when queries are rare relative to data growth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import table1_windows, u_small
+from repro.bench.runner import ExperimentRunner
+from repro.offchain.warehouse import EventWarehouse, WarehouseQueryEngine
+from repro.temporal.join import temporal_join
+from repro.workload.datasets import ds1
+from repro.workload.generator import generate
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(ds1())
+
+
+@pytest.fixture(scope="module")
+def runner(data):
+    runner = ExperimentRunner.build(data, "plain")
+    runner.ingest()
+    runner.build_m1_index(u=u_small(data.config.t_max))
+    yield runner
+    runner.close()
+
+
+@pytest.fixture(scope="module")
+def warehouse(runner):
+    warehouse = EventWarehouse()
+    warehouse.sync(runner.network.ledger)
+    return warehouse
+
+
+def offchain_join(warehouse, window):
+    engine = WarehouseQueryEngine(warehouse)
+    shipment_events = {
+        key: engine.fetch_events(key, window) for key in engine.list_keys("S")
+    }
+    container_events = {
+        key: engine.fetch_events(key, window) for key in engine.list_keys("C")
+    }
+    return temporal_join(shipment_events, container_events, window)
+
+
+def test_etl_cost(benchmark, runner):
+    """The up-front price of going off-chain: one full-chain scan."""
+
+    def etl():
+        warehouse = EventWarehouse()
+        return warehouse.sync(runner.network.ledger)
+
+    report = benchmark.pedantic(etl, rounds=2, iterations=1)
+    assert report.blocks_scanned == runner.network.ledger.height
+
+
+def test_offchain_join(benchmark, warehouse, data):
+    window = table1_windows(data.config.t_max)[-1]
+    rows = benchmark.pedantic(
+        offchain_join, args=(warehouse, window), rounds=3, iterations=1
+    )
+    assert rows is not None
+
+
+def test_m1_join_for_comparison(benchmark, runner, data):
+    window = table1_windows(data.config.t_max)[-1]
+    result = benchmark.pedantic(
+        runner.run_join, args=("m1", window), rounds=3, iterations=1
+    )
+    assert result.stats.ghfk_calls > 0
+
+
+def test_answers_identical(runner, warehouse, data):
+    for slot in (0, 4, 8):
+        window = table1_windows(data.config.t_max)[slot]
+        assert offchain_join(warehouse, window) == runner.run_join("m1", window).rows
+
+
+def test_per_query_cost_offchain_cheapest_after_etl(runner, warehouse, data):
+    """Once the warehouse exists, its per-query block traffic is zero."""
+    from repro.common import metrics as metric_names
+
+    window = table1_windows(data.config.t_max)[-1]
+    before = runner.network.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+    offchain_join(warehouse, window)
+    assert (
+        runner.network.metrics.counter(metric_names.BLOCKS_DESERIALIZED) == before
+    )

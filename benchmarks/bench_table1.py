@@ -1,0 +1,106 @@
+"""Table I benchmarks: join performance of M1 vs TQF vs M2.
+
+Two layers:
+
+* micro-benchmarks of one join per (model, window position) on shared
+  DS1 ledgers -- these expose the paper's central claim (TQF cost grows
+  with the window's position; M1 and M2 stay flat) as timing series;
+* one full-table benchmark per dataset that regenerates and prints the
+  complete Table I section (join time, GHFK time, #GHFK calls for every
+  window), cross-verifying that all models return identical join rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_table1
+from repro.bench.tables import render_table1
+
+#: Early / middle / late query windows (slots into TABLE1_WINDOW_SLOTS).
+WINDOW_POSITIONS = {"early": 0, "middle": 4, "late": 8}
+
+
+@pytest.mark.parametrize("position", WINDOW_POSITIONS, ids=str)
+class TestJoinByWindowPosition:
+    """One paper cell per benchmark: join time at a window position."""
+
+    def test_tqf_join(self, benchmark, plain_runner, ds1_windows, position):
+        window = ds1_windows[WINDOW_POSITIONS[position]]
+        result = benchmark.pedantic(
+            plain_runner.run_join, args=("tqf", window), rounds=3, iterations=1
+        )
+        assert result.stats.ghfk_calls == plain_runner.data.config.key_count
+
+    def test_m1_join(self, benchmark, plain_runner, ds1_windows, position):
+        window = ds1_windows[WINDOW_POSITIONS[position]]
+        result = benchmark.pedantic(
+            plain_runner.run_join, args=("m1", window), rounds=3, iterations=1
+        )
+        # M1 issues one GHFK per key per overlapping index interval.
+        intervals = window.length // (plain_runner.data.config.t_max // 75)
+        expected = plain_runner.data.config.key_count * intervals
+        assert result.stats.ghfk_calls == expected
+
+    def test_m2_join_small_u(self, benchmark, m2_small_runner, ds1_windows, position):
+        window = ds1_windows[WINDOW_POSITIONS[position]]
+        result = benchmark.pedantic(
+            m2_small_runner.run_join, args=("m2", window), rounds=3, iterations=1
+        )
+        assert result.stats.ghfk_calls > 0
+
+    def test_m2_join_large_u(self, benchmark, m2_large_runner, ds1_windows, position):
+        window = ds1_windows[WINDOW_POSITIONS[position]]
+        result = benchmark.pedantic(
+            m2_large_runner.run_join, args=("m2", window), rounds=3, iterations=1
+        )
+        # With the large u, each window overlaps exactly one index interval
+        # per key, so GHFK calls == keys with data in that interval.
+        assert result.stats.ghfk_calls <= m2_large_runner.data.config.key_count
+
+
+class TestShape:
+    """The paper's qualitative claims, asserted on block counters."""
+
+    def test_tqf_cost_grows_with_window_position(self, plain_runner, ds1_windows):
+        early = plain_runner.run_join("tqf", ds1_windows[0]).stats
+        late = plain_runner.run_join("tqf", ds1_windows[-1]).stats
+        assert late.blocks_deserialized > 2 * early.blocks_deserialized
+
+    def test_m1_cost_flat_across_positions(self, plain_runner, ds1_windows):
+        early = plain_runner.run_join("m1", ds1_windows[0]).stats
+        late = plain_runner.run_join("m1", ds1_windows[-1]).stats
+        assert late.blocks_deserialized <= 2 * early.blocks_deserialized
+
+    def test_m1_beats_tqf_on_late_windows(self, plain_runner, ds1_windows):
+        late = ds1_windows[-1]
+        m1 = plain_runner.run_join("m1", late).stats
+        tqf = plain_runner.run_join("tqf", late).stats
+        assert m1.blocks_deserialized < tqf.blocks_deserialized / 4
+
+    def test_m2_beats_tqf_on_late_windows(
+        self, plain_runner, m2_small_runner, ds1_windows
+    ):
+        late = ds1_windows[-1]
+        m2 = m2_small_runner.run_join("m2", late).stats
+        tqf = plain_runner.run_join("tqf", late).stats
+        assert m2.blocks_deserialized < tqf.blocks_deserialized
+
+    def test_m1_beats_m2(self, plain_runner, m2_small_runner, ds1_windows):
+        """M1 bundles events; M2 leaves them scattered (Section VII-A)."""
+        late = ds1_windows[-1]
+        m1 = plain_runner.run_join("m1", late).stats
+        m2 = m2_small_runner.run_join("m2", late).stats
+        assert m1.blocks_deserialized <= m2.blocks_deserialized
+
+
+@pytest.mark.parametrize("dataset", ["ds1", "ds2", "ds3"])
+def test_table1_full(benchmark, dataset, capsys):
+    """Regenerate and print the full Table I section for one dataset."""
+    result = benchmark.pedantic(
+        run_table1, kwargs={"dataset": dataset}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_table1(result))
+    assert len(result.rows) == 9

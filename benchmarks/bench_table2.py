@@ -1,0 +1,30 @@
+"""Table II benchmark: Model M1 join time vs index interval length u.
+
+The paper's trend: larger u means fewer GHFK calls and fewer block
+deserializations, so the join time drops monotonically with u for both
+query windows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_table2
+from repro.bench.tables import render_table2
+
+
+def test_table2_full(benchmark, capsys):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table2(result))
+    assert len(result.rows) == 3
+    # u values ascend: 2K, 10K, 50K (scaled).
+    assert result.rows[0].u < result.rows[1].u < result.rows[2].u
+    # The paper's monotone trend, asserted on the deterministic block
+    # counters rather than wall time (robust on noisy machines).
+    late_blocks = [row.late_window.blocks_deserialized for row in result.rows]
+    early_blocks = [row.early_window.blocks_deserialized for row in result.rows]
+    assert late_blocks[0] >= late_blocks[1] >= late_blocks[2]
+    assert early_blocks[0] >= early_blocks[1] >= early_blocks[2]
+    # GHFK calls shrink exactly with the interval count.
+    late_calls = [row.late_window.ghfk_calls for row in result.rows]
+    assert late_calls[0] > late_calls[1] > late_calls[2]

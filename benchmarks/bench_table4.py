@@ -1,0 +1,33 @@
+"""Table IV benchmark: cost of accessing original states under Model M2.
+
+Trends from the paper:
+
+* GetState-Base probe counts shrink toward exactly one probe per call as
+  u grows (fewer empty intervals between "now" and the latest state);
+* GHFK-Base time is roughly flat across u (the event-to-block
+  distribution does not depend on u);
+* at large u, GetState-Base approaches plain GetState on base data.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_table4
+from repro.bench.tables import render_table4
+
+
+def test_table4_full(benchmark, capsys):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render_table4(result))
+    assert len(result.rows) == 4
+    assert result.baseline is not None
+    # Probe counts decrease monotonically with u (Table IV's 329K -> 164K
+    # -> 100K -> 100K trend) ...
+    probes = [row.get_state_probes for row in result.rows]
+    assert probes == sorted(probes, reverse=True)
+    # ... and flatten once u is large enough that one backward step from
+    # the "now" interval reaches the latest state.
+    calls = result.rows[0].get_state_calls
+    assert result.rows[-1].get_state_probes <= 2 * calls
+    assert probes[0] > probes[-1]  # the small u pays extra probes

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: ingested ledgers reused across benchmarks.
+
+Scales default to ``REPRO_SCALE`` / ``REPRO_ENTITY_SCALE`` (0.1 each), so
+the full benchmark suite runs in a few minutes.  Set both to 1 to run the
+paper's full-size datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import table1_windows, u_large, u_small
+from repro.bench.runner import ExperimentRunner
+from repro.workload.datasets import ds1
+from repro.workload.generator import generate
+
+
+@pytest.fixture(scope="session")
+def ds1_data():
+    return generate(ds1())
+
+
+@pytest.fixture(scope="session")
+def ds1_windows(ds1_data):
+    return table1_windows(ds1_data.config.t_max)
+
+
+@pytest.fixture(scope="session")
+def plain_runner(ds1_data):
+    """DS1 ingested plainly, with a full M1 index at the small u."""
+    runner = ExperimentRunner.build(ds1_data, "plain")
+    runner.ingest()
+    runner.build_m1_index(u=u_small(ds1_data.config.t_max))
+    yield runner
+    runner.close()
+
+
+@pytest.fixture(scope="session")
+def m2_small_runner(ds1_data):
+    runner = ExperimentRunner.build(
+        ds1_data, "m2", m2_u=u_small(ds1_data.config.t_max)
+    )
+    runner.ingest()
+    yield runner
+    runner.close()
+
+
+@pytest.fixture(scope="session")
+def m2_large_runner(ds1_data):
+    runner = ExperimentRunner.build(
+        ds1_data, "m2", m2_u=u_large(ds1_data.config.t_max)
+    )
+    runner.ingest()
+    yield runner
+    runner.close()

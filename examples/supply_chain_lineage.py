@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Lineage: reconstruct one shipment's full journey from the ledger.
+
+The paper's intro motivates temporal analytics with lineage use-cases.
+This example generates a realistic workload, picks one shipment, and
+reconstructs -- per time window -- the containers it travelled in and the
+trucks that ferried it, using Model M1 indexes so each window is answered
+with a handful of block reads instead of a full history scan.
+
+Run:  python examples/supply_chain_lineage.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import ExperimentRunner
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.join import build_placements
+from repro.workload.generator import WorkloadConfig, generate
+
+CONFIG = WorkloadConfig(
+    name="lineage",
+    n_shipments=10,
+    n_containers=4,
+    n_trucks=3,
+    events_per_key=40,
+    t_max=2_000,
+    distribution="uniform",
+    seed=2024,
+)
+
+
+def main() -> None:
+    data = generate(CONFIG)
+    with ExperimentRunner.build(data, "plain") as runner:
+        print(f"Ingesting {len(data.events)} events (ME batching) ...")
+        report = runner.ingest()
+        print(f"  {report.transactions} transactions in {report.seconds:.2f}s")
+        print("Building M1 indexes (u=200) ...")
+        runner.build_m1_index(u=200)
+
+        shipment = data.shipments[0]
+        facade = TemporalQueryEngine(runner.network.ledger, runner.network.metrics)
+        engine = facade.engine("m1")
+
+        print(f"\nLineage of {shipment}:")
+        whole_timeline = TimeInterval(0, CONFIG.t_max)
+        events = engine.fetch_events(shipment, whole_timeline)
+        placements = build_placements(events, whole_timeline)
+        for placement in placements[:8]:
+            print(f"  in container {placement.other} during {placement.interval}")
+        if len(placements) > 8:
+            print(f"  ... and {len(placements) - 8} more container stays")
+
+        print(f"\nTrucks that ferried {shipment}, per quarter of the timeline:")
+        quarter = CONFIG.t_max // 4
+        for index in range(4):
+            window = TimeInterval(index * quarter, (index + 1) * quarter)
+            result = facade.run_join("m1", window)
+            trucks = sorted(
+                {row.truck for row in result.rows if row.shipment == shipment}
+            )
+            print(
+                f"  {str(window):>14}: {', '.join(trucks) if trucks else '(none)'}"
+                f"   [{result.stats.blocks_deserialized} blocks read]"
+            )
+
+
+if __name__ == "__main__":
+    main()

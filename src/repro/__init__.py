@@ -1,0 +1,31 @@
+"""repro: a reproduction of "Efficiently Processing Temporal Queries on
+Hyperledger Fabric" (Gupta et al., ICDE 2018).
+
+The package provides:
+
+* :mod:`repro.fabric` -- a Hyperledger-Fabric-like ledger simulator
+  (endorse / order / validate / commit, state-db, history-db, block files).
+* :mod:`repro.temporal` -- the paper's contribution: the TQF baseline and
+  temporal-index models M1 and M2, plus the supply-chain temporal join.
+* :mod:`repro.workload` -- the synthetic supply-chain workload generator
+  (datasets DS1/DS2/DS3) and the SE/ME ingestion strategies.
+* :mod:`repro.bench` -- the experiment harness regenerating the paper's
+  Tables I-IV.
+
+Quickstart::
+
+    from repro.bench.runner import ExperimentRunner
+    from repro.temporal.intervals import TimeInterval
+    from repro.workload.datasets import ds3
+
+    runner = ExperimentRunner.build(ds3(scale=0.25))
+    runner.ingest()
+    runner.build_m1_index(u=500)
+    result = runner.run_join("m1", TimeInterval(0, 2_500))
+    print(result.rows[:5], result.stats)
+    runner.close()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

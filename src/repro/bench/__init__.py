@@ -1,0 +1,14 @@
+"""The experiment harness regenerating the paper's evaluation.
+
+* :mod:`repro.bench.runner` -- builds an ingested network for one dataset
+  and one model variant, runs instrumented queries.
+* :mod:`repro.bench.experiments` -- one entry point per paper table
+  (Tables I-IV) plus the ablations listed in DESIGN.md.
+* :mod:`repro.bench.tables` -- paper-style plain-text table rendering.
+
+CLI: ``python -m repro.cli table1 --dataset ds1`` etc.
+"""
+
+from repro.bench.runner import ExperimentRunner
+
+__all__ = ["ExperimentRunner"]

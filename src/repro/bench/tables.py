@@ -1,0 +1,136 @@
+"""Paper-style plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.bench.experiments import (
+    Table1Result,
+    Table2Result,
+    Table3Result,
+    Table4Result,
+)
+from repro.common.timeutils import format_duration
+
+
+def _render(headers: Sequence[str], rows: List[Sequence[str]], title: str) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title]
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.2f}s"
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table I: join time, GHFK time and #GHFK calls per query window."""
+    include_large = result.rows and result.rows[0].m2_large is not None
+    headers = [
+        "window",
+        f"M1 join (u={result.u_small})",
+        "M1 ghfk (calls)",
+        "TQF join",
+        "TQF ghfk (calls)",
+        f"M2 join (u={result.u_small})",
+        "M2 ghfk (calls)",
+    ]
+    if include_large:
+        headers += [f"M2 join (u={result.u_large})", "M2 ghfk (calls)"]
+    rows = []
+    for row in result.rows:
+        cells = [
+            str(row.window),
+            _seconds(row.m1.join_seconds),
+            f"{_seconds(row.m1.ghfk_seconds)} ({row.m1.ghfk_calls})",
+            _seconds(row.tqf.join_seconds),
+            f"{_seconds(row.tqf.ghfk_seconds)} ({row.tqf.ghfk_calls})",
+            _seconds(row.m2_small.join_seconds),
+            f"{_seconds(row.m2_small.ghfk_seconds)} ({row.m2_small.ghfk_calls})",
+        ]
+        if include_large:
+            assert row.m2_large is not None
+            cells += [
+                _seconds(row.m2_large.join_seconds),
+                f"{_seconds(row.m2_large.ghfk_seconds)} ({row.m2_large.ghfk_calls})",
+            ]
+        rows.append(cells)
+    title = (
+        f"Table I -- {result.dataset} "
+        f"(nS={result.config.n_shipments}, nC={result.config.n_containers}, "
+        f"nEv={result.config.events_per_key}, t_max={result.config.t_max}, "
+        f"{result.config.distribution}, {result.config.ingestion.upper()})"
+    )
+    footer = (
+        f"\ningestion: {format_duration(result.ingest_seconds)}, "
+        f"M1 index construction: {format_duration(result.index_seconds)}"
+    )
+    return _render(headers, rows, title) + footer
+
+
+def render_table2(result: Table2Result) -> str:
+    """Table II: Model M1 join time vs index interval length u."""
+    headers = ["u", f"tau={result.late_window}", f"tau={result.early_window}"]
+    rows = [
+        [str(row.u), _seconds(row.late_window.join_seconds), _seconds(row.early_window.join_seconds)]
+        for row in result.rows
+    ]
+    title = "Table II -- M1 join time vs index interval length u (DS1, ME)"
+    return _render(headers, rows, title)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Table III: periodic index construction vs ingestion time."""
+    headers = [
+        "timestamp",
+        "index construction",
+        "ingestion since last index",
+        "total elapsed",
+    ]
+    rows = [
+        [
+            str(row.timestamp),
+            format_duration(row.index_seconds),
+            format_duration(row.ingest_seconds),
+            format_duration(row.total_seconds),
+        ]
+        for row in result.rows
+    ]
+    title = (
+        f"Table III -- periodic M1 indexing (DS1, ME, u={result.u}, "
+        f"period={result.period})"
+    )
+    return _render(headers, rows, title)
+
+
+def render_table4(result: Table4Result) -> str:
+    """Table IV: GetState-Base / GHFK-Base cost per interval length u."""
+    headers = ["u", "GetState-Base time (probes)", "GHFK-Base time"]
+    rows = [
+        [
+            str(row.u),
+            f"{_seconds(row.get_state_seconds)} ({row.get_state_probes})",
+            _seconds(row.ghfk_seconds),
+        ]
+        for row in result.rows
+    ]
+    title = (
+        f"Table IV -- base access under M2 (DS1, ME; "
+        f"{result.rows[0].get_state_calls} GetState-Base calls, "
+        f"{result.rows[0].ghfk_calls} GHFK-Base calls, now={result.now})"
+    )
+    rendered = _render(headers, rows, title)
+    if result.baseline is not None:
+        rendered += (
+            f"\nBase data -- GetState: {_seconds(result.baseline.get_state_seconds)}, "
+            f"GHFK: {_seconds(result.baseline.ghfk_seconds)}"
+        )
+    return rendered

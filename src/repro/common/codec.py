@@ -1,0 +1,254 @@
+"""Pluggable serialization codecs for ledger payloads.
+
+Blocks on the simulated file system are stored as *bytes* and must be
+decoded on every read -- that decode cost is the paper's central cost
+driver, so it has to be real work, not a pointer copy.  Two codecs are
+provided:
+
+* :class:`JsonCodec` -- human-inspectable, the default for block storage.
+* :class:`BinaryCodec` -- a compact from-scratch tag-length-value format
+  (varint lengths, type tags) used by the codec ablation benchmark.
+
+Both codecs round-trip the JSON-ish value universe: ``None``, ``bool``,
+``int``, ``float``, ``str``, ``bytes``, ``list`` and ``dict`` with string
+keys.  ``bytes`` survive a JSON round trip via a tagged base64 wrapper.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.common.errors import CodecError
+
+_BYTES_TAG = "__repro_bytes__"
+
+
+class Codec(ABC):
+    """Serialize Python values to bytes and back."""
+
+    #: Short identifier used in file headers and configs.
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, value: Any) -> bytes:
+        """Serialize ``value``; raises :class:`CodecError` on failure."""
+
+    @abstractmethod
+    def decode(self, payload: bytes) -> Any:
+        """Deserialize ``payload``; raises :class:`CodecError` on failure."""
+
+
+class JsonCodec(Codec):
+    """UTF-8 JSON with a tagged wrapper so ``bytes`` round-trip."""
+
+    name = "json"
+
+    def encode(self, value: Any) -> bytes:
+        try:
+            return json.dumps(
+                value, default=self._encode_special, separators=(",", ":")
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"JSON encode failed: {exc}") from exc
+
+    def decode(self, payload: bytes) -> Any:
+        try:
+            return json.loads(payload.decode("utf-8"), object_hook=self._decode_special)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"JSON decode failed: {exc}") from exc
+
+    @staticmethod
+    def _encode_special(value: Any) -> Any:
+        if isinstance(value, bytes):
+            return {_BYTES_TAG: base64.b64encode(value).decode("ascii")}
+        raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+    @staticmethod
+    def _decode_special(obj: dict) -> Any:
+        if len(obj) == 1 and _BYTES_TAG in obj:
+            return base64.b64decode(obj[_BYTES_TAG])
+        return obj
+
+
+# --- Binary codec ----------------------------------------------------------
+#
+# Layout: one type-tag byte, then a type-specific body.  Variable-length
+# payloads are prefixed with an unsigned LEB128 varint length.  Containers
+# are a varint count followed by the encoded items.
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT_POS = 0x03
+_T_INT_NEG = 0x04
+_T_FLOAT = 0x05
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_LIST = 0x08
+_T_DICT = 0x09
+
+
+def write_uvarint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise CodecError(f"uvarint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(payload: bytes, offset: int) -> tuple[int, int]:
+    """Read a varint from ``payload`` at ``offset``; return (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(payload):
+            raise CodecError("truncated varint")
+        byte = payload[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63 * 2:
+            raise CodecError("varint too long")
+
+
+class BinaryCodec(Codec):
+    """Compact tag-length-value binary encoding (no stdlib pickle)."""
+
+    name = "binary"
+
+    def encode(self, value: Any) -> bytes:
+        out = bytearray()
+        self._encode_into(value, out)
+        return bytes(out)
+
+    def decode(self, payload: bytes) -> Any:
+        value, offset = self._decode_from(payload, 0)
+        if offset != len(payload):
+            raise CodecError(f"trailing bytes after value: {len(payload) - offset}")
+        return value
+
+    def _encode_into(self, value: Any, out: bytearray) -> None:
+        if value is None:
+            out.append(_T_NONE)
+        elif value is True:
+            out.append(_T_TRUE)
+        elif value is False:
+            out.append(_T_FALSE)
+        elif isinstance(value, int):
+            if value >= 0:
+                out.append(_T_INT_POS)
+                write_uvarint(value, out)
+            else:
+                out.append(_T_INT_NEG)
+                write_uvarint(-value, out)
+        elif isinstance(value, float):
+            out.append(_T_FLOAT)
+            out.extend(struct.pack(">d", value))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out.append(_T_STR)
+            write_uvarint(len(raw), out)
+            out.extend(raw)
+        elif isinstance(value, (bytes, bytearray)):
+            out.append(_T_BYTES)
+            write_uvarint(len(value), out)
+            out.extend(value)
+        elif isinstance(value, (list, tuple)):
+            out.append(_T_LIST)
+            write_uvarint(len(value), out)
+            for item in value:
+                self._encode_into(item, out)
+        elif isinstance(value, dict):
+            out.append(_T_DICT)
+            write_uvarint(len(value), out)
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise CodecError(
+                        f"dict keys must be str, got {type(key).__name__}"
+                    )
+                raw = key.encode("utf-8")
+                write_uvarint(len(raw), out)
+                out.extend(raw)
+                self._encode_into(item, out)
+        else:
+            raise CodecError(f"unsupported type: {type(value).__name__}")
+
+    def _decode_from(self, payload: bytes, offset: int) -> tuple[Any, int]:
+        if offset >= len(payload):
+            raise CodecError("truncated payload")
+        tag = payload[offset]
+        offset += 1
+        if tag == _T_NONE:
+            return None, offset
+        if tag == _T_TRUE:
+            return True, offset
+        if tag == _T_FALSE:
+            return False, offset
+        if tag == _T_INT_POS:
+            return read_uvarint(payload, offset)
+        if tag == _T_INT_NEG:
+            value, offset = read_uvarint(payload, offset)
+            return -value, offset
+        if tag == _T_FLOAT:
+            if offset + 8 > len(payload):
+                raise CodecError("truncated float")
+            (value,) = struct.unpack_from(">d", payload, offset)
+            return value, offset + 8
+        if tag == _T_STR:
+            length, offset = read_uvarint(payload, offset)
+            end = offset + length
+            if end > len(payload):
+                raise CodecError("truncated string")
+            return payload[offset:end].decode("utf-8"), end
+        if tag == _T_BYTES:
+            length, offset = read_uvarint(payload, offset)
+            end = offset + length
+            if end > len(payload):
+                raise CodecError("truncated bytes")
+            return payload[offset:end], end
+        if tag == _T_LIST:
+            count, offset = read_uvarint(payload, offset)
+            items = []
+            for _ in range(count):
+                item, offset = self._decode_from(payload, offset)
+                items.append(item)
+            return items, offset
+        if tag == _T_DICT:
+            count, offset = read_uvarint(payload, offset)
+            result: dict[str, Any] = {}
+            for _ in range(count):
+                key_len, offset = read_uvarint(payload, offset)
+                end = offset + key_len
+                if end > len(payload):
+                    raise CodecError("truncated dict key")
+                key = payload[offset:end].decode("utf-8")
+                item, end = self._decode_from(payload, end)
+                result[key] = item
+                offset = end
+            return result, offset
+        raise CodecError(f"unknown type tag: {tag:#04x}")
+
+
+_CODECS = {codec.name: codec for codec in (JsonCodec(), BinaryCodec())}
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by its :attr:`Codec.name` (``json`` or ``binary``)."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; available: {sorted(_CODECS)}"
+        ) from None

@@ -1,0 +1,126 @@
+"""Typed configuration objects for the ledger simulator and query models.
+
+Configurations are frozen dataclasses validated at construction time so a
+bad parameter fails loudly at setup instead of corrupting an experiment
+half way through.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+#: Environment variable controlling default benchmark scale (see DESIGN.md §5).
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+def _require_positive(value: int | float, name: str) -> None:
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class BlockCuttingConfig:
+    """How the orderer cuts transactions into blocks.
+
+    Mirrors Fabric's ``BatchSize`` orderer configuration.  The paper runs
+    Fabric v1.0 with default settings, whose ``MaxMessageCount`` is 10.
+    """
+
+    max_message_count: int = 10
+    max_batch_bytes: int = 512 * 1024
+    #: Logical-time batch timeout: a block is cut when the oldest queued
+    #: transaction is this much older (in logical time) than the newest.
+    batch_timeout: int = 0
+
+    def __post_init__(self) -> None:
+        _require_positive(self.max_message_count, "max_message_count")
+        _require_positive(self.max_batch_bytes, "max_batch_bytes")
+        if self.batch_timeout < 0:
+            raise ConfigError(
+                f"batch_timeout must be non-negative, got {self.batch_timeout}"
+            )
+
+
+@dataclass(frozen=True)
+class StateDbConfig:
+    """Backing store for the state database."""
+
+    #: ``lsm`` (LevelDB-like, file-backed) or ``memory``.
+    backend: str = "memory"
+    #: Memtable flush threshold for the LSM backend, in entries.
+    memtable_limit: int = 8192
+    #: Number of L0 SSTables that triggers a compaction.
+    compaction_trigger: int = 6
+    #: Compaction strategy for the LSM backend: ``full`` or ``tiered``.
+    compaction: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("lsm", "memory"):
+            raise ConfigError(
+                f"state-db backend must be 'lsm' or 'memory', got {self.backend!r}"
+            )
+        _require_positive(self.memtable_limit, "memtable_limit")
+        _require_positive(self.compaction_trigger, "compaction_trigger")
+        if self.compaction not in ("full", "tiered"):
+            raise ConfigError(
+                f"compaction must be 'full' or 'tiered', got {self.compaction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BlockStoreConfig:
+    """Ledger block file layout."""
+
+    #: Block files roll over once they exceed this many bytes.
+    max_file_bytes: int = 4 * 1024 * 1024
+    #: Codec used to serialize blocks (``json`` or ``binary``).
+    codec: str = "json"
+    #: Decoded-block LRU cache capacity.  0 (the default) disables caching,
+    #: matching the paper's cost model where every GHFK call pays its own
+    #: block deserializations.
+    cache_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        _require_positive(self.max_file_bytes, "max_file_bytes")
+        if self.codec not in ("json", "binary"):
+            raise ConfigError(f"block codec must be 'json' or 'binary', got {self.codec!r}")
+        if self.cache_blocks < 0:
+            raise ConfigError(
+                f"cache_blocks must be non-negative, got {self.cache_blocks}"
+            )
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Top-level configuration for a simulated Fabric network."""
+
+    block_cutting: BlockCuttingConfig = field(default_factory=BlockCuttingConfig)
+    state_db: StateDbConfig = field(default_factory=StateDbConfig)
+    block_store: BlockStoreConfig = field(default_factory=BlockStoreConfig)
+    #: Channel name (cosmetic, appears in block headers).
+    channel: str = "supply-chain"
+
+    def __post_init__(self) -> None:
+        if not self.channel:
+            raise ConfigError("channel name must be non-empty")
+
+
+def default_scale() -> float:
+    """Benchmark scale factor from ``REPRO_SCALE`` (default 0.1).
+
+    At scale ``s``, per-key event counts and ``t_max`` are both multiplied
+    by ``s`` so interval geometry (index interval length ``u``, query window
+    width) scales consistently.  ``REPRO_SCALE=1`` reproduces the paper's
+    full-size datasets.
+    """
+    raw = os.environ.get(SCALE_ENV_VAR, "0.1")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigError(f"{SCALE_ENV_VAR} must be a float, got {raw!r}") from None
+    if scale <= 0 or scale > 1:
+        raise ConfigError(f"{SCALE_ENV_VAR} must be in (0, 1], got {scale}")
+    return scale

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers can catch a single base class at API boundaries.  Layer-specific
+subclasses keep the failure domain obvious from the type alone.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class CodecError(ReproError):
+    """Serialization or deserialization of a payload failed."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures (KV store, block files)."""
+
+
+class WalCorruptionError(StorageError):
+    """The write-ahead log contains a record that fails its checksum."""
+
+
+class SSTableError(StorageError):
+    """An SSTable file is malformed or its footer cannot be parsed."""
+
+
+class BlockFileError(StorageError):
+    """A ledger block file is malformed or a block location is invalid."""
+
+
+class ClosedStoreError(StorageError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class LedgerError(ReproError):
+    """Base class for Fabric-simulator failures."""
+
+
+class BlockNotFoundError(LedgerError):
+    """A block number beyond the current chain height was requested."""
+
+
+class TransactionValidationError(LedgerError):
+    """A transaction failed validation (e.g. an MVCC read conflict)."""
+
+
+class EndorsementError(LedgerError):
+    """Chaincode simulation failed during the endorsement phase."""
+
+
+class ChaincodeError(LedgerError):
+    """A chaincode invocation raised an application-level error."""
+
+
+class HashChainError(LedgerError):
+    """A block's previous-hash link does not match the chain."""
+
+
+class TemporalQueryError(ReproError):
+    """A temporal query was malformed or could not be answered."""
+
+
+class IndexingError(TemporalQueryError):
+    """The M1 indexing process encountered an inconsistent ledger state."""
+
+
+class WorkloadError(ReproError):
+    """The synthetic workload generator was given unsatisfiable parameters."""

@@ -1,0 +1,115 @@
+"""Logical time and wall-clock measurement helpers.
+
+The paper expresses event times as *logical timestamps* in ``0..t_max``
+(e.g. ``t_max = 150K`` for DS1).  The simulator keeps that convention:
+events, index intervals and query windows are all expressed in logical
+time, while performance is measured in wall-clock seconds via
+:class:`Stopwatch`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Logical timestamps are plain non-negative integers.
+Timestamp = int
+
+
+def require_timestamp(value: int, name: str = "timestamp") -> int:
+    """Validate that ``value`` is a usable logical timestamp.
+
+    Raises:
+        ValueError: if ``value`` is negative or not an integer.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+class LogicalClock:
+    """A monotonically non-decreasing logical clock.
+
+    The ingestion pipeline advances this clock to each event's timestamp so
+    that components which need "now" (e.g. Model M2's ``GetState-Base``
+    probing, which starts from the *current* indexing interval) observe a
+    consistent notion of logical time.
+    """
+
+    def __init__(self, start: Timestamp = 0) -> None:
+        self._now = require_timestamp(start, "start")
+
+    @property
+    def now(self) -> Timestamp:
+        """The current logical time."""
+        return self._now
+
+    def advance_to(self, timestamp: Timestamp) -> Timestamp:
+        """Move the clock forward to ``timestamp``.
+
+        The clock never moves backwards: advancing to an earlier time is a
+        no-op, which lets out-of-order readers share a clock safely.
+        """
+        require_timestamp(timestamp)
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self._now})"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    Usable either as a context manager (accumulates on exit) or through
+    explicit :meth:`start` / :meth:`stop` calls.  ``elapsed`` is the total
+    across all completed intervals.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("Stopwatch is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the watch and return the total elapsed seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (``7m13s``, ``3.8s``).
+
+    Sub-minute durations keep one decimal; longer durations use ``XmYs``.
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 60:
+        return f"{seconds:.2f}s" if seconds < 10 else f"{seconds:.1f}s"
+    minutes, rem = divmod(int(round(seconds)), 60)
+    return f"{minutes}m{rem}s"

@@ -1,0 +1,38 @@
+"""A Hyperledger-Fabric-like permissioned ledger simulator.
+
+The simulator reproduces the parts of Fabric v1.0 that the paper's cost
+model depends on:
+
+* the **endorse / order / validate / commit** transaction pipeline with
+  MVCC read-conflict detection and per-block validation flags;
+* a **state database** holding the current value of every key (LevelDB-like
+  sorted store, supporting ``GetState`` and ``GetStateByRange``);
+* a **history database** mapping each key to the blocks that wrote it,
+  driving the lazy ``GetHistoryForKey`` iterator;
+* **block storage** as serialized payloads in append-only files, so
+  reading history pays genuine deserialization cost;
+* a **solo orderer** with Fabric-style batch cutting and a SHA-256 hash
+  chain over block headers.
+
+Entry point: :class:`repro.fabric.network.FabricNetwork`.
+"""
+
+from repro.fabric.block import Block, BlockHeader, KVWrite, RWSet, Transaction
+from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.fabric.gateway import Gateway
+from repro.fabric.ledger import HistoryEntry, Ledger
+from repro.fabric.network import FabricNetwork
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Chaincode",
+    "ChaincodeStub",
+    "FabricNetwork",
+    "Gateway",
+    "HistoryEntry",
+    "KVWrite",
+    "Ledger",
+    "RWSet",
+    "Transaction",
+]

@@ -1,0 +1,256 @@
+"""Ledger data model: reads, writes, transactions and blocks.
+
+Mirrors Fabric's structures at the granularity the paper's cost model
+needs:
+
+* a :class:`Transaction` carries a read set (keys + the version observed
+  during endorsement) and a write set (**at most one write per key** --
+  Section II of the paper: "for a key, a Fabric transaction persists only
+  one state on the ledger");
+* a :class:`Block` carries an ordered list of transactions, per-transaction
+  validation flags set at commit, and a header whose ``previous_hash``
+  forms the chain.
+
+Versions are Fabric "heights": ``(block_number, tx_index)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple  # noqa: F401 - Tuple in annotations
+
+from repro.common.errors import LedgerError
+from repro.fabric import crypto
+
+#: A committed value's version: (block number, transaction index).
+Version = Tuple[int, int]
+
+# Validation codes (subset of Fabric's TxValidationCode).
+VALID = "VALID"
+MVCC_READ_CONFLICT = "MVCC_READ_CONFLICT"
+BAD_SIGNATURE = "BAD_SIGNATURE"
+NOT_VALIDATED = "NOT_VALIDATED"
+
+
+@dataclass(frozen=True)
+class KVRead:
+    """A key read during endorsement and the version that was observed.
+
+    ``version=None`` records a read of a key that did not exist; the
+    transaction is invalidated if the key exists at commit time.
+    """
+
+    key: str
+    version: Optional[Version]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"k": self.key, "v": list(self.version) if self.version else None}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "KVRead":
+        version = tuple(raw["v"]) if raw.get("v") else None
+        return KVRead(key=raw["k"], version=version)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class KVWrite:
+    """A key write.  ``value=None`` with ``is_delete`` marks a deletion."""
+
+    key: str
+    value: Any
+    is_delete: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"k": self.key, "v": self.value, "d": self.is_delete}
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "KVWrite":
+        return KVWrite(key=raw["k"], value=raw["v"], is_delete=bool(raw["d"]))
+
+
+@dataclass
+class RWSet:
+    """A transaction's simulated read/write set.
+
+    Writes are keyed by state key so a second write to the same key inside
+    one transaction silently replaces the first -- the Fabric behaviour the
+    ME ingestion strategy is designed around.
+    """
+
+    reads: List[KVRead] = field(default_factory=list)
+    writes: Dict[str, KVWrite] = field(default_factory=dict)
+
+    def add_read(self, key: str, version: Optional[Version]) -> None:
+        self.reads.append(KVRead(key=key, version=version))
+
+    def add_write(self, key: str, value: Any) -> None:
+        self.writes[key] = KVWrite(key=key, value=value)
+
+    def add_delete(self, key: str) -> None:
+        self.writes[key] = KVWrite(key=key, value=None, is_delete=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reads": [read.to_dict() for read in self.reads],
+            "writes": [write.to_dict() for write in self.writes.values()],
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "RWSet":
+        rw_set = RWSet()
+        rw_set.reads = [KVRead.from_dict(item) for item in raw["reads"]]
+        for item in raw["writes"]:
+            write = KVWrite.from_dict(item)
+            rw_set.writes[write.key] = write
+        return rw_set
+
+
+@dataclass
+class Transaction:
+    """An endorsed transaction ready for ordering."""
+
+    tx_id: str
+    chaincode: str
+    creator: str
+    #: Logical timestamp supplied by the client (the event time).
+    timestamp: int
+    rw_set: RWSet
+    #: Endorser's signature over the serialized RWSet.
+    signature: bytes = b""
+    validation_code: str = NOT_VALIDATED
+    #: Optional chaincode event (Fabric's SetEvent: at most one per tx).
+    event_name: str = ""
+    event_payload: Any = None
+    #: Private-data payloads ``(collection, key) -> value`` travelling
+    #: with the transaction *outside* the block: never serialized, never
+    #: hashed -- only their digests (already in the write set) are public.
+    private_payloads: Dict[Tuple[str, str], Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tx_id": self.tx_id,
+            "chaincode": self.chaincode,
+            "creator": self.creator,
+            "timestamp": self.timestamp,
+            "rw_set": self.rw_set.to_dict(),
+            "signature": self.signature,
+            "validation_code": self.validation_code,
+            "event_name": self.event_name,
+            "event_payload": self.event_payload,
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "Transaction":
+        return Transaction(
+            tx_id=raw["tx_id"],
+            chaincode=raw["chaincode"],
+            creator=raw["creator"],
+            timestamp=raw["timestamp"],
+            rw_set=RWSet.from_dict(raw["rw_set"]),
+            signature=raw["signature"],
+            validation_code=raw["validation_code"],
+            event_name=raw.get("event_name", ""),
+            event_payload=raw.get("event_payload"),
+        )
+
+    def signable_payload(self) -> bytes:
+        """The bytes an endorser signs (RWSet + identity + timestamp)."""
+        import json
+
+        return json.dumps(
+            {
+                "rw_set": self.rw_set.to_dict(),
+                "creator": self.creator,
+                "timestamp": self.timestamp,
+                "chaincode": self.chaincode,
+                "event": [self.event_name, self.event_payload],
+            },
+            sort_keys=True,
+            default=repr,
+        ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Block header forming the hash chain."""
+
+    number: int
+    previous_hash: bytes
+    data_hash: bytes
+
+    def hash(self) -> bytes:
+        """Hash of this header, referenced by the next block."""
+        return crypto.sha256(
+            self.number.to_bytes(8, "big") + self.previous_hash + self.data_hash
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "number": self.number,
+            "previous_hash": self.previous_hash,
+            "data_hash": self.data_hash,
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "BlockHeader":
+        return BlockHeader(
+            number=raw["number"],
+            previous_hash=raw["previous_hash"],
+            data_hash=raw["data_hash"],
+        )
+
+
+@dataclass
+class Block:
+    """One ledger block: header + ordered transactions."""
+
+    header: BlockHeader
+    transactions: List[Transaction]
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def commit_timestamp(self) -> int:
+        """Logical commit time: the newest transaction timestamp inside."""
+        if not self.transactions:
+            return 0
+        return max(tx.timestamp for tx in self.transactions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "header": self.header.to_dict(),
+            "transactions": [tx.to_dict() for tx in self.transactions],
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict[str, Any]) -> "Block":
+        return Block(
+            header=BlockHeader.from_dict(raw["header"]),
+            transactions=[Transaction.from_dict(item) for item in raw["transactions"]],
+        )
+
+    @staticmethod
+    def compute_data_hash(transactions: List[Transaction]) -> bytes:
+        """Deterministic hash over the ordered transaction ids + payloads."""
+        hasher_input = bytearray()
+        for tx in transactions:
+            hasher_input.extend(tx.tx_id.encode("utf-8"))
+            hasher_input.extend(tx.signable_payload())
+        return crypto.sha256(bytes(hasher_input))
+
+    def verify_data_hash(self) -> None:
+        """Raise :class:`LedgerError` if transactions don't match the header."""
+        expected = self.compute_data_hash(self.transactions)
+        if expected != self.header.data_hash:
+            raise LedgerError(
+                f"block {self.number}: data hash mismatch "
+                f"({expected.hex()[:12]} != {self.header.data_hash.hex()[:12]})"
+            )
+
+
+#: Hash value linked to by the genesis block.
+GENESIS_PREVIOUS_HASH = b"\x00" * 32

@@ -1,0 +1,167 @@
+"""Ledger block storage: serialized blocks in append-only files.
+
+Every read deserializes the block payload through the configured codec and
+bumps the ``ledger.blocks_deserialized`` / ``ledger.block_bytes_read``
+counters -- the quantities the paper's entire analysis is expressed in.
+By default there is **no cross-call block cache**: each GHFK call pays
+its own deserialization, matching the paper's cost model (Section V).
+An LRU cache can be switched on (``cache_blocks > 0``) for the cache
+ablation, which quantifies how much of the paper's TQF-vs-index gap a
+block cache would absorb.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.common import metrics as metric_names
+from repro.common.codec import Codec, get_codec
+from repro.common.errors import BlockNotFoundError
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.fabric.block import Block
+from repro.storage.blockfile import BlockFileManager
+from repro.storage.blockindex import BlockIndex
+
+
+class BlockStore:
+    """Append-only block storage with an on-disk location index."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        codec: str | Codec = "json",
+        max_file_bytes: int = 4 * 1024 * 1024,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        cache_blocks: int = 0,
+    ) -> None:
+        path = Path(path)
+        self._files = BlockFileManager(path / "chains", max_file_bytes=max_file_bytes)
+        self._index = BlockIndex(path / "index" / "blocks.idx")
+        self._codec = codec if isinstance(codec, Codec) else get_codec(codec)
+        self._metrics = metrics
+        self._cache_blocks = cache_blocks
+        self._cache: OrderedDict[int, Block] = OrderedDict()
+        self._meta_path = path / "index" / "meta.json"
+        self._base_height = self._load_base_height()
+
+    def _load_base_height(self) -> int:
+        self._base_hash = b""
+        if not self._meta_path.exists():
+            return 0
+        import base64
+        import json
+
+        with open(self._meta_path) as handle:
+            meta = json.load(handle)
+        self._base_hash = base64.b64decode(meta.get("base_hash", ""))
+        return int(meta.get("base_height", 0))
+
+    def set_base_height(self, base_height: int, base_hash: bytes = b"") -> None:
+        """Declare that this store begins at ``base_height`` (snapshot
+        bootstrap): earlier blocks are not available here.  ``base_hash``
+        is the header hash of block ``base_height - 1``, so the next
+        committed block can be chain-verified."""
+        if self._index.height:
+            raise BlockNotFoundError(
+                "cannot set a base height on a store that already has blocks"
+            )
+        if base_height < 0:
+            raise BlockNotFoundError(f"invalid base height {base_height}")
+        import base64
+        import json
+
+        self._base_height = base_height
+        self._base_hash = base_hash
+        self._meta_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._meta_path, "w") as handle:
+            json.dump(
+                {
+                    "base_height": base_height,
+                    "base_hash": base64.b64encode(base_hash).decode("ascii"),
+                },
+                handle,
+            )
+
+    @property
+    def base_height(self) -> int:
+        """First block number available in this store (0 unless the peer
+        was bootstrapped from a snapshot)."""
+        return self._base_height
+
+    @property
+    def base_hash(self) -> bytes:
+        """Header hash of the last pre-snapshot block (empty when base 0)."""
+        return self._base_hash
+
+    @property
+    def height(self) -> int:
+        """Chain height (number of committed blocks, including any the
+        snapshot pruned away)."""
+        return self._base_height + self._index.height
+
+    def add_block(self, block: Block) -> None:
+        """Serialize and append ``block``; it must be the next in sequence."""
+        if block.number != self.height:
+            raise BlockNotFoundError(
+                f"expected block {self.height}, got {block.number}"
+            )
+        payload = self._codec.encode(block.to_dict())
+        location = self._files.append(payload)
+        self._index.append(location)
+
+    def get_block(self, block_number: int) -> Block:
+        """Read and deserialize one block (counted, real file IO).
+
+        With ``cache_blocks > 0`` a hit serves the decoded block from the
+        LRU cache instead (counted separately; the deserialization
+        counters are untouched so the paper's cost metric stays honest).
+        """
+        if self._cache_blocks:
+            cached = self._cache.get(block_number)
+            if cached is not None:
+                self._cache.move_to_end(block_number)
+                self._metrics.increment(metric_names.BLOCK_CACHE_HITS)
+                return cached
+        if block_number < self._base_height:
+            raise BlockNotFoundError(
+                f"block {block_number} predates this store's snapshot base "
+                f"({self._base_height})"
+            )
+        location = self._index.lookup(block_number - self._base_height)
+        if location is None:
+            raise BlockNotFoundError(
+                f"block {block_number} beyond height {self.height}"
+            )
+        payload = self._files.read(location)
+        self._metrics.increment(metric_names.BLOCKS_DESERIALIZED)
+        self._metrics.increment(metric_names.BLOCK_BYTES_READ, len(payload))
+        block = Block.from_dict(self._codec.decode(payload))
+        if self._cache_blocks:
+            self._cache[block_number] = block
+            if len(self._cache) > self._cache_blocks:
+                self._cache.popitem(last=False)
+        return block
+
+    def iter_blocks(self, start: int = 0, end: Optional[int] = None) -> Iterator[Block]:
+        """Yield blocks ``start .. end`` (``end`` exclusive, default height).
+
+        Blocks before the snapshot base are silently absent (they do not
+        exist on this peer).
+        """
+        stop = self.height if end is None else min(end, self.height)
+        for number in range(max(start, self._base_height), stop):
+            yield self.get_block(number)
+
+    def total_bytes(self) -> int:
+        """On-disk size of all block files (storage-cost reporting)."""
+        return self._files.total_bytes()
+
+    def sync(self) -> None:
+        self._files.sync()
+        self._index.sync()
+
+    def close(self) -> None:
+        self._files.close()
+        self._index.close()

@@ -1,0 +1,300 @@
+"""Chaincode interface and the stub handed to chaincode during simulation.
+
+A chaincode's ``invoke`` receives a :class:`ChaincodeStub` bound to the
+endorsing peer's committed state.  As in Fabric v1.x:
+
+* ``get_state`` reads **committed** state only -- a transaction does not
+  observe its own pending writes -- and records the observed version in
+  the read set for MVCC validation;
+* ``put_state`` / ``del_state`` accumulate in the write set, with at most
+  one surviving write per key (later writes replace earlier ones);
+* ``get_history_for_key`` and ``get_state_by_range`` are query APIs; range
+  reads record read versions, history reads do not enter the RWSet
+  (Fabric does not validate phantom history reads).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ChaincodeError
+from repro.fabric.block import RWSet
+from repro.fabric.historydb import HistoryDB, HistoryEntry
+from repro.fabric.blockstore import BlockStore
+from repro.fabric.statedb import StateDB
+
+#: Delimiter used by Fabric's composite-key helpers (U+0000, the minimum
+#: code point, so composite keys group correctly under range scans).
+COMPOSITE_DELIMITER = "\x00"
+
+
+def create_composite_key(object_type: str, attributes: List[str]) -> str:
+    """Fabric's ``CreateCompositeKey``: join an object type and attribute
+    values into one state key that range-scans by prefix.
+
+    Layout: ``\\x00 objectType \\x00 attr1 \\x00 attr2 \\x00 ...`` -- the
+    leading delimiter keeps composite keys out of the simple-key namespace,
+    exactly as in Fabric.
+    """
+    for part in [object_type, *attributes]:
+        if not part:
+            raise ChaincodeError("composite key parts must be non-empty")
+        if COMPOSITE_DELIMITER in part:
+            raise ChaincodeError(
+                f"composite key part {part!r} contains the delimiter byte"
+            )
+    return COMPOSITE_DELIMITER + COMPOSITE_DELIMITER.join([object_type, *attributes]) + COMPOSITE_DELIMITER
+
+
+def split_composite_key(composite: str) -> tuple[str, List[str]]:
+    """Fabric's ``SplitCompositeKey``: invert :func:`create_composite_key`."""
+    if not composite.startswith(COMPOSITE_DELIMITER) or not composite.endswith(
+        COMPOSITE_DELIMITER
+    ):
+        raise ChaincodeError(f"not a composite key: {composite!r}")
+    parts = composite[1:-1].split(COMPOSITE_DELIMITER)
+    if not parts or not parts[0]:
+        raise ChaincodeError(f"composite key missing object type: {composite!r}")
+    return parts[0], parts[1:]
+
+
+class ChaincodeStub:
+    """Transaction-simulation context exposed to chaincode."""
+
+    def __init__(
+        self,
+        state_db: StateDB,
+        history_db: HistoryDB,
+        block_store: BlockStore,
+        tx_id: str,
+        timestamp: int,
+        creator: str,
+        side_db=None,
+        collection_policy=None,
+        peer_name: str = "peer0",
+    ) -> None:
+        self._state_db = state_db
+        self._history_db = history_db
+        self._block_store = block_store
+        self._side_db = side_db
+        self._collection_policy = collection_policy
+        self._peer_name = peer_name
+        self.tx_id = tx_id
+        self.timestamp = timestamp
+        self.creator = creator
+        self.rw_set = RWSet()
+        self.event_name = ""
+        self.event_payload: Any = None
+        #: Staged private values, attached to the transaction at endorsement.
+        self.private_payloads: dict = {}
+
+    # -- state access -----------------------------------------------------
+
+    def get_state(self, key: str) -> Optional[Any]:
+        """Committed current value of ``key`` (recorded in the read set)."""
+        state = self._state_db.get_state(key)
+        self.rw_set.add_read(key, state.version if state else None)
+        return state.value if state else None
+
+    def put_state(self, key: str, value: Any) -> None:
+        """Stage a write.  A later ``put_state`` on the same key replaces it."""
+        if not key:
+            raise ChaincodeError("put_state requires a non-empty key")
+        self.rw_set.add_write(key, value)
+
+    def del_state(self, key: str) -> None:
+        """Stage a deletion (removes the key from state-db at commit)."""
+        if not key:
+            raise ChaincodeError("del_state requires a non-empty key")
+        self.rw_set.add_delete(key)
+
+    def get_state_by_range(
+        self, start_key: str, end_key: str
+    ) -> Iterator[Tuple[str, Any]]:
+        """Sorted scan over committed current states (Fabric GetStateByRange).
+
+        Each returned key is recorded in the read set with its version.
+        """
+        for key, state in self._state_db.get_state_by_range(start_key, end_key):
+            self.rw_set.add_read(key, state.version)
+            yield key, state.value
+
+    def create_composite_key(self, object_type: str, attributes: List[str]) -> str:
+        """Fabric's CreateCompositeKey (see module-level helper)."""
+        return create_composite_key(object_type, attributes)
+
+    def split_composite_key(self, composite: str) -> Tuple[str, List[str]]:
+        """Fabric's SplitCompositeKey."""
+        return split_composite_key(composite)
+
+    def get_state_by_partial_composite_key(
+        self, object_type: str, attributes: List[str]
+    ) -> Iterator[Tuple[str, Any]]:
+        """Fabric's GetStateByPartialCompositeKey: all composite keys whose
+        leading attributes match, in sorted order.
+
+        Range-scans ``[prefix, prefix + maxByte)`` where the prefix is the
+        composite encoding of the given attributes without the trailing
+        delimiter cut-off.
+        """
+        prefix = create_composite_key(object_type, attributes)
+        return self.get_state_by_range(prefix, prefix + "\x7f")
+
+    def get_state_by_range_with_pagination(
+        self,
+        start_key: str,
+        end_key: str,
+        page_size: int,
+        bookmark: str = "",
+    ) -> Tuple[list, str]:
+        """One page of a range scan plus the bookmark for the next page.
+
+        As in Fabric, paginated queries are read-only (usable from
+        ``evaluate`` flows); the page's keys are still recorded as reads.
+        """
+        results, next_bookmark = self._state_db.get_state_by_range_with_pagination(
+            start_key, end_key, page_size, bookmark
+        )
+        page = []
+        for key, state in results:
+            self.rw_set.add_read(key, state.version)
+            page.append((key, state.value))
+        return page, next_bookmark
+
+    def get_history_for_key(self, key: str) -> Iterator[HistoryEntry]:
+        """Fabric GHFK: lazy, oldest-first iterator over all past states."""
+        return self._history_db.get_history_for_key(key, self._block_store)
+
+    def get_query_result(self, selector: dict) -> Iterator[Tuple[str, Any]]:
+        """CouchDB-style rich query over current states (GetQueryResult).
+
+        As in Fabric, rich-query results are *not* recorded in the read
+        set: phantom reads are not protected by validation, so chaincode
+        must not make write decisions that depend on result completeness.
+        """
+        from repro.fabric.richquery import RichQueryEngine
+
+        return RichQueryEngine(self._state_db).query(selector)
+
+    def get_tx_timestamp(self) -> int:
+        """The transaction's logical timestamp (Fabric GetTxTimestamp)."""
+        return self.timestamp
+
+    # -- private data ------------------------------------------------------
+
+    def put_private_data(self, collection: str, key: str, value: Any) -> None:
+        """Stage a private write: the value goes to authorized peers'
+        side databases; only its SHA-256 hash enters the public write set
+        (and therefore the block and MVCC validation)."""
+        from repro.fabric.privatedata import hash_key, value_hash
+
+        if not key:
+            raise ChaincodeError("put_private_data requires a non-empty key")
+        self.rw_set.add_write(hash_key(collection, key), value_hash(value))
+        self.private_payloads[(collection, key)] = value
+
+    def get_private_data(self, collection: str, key: str) -> Optional[Any]:
+        """Read a committed private value from this peer's side database.
+
+        Verifies the value against its on-chain hash; raises
+        :class:`~repro.fabric.privatedata.PrivateDataError` on tampering
+        or when this peer is not a member of ``collection``.  Returns
+        ``None`` when no committed value exists here (e.g. the peer
+        missed dissemination and has not reconciled).
+        """
+        from repro.fabric.privatedata import (
+            PrivateDataError,
+            hash_key,
+            value_hash,
+        )
+
+        if self._collection_policy is not None and not self._collection_policy.authorized(
+            collection, self._peer_name
+        ):
+            raise PrivateDataError(
+                f"peer {self._peer_name!r} is not a member of collection "
+                f"{collection!r}"
+            )
+        public_key = hash_key(collection, key)
+        committed = self._state_db.get_state(public_key)
+        self.rw_set.add_read(public_key, committed.version if committed else None)
+        if committed is None:
+            return None
+        if self._side_db is None:
+            return None
+        value = self._side_db.get(collection, key)
+        if value is None:
+            return None
+        if value_hash(value) != committed.value:
+            raise PrivateDataError(
+                f"private value for ({collection!r}, {key!r}) fails its "
+                f"on-chain hash check"
+            )
+        return value
+
+    def del_private_data(self, collection: str, key: str) -> None:
+        """Stage a private deletion: removes the public hash entry and
+        purges the value from authorized side databases at commit."""
+        from repro.fabric.privatedata import PURGE, hash_key
+
+        self.rw_set.add_delete(hash_key(collection, key))
+        self.private_payloads[(collection, key)] = PURGE
+
+    def set_event(self, name: str, payload: Any = None) -> None:
+        """Attach a chaincode event to the transaction (Fabric SetEvent).
+
+        At most one event per transaction; a later call replaces the
+        earlier one.  Events of *valid* transactions are delivered to
+        block listeners after commit.
+        """
+        if not name:
+            raise ChaincodeError("event name must be non-empty")
+        self.event_name = name
+        self.event_payload = payload
+
+
+class Chaincode(ABC):
+    """Base class for chaincodes deployed on the simulated network."""
+
+    #: Chaincode name used when submitting transactions.
+    name: str = "chaincode"
+
+    @abstractmethod
+    def invoke(self, stub: ChaincodeStub, fn: str, args: List[Any]) -> Any:
+        """Execute function ``fn`` with ``args`` against ``stub``.
+
+        The return value becomes the proposal response payload.  Raise
+        :class:`ChaincodeError` to reject the proposal.
+        """
+
+
+class KeyValueChaincode(Chaincode):
+    """A minimal general-purpose chaincode: put / get / delete / history.
+
+    Used by tests and as the default application when no domain chaincode
+    is installed.
+    """
+
+    name = "kv"
+
+    def invoke(self, stub: ChaincodeStub, fn: str, args: List[Any]) -> Any:
+        if fn == "put":
+            key, value = args
+            stub.put_state(key, value)
+            return {"key": key}
+        if fn == "get":
+            (key,) = args
+            return stub.get_state(key)
+        if fn == "delete":
+            (key,) = args
+            stub.del_state(key)
+            return {"key": key}
+        if fn == "put_many":
+            for key, value in args:
+                stub.put_state(key, value)
+            return {"count": len(args)}
+        if fn == "history":
+            (key,) = args
+            return [entry.value for entry in stub.get_history_for_key(key)]
+        raise ChaincodeError(f"unknown function {fn!r} on chaincode {self.name!r}")

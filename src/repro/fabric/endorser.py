@@ -1,0 +1,107 @@
+"""The endorsement phase: simulate a proposal against committed state.
+
+An endorser runs the chaincode with a fresh :class:`ChaincodeStub`,
+captures the read/write sets, signs the result and returns an endorsed
+:class:`Transaction` ready for ordering.  (The paper uses a single peer,
+so one endorsement satisfies the policy.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.common.errors import EndorsementError
+from repro.fabric import crypto
+from repro.fabric.block import Transaction
+from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.fabric.historydb import HistoryDB
+from repro.fabric.blockstore import BlockStore
+from repro.fabric.identity import Identity
+from repro.fabric.statedb import StateDB
+
+
+class Endorser:
+    """Simulates proposals on behalf of one peer identity."""
+
+    def __init__(
+        self,
+        identity: Identity,
+        state_db: StateDB,
+        history_db: HistoryDB,
+        block_store: BlockStore,
+        side_db=None,
+        collection_policy=None,
+    ) -> None:
+        self._identity = identity
+        self._state_db = state_db
+        self._history_db = history_db
+        self._block_store = block_store
+        self._side_db = side_db
+        self._collection_policy = collection_policy
+        self._chaincodes: Dict[str, Chaincode] = {}
+        self._tx_counter = 0
+
+    def install(self, chaincode: Chaincode) -> None:
+        self._chaincodes[chaincode.name] = chaincode
+
+    def installed(self, name: str) -> bool:
+        return name in self._chaincodes
+
+    def endorse(
+        self,
+        chaincode_name: str,
+        fn: str,
+        args: List[Any],
+        creator: str,
+        timestamp: int,
+    ) -> tuple[Transaction, Any]:
+        """Simulate and sign one proposal.
+
+        Returns the endorsed transaction and the chaincode's response
+        payload.  Raises :class:`EndorsementError` if the chaincode is not
+        installed or its invocation fails.
+        """
+        chaincode = self._chaincodes.get(chaincode_name)
+        if chaincode is None:
+            raise EndorsementError(f"chaincode {chaincode_name!r} is not installed")
+        tx_id = self._next_tx_id(creator, timestamp)
+        stub = ChaincodeStub(
+            state_db=self._state_db,
+            history_db=self._history_db,
+            block_store=self._block_store,
+            tx_id=tx_id,
+            timestamp=timestamp,
+            creator=creator,
+            side_db=self._side_db,
+            collection_policy=self._collection_policy,
+            peer_name=self._identity.name,
+        )
+        try:
+            response = chaincode.invoke(stub, fn, args)
+        except EndorsementError:
+            raise
+        except Exception as exc:
+            raise EndorsementError(
+                f"chaincode {chaincode_name!r} fn {fn!r} failed: {exc}"
+            ) from exc
+        tx = Transaction(
+            tx_id=tx_id,
+            chaincode=chaincode_name,
+            creator=creator,
+            timestamp=timestamp,
+            rw_set=stub.rw_set,
+            event_name=stub.event_name,
+            event_payload=stub.event_payload,
+            private_payloads=stub.private_payloads,
+        )
+        tx.signature = self._identity.sign(tx.signable_payload())
+        return tx, response
+
+    def verify_endorsement(self, tx: Transaction) -> bool:
+        """Check the endorser signature over a transaction's RWSet."""
+        return self._identity.verify(tx.signable_payload(), tx.signature)
+
+    def _next_tx_id(self, creator: str, timestamp: int) -> str:
+        self._tx_counter += 1
+        seed = f"{creator}|{timestamp}|{self._tx_counter}".encode("utf-8")
+        return crypto.sha256_hex(seed)[:32]

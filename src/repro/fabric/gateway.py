@@ -1,0 +1,73 @@
+"""Client-side SDK: submit and evaluate transactions through the network.
+
+``submit_transaction`` runs the full write path (endorse, order, commit
+when a block is cut); ``evaluate_transaction`` runs chaincode against the
+peer without submitting anything (Fabric's query path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.fabric.identity import Identity
+from repro.fabric.orderer import SoloOrderer
+from repro.fabric.peer import Peer
+
+
+class SubmitResult:
+    """Outcome of a submitted transaction."""
+
+    __slots__ = ("tx_id", "response")
+
+    def __init__(self, tx_id: str, response: Any) -> None:
+        self.tx_id = tx_id
+        self.response = response
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SubmitResult(tx_id={self.tx_id!r})"
+
+
+class Gateway:
+    """A client connection bound to one identity."""
+
+    def __init__(self, peer: Peer, orderer: SoloOrderer, identity: Identity) -> None:
+        self._peer = peer
+        self._orderer = orderer
+        self._identity = identity
+
+    def submit_transaction(
+        self,
+        chaincode: str,
+        fn: str,
+        args: Optional[List[Any]] = None,
+        timestamp: int = 0,
+    ) -> SubmitResult:
+        """Endorse ``fn(args)`` and hand the transaction to the orderer.
+
+        The block containing the transaction commits when the orderer cuts
+        it (batch full) or on :meth:`flush`.
+        """
+        tx, response = self._peer.endorse(
+            chaincode, fn, list(args or []), creator=self._identity.name,
+            timestamp=timestamp,
+        )
+        self._orderer.submit(tx)
+        return SubmitResult(tx_id=tx.tx_id, response=response)
+
+    def evaluate_transaction(
+        self,
+        chaincode: str,
+        fn: str,
+        args: Optional[List[Any]] = None,
+        timestamp: int = 0,
+    ) -> Any:
+        """Run chaincode as a query: nothing is ordered or committed."""
+        _, response = self._peer.endorse(
+            chaincode, fn, list(args or []), creator=self._identity.name,
+            timestamp=timestamp,
+        )
+        return response
+
+    def flush(self) -> None:
+        """Force the orderer to cut any pending partial block."""
+        self._orderer.flush()

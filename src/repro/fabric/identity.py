@@ -1,0 +1,55 @@
+"""MSP-style identities for the simulated network.
+
+Fabric is a *permissioned* platform: every proposal and endorsement is
+signed by a member of a membership service provider (MSP).  The simulator
+keeps a registry of identities with shared-secret keys; endorsers sign
+responses and the committing peer verifies them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.common.errors import LedgerError
+from repro.fabric import crypto
+
+
+@dataclass(frozen=True)
+class Identity:
+    """One network member (client, peer, or orderer)."""
+
+    name: str
+    msp_id: str
+    secret: bytes = field(repr=False, default=b"")
+
+    def sign(self, payload: bytes) -> bytes:
+        return crypto.sign(self.secret, payload)
+
+    def verify(self, payload: bytes, signature: bytes) -> bool:
+        return crypto.verify(self.secret, payload, signature)
+
+
+class MSP:
+    """A minimal membership service provider: a named identity registry."""
+
+    def __init__(self, msp_id: str = "Org1MSP") -> None:
+        self.msp_id = msp_id
+        self._identities: dict[str, Identity] = {}
+
+    def enroll(self, name: str) -> Identity:
+        """Create (or return) the identity ``name`` with a fresh secret."""
+        if name in self._identities:
+            return self._identities[name]
+        identity = Identity(name=name, msp_id=self.msp_id, secret=os.urandom(16))
+        self._identities[name] = identity
+        return identity
+
+    def get(self, name: str) -> Identity:
+        try:
+            return self._identities[name]
+        except KeyError:
+            raise LedgerError(f"unknown identity {name!r} in MSP {self.msp_id}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._identities

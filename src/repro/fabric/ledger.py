@@ -1,0 +1,194 @@
+"""The ledger: block store + state-db + history-db behind one facade.
+
+``commit_block`` runs the full commit path: hash-chain check, data-hash
+check, validation (endorsement + MVCC), block append, state-db write
+application, history-db indexing and savepoint update.  Query APIs mirror
+the three Fabric calls the paper builds on: ``GetState``,
+``GetStateByRange`` and ``GetHistoryForKey``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.common import metrics as metric_names
+from repro.common.config import FabricConfig
+from repro.common.errors import HashChainError
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, VALID, Block, Version
+from repro.fabric.blockstore import BlockStore
+from repro.fabric.historydb import HistoryDB, HistoryEntry
+from repro.fabric.statedb import StateDB, StateValue
+from repro.fabric.validator import Validator
+from repro.storage.kv import open_kv_store
+
+__all__ = ["Ledger", "HistoryEntry"]
+
+
+class Ledger:
+    """A single peer's ledger."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        config: Optional[FabricConfig] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
+        self._config = config or FabricConfig()
+        self._metrics = metrics
+        path = Path(path)
+        self.block_store = BlockStore(
+            path / "ledger",
+            codec=self._config.block_store.codec,
+            max_file_bytes=self._config.block_store.max_file_bytes,
+            metrics=metrics,
+            cache_blocks=self._config.block_store.cache_blocks,
+        )
+        state_config = self._config.state_db
+        kv_kwargs = {}
+        if state_config.backend == "lsm":
+            kv_kwargs = {
+                "memtable_limit": state_config.memtable_limit,
+                "compaction_trigger": state_config.compaction_trigger,
+                "compaction": state_config.compaction,
+            }
+        self.state_db = StateDB(
+            open_kv_store(state_config.backend, path=path / "statedb", **kv_kwargs),
+            metrics=metrics,
+        )
+        self.history_db = HistoryDB(metrics=metrics)
+        self._validator = Validator(version_lookup=self.state_db.get_version)
+        self._last_header_hash = GENESIS_PREVIOUS_HASH
+        self._recover()
+
+    def _recover(self) -> None:
+        """Rebuild derived state after reopening an existing ledger.
+
+        The history index is always rebuilt from the chain; the state-db is
+        replayed from the savepoint forward (normally a no-op).
+        """
+        if self.block_store.base_hash:
+            # Snapshot-bootstrapped ledger: the chain head before any
+            # post-snapshot blocks is the snapshot's recorded hash.
+            self._last_header_hash = self.block_store.base_hash
+        if self.block_store.height == 0:
+            return
+        savepoint = self.state_db.savepoint()
+        replay_from = 0 if savepoint is None else savepoint + 1
+        for block in self.block_store.iter_blocks():
+            self.history_db.index_block(block)
+            if block.number >= replay_from:
+                self._apply_state_writes(block)
+                self.state_db.record_savepoint(block.number)
+            self._last_header_hash = block.header.hash()
+
+    # -- commit path ---------------------------------------------------------
+
+    def commit_block(self, block: Block) -> int:
+        """Validate and commit one block; returns the number of valid txs."""
+        with self._metrics.timed(metric_names.COMMIT_SECONDS):
+            if block.header.previous_hash != self._last_header_hash:
+                raise HashChainError(
+                    f"block {block.number}: previous hash "
+                    f"{block.header.previous_hash.hex()[:12]} does not match chain "
+                    f"head {self._last_header_hash.hex()[:12]}"
+                )
+            block.verify_data_hash()
+            valid_count = self._validator.validate_block(block)
+            self.block_store.add_block(block)
+            self.history_db.index_block(block)
+            self._apply_state_writes(block)
+            self.state_db.record_savepoint(block.number)
+            self._last_header_hash = block.header.hash()
+            self._metrics.increment(metric_names.BLOCKS_COMMITTED)
+            self._metrics.increment(metric_names.TXS_COMMITTED, valid_count)
+            self._metrics.increment(
+                metric_names.TXS_INVALIDATED, len(block.transactions) - valid_count
+            )
+        return valid_count
+
+    def _apply_state_writes(self, block: Block) -> None:
+        for tx_num, tx in enumerate(block.transactions):
+            if tx.validation_code != VALID:
+                continue
+            version: Version = (block.number, tx_num)
+            for write in tx.rw_set.writes.values():
+                self.state_db.apply_write(write, version)
+
+    # -- queries --------------------------------------------------------------
+
+    def get_state(self, key: str) -> Optional[Any]:
+        """Current value of ``key`` (Fabric GetState)."""
+        state = self.state_db.get_state(key)
+        return state.value if state else None
+
+    def get_state_entry(self, key: str) -> Optional[StateValue]:
+        """Current value *and version* of ``key``."""
+        return self.state_db.get_state(key)
+
+    def get_state_by_range(
+        self, start_key: str, end_key: str
+    ) -> Iterator[Tuple[str, Any]]:
+        """Sorted scan over current states (Fabric GetStateByRange)."""
+        for key, state in self.state_db.get_state_by_range(start_key, end_key):
+            yield key, state.value
+
+    def get_history_for_key(self, key: str) -> Iterator[HistoryEntry]:
+        """Fabric GHFK: lazy, oldest-first history iterator for ``key``."""
+        return self.history_db.get_history_for_key(key, self.block_store)
+
+    def get_query_result(self, selector: dict) -> Iterator[Tuple[str, Any]]:
+        """CouchDB-style rich query over current states."""
+        from repro.fabric.richquery import RichQueryEngine
+
+        return RichQueryEngine(self.state_db).query(selector)
+
+    # -- integrity & bookkeeping ------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self.block_store.height
+
+    @property
+    def last_header_hash(self) -> bytes:
+        return self._last_header_hash
+
+    def state_fingerprint(self) -> str:
+        """SHA-256 over every committed state (key, value, version).
+
+        Two honest peers that committed the same chain have identical
+        fingerprints; used to check replica convergence.
+        """
+        import hashlib
+        import json
+
+        hasher = hashlib.sha256()
+        for key, state in self.state_db.get_state_by_range("", ""):
+            hasher.update(
+                json.dumps(
+                    [key, state.value, list(state.version)],
+                    sort_keys=True,
+                    default=repr,
+                ).encode("utf-8")
+            )
+        return hasher.hexdigest()
+
+    def verify_chain(self) -> None:
+        """Walk the chain verifying hash links and data hashes.
+
+        On a snapshot-bootstrapped peer verification starts from the
+        snapshot's recorded head hash (earlier blocks are not present).
+        """
+        previous = self.block_store.base_hash or GENESIS_PREVIOUS_HASH
+        for block in self.block_store.iter_blocks():
+            if block.header.previous_hash != previous:
+                raise HashChainError(
+                    f"block {block.number}: broken previous-hash link"
+                )
+            block.verify_data_hash()
+            previous = block.header.hash()
+
+    def close(self) -> None:
+        self.block_store.close()
+        self.state_db.close()

@@ -1,0 +1,147 @@
+"""Wiring: build a complete single-peer network in one call.
+
+Mirrors the paper's experimental setup (Section IV-3): a single peer with
+the ordering service enabled.  The orderer delivers cut blocks straight to
+the peer's commit path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.common.config import FabricConfig
+from repro.common.metrics import MetricsRegistry
+from repro.fabric.chaincode import Chaincode
+from repro.fabric.gateway import Gateway
+from repro.fabric.identity import MSP
+from repro.fabric.orderer import SoloOrderer
+from repro.fabric.peer import Peer
+
+
+class FabricNetwork:
+    """A single-peer Fabric network with a solo orderer.
+
+    Example::
+
+        network = FabricNetwork(tmp_path)
+        network.install(MyChaincode())
+        gateway = network.gateway("client-1")
+        gateway.submit_transaction("my-cc", "put", ["k", {"v": 1}], timestamp=5)
+        gateway.flush()
+        assert network.peer.ledger.get_state("k") == {"v": 1}
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        config: Optional[FabricConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        verify_signatures: bool = True,
+    ) -> None:
+        self.config = config or FabricConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._path = Path(path)
+        self._verify_signatures = verify_signatures
+        from repro.fabric.privatedata import CollectionPolicy
+
+        self.msp = MSP()
+        self.collection_policy = CollectionPolicy()
+        peer_identity = self.msp.enroll("peer0")
+        self.peer = Peer(
+            self._path,
+            identity=peer_identity,
+            config=self.config,
+            metrics=self.metrics,
+            verify_signatures=verify_signatures,
+            collection_policy=self.collection_policy,
+        )
+        self.peers = {"peer0": self.peer}
+        self.orderer = SoloOrderer(self.config.block_cutting)
+        self.orderer.register_consumer(self.peer.commit)
+
+    def add_peer(self, name: str) -> Peer:
+        """Join a committing peer to the channel.
+
+        The new peer gets its own ledger directory, catches up on every
+        block already committed (Fabric's state transfer), then receives
+        future blocks from the orderer like any other committer.  It
+        verifies endorsements with the endorsing peer's check, since
+        endorsement signatures are bound to ``peer0``'s identity.
+        """
+        if name in self.peers:
+            raise ValueError(f"peer {name!r} already exists")
+        identity = self.msp.enroll(name)
+        peer = Peer(
+            self._path / "peers" / name,
+            identity=identity,
+            config=self.config,
+            metrics=MetricsRegistry(),
+            verify_signatures=self._verify_signatures,
+            signature_check=self.peer.endorser.verify_endorsement,
+            collection_policy=self.collection_policy,
+        )
+        peer.sync_from(self.peer.ledger)
+        self.orderer.register_consumer(peer.commit)
+        self.peers[name] = peer
+        return peer
+
+    def install(self, chaincode: Chaincode) -> None:
+        """Install a chaincode on the peer."""
+        self.peer.install_chaincode(chaincode)
+
+    def configure_collection(self, name: str, peer_names: list) -> None:
+        """Restrict a private-data collection to ``peer_names``.
+
+        Unconfigured collections default to every peer.
+        """
+        self.collection_policy.configure(name, peer_names)
+
+    def on_block(self, callback) -> None:
+        """Register a block listener: called with every committed block.
+
+        Listeners run *after* the peer's commit, so the block's
+        per-transaction validation codes are already final.
+        """
+        self.orderer.register_consumer(callback)
+
+    def on_chaincode_event(self, chaincode_name: str, callback) -> None:
+        """Register a chaincode-event listener.
+
+        ``callback(tx, event_name, payload)`` fires for every event set
+        by a *valid* transaction of ``chaincode_name`` (events of
+        invalidated transactions are dropped, as in Fabric).
+        """
+        from repro.fabric.block import VALID
+
+        def deliver(block) -> None:
+            for tx in block.transactions:
+                if (
+                    tx.validation_code == VALID
+                    and tx.chaincode == chaincode_name
+                    and tx.event_name
+                ):
+                    callback(tx, tx.event_name, tx.event_payload)
+
+        self.orderer.register_consumer(deliver)
+
+    def gateway(self, client_name: str = "client") -> Gateway:
+        """Open a gateway for ``client_name`` (enrolled on first use)."""
+        identity = self.msp.enroll(client_name)
+        return Gateway(peer=self.peer, orderer=self.orderer, identity=identity)
+
+    @property
+    def ledger(self):
+        """The peer's ledger (query entry point)."""
+        return self.peer.ledger
+
+    def close(self) -> None:
+        self.orderer.flush()
+        for peer in self.peers.values():
+            peer.close()
+
+    def __enter__(self) -> "FabricNetwork":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,113 @@
+"""Private data collections: values off-chain, hashes on-chain.
+
+Supply-chain parties rarely want shipment contents public.  Fabric's
+private data collections keep the *values* in a per-peer side database,
+disseminated only to authorized peers, while the block stores a SHA-256
+hash of each private write -- enough for any peer to verify a disclosed
+value without ever seeing undisclosed ones.
+
+Simulator semantics preserved from Fabric:
+
+* ``put_private_data`` stages the value in the transaction's *private
+  payload* (never serialized into the block) and records a public write
+  of its hash under a reserved key namespace, so MVCC and the hash chain
+  cover private writes;
+* at commit, authorized peers store the payload in their side database;
+  unauthorized peers see only the hash;
+* ``get_private_data`` reads the side database and verifies the value
+  against the on-chain hash, failing loudly on tampering.
+
+The side database is in-memory per peer: like real Fabric, private data
+is *not* recoverable from blocks -- a peer that loses its side database
+can only re-fetch values from other authorized peers
+(:meth:`SideDatabase.copy_from`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import LedgerError
+from repro.fabric import crypto
+
+#: Reserved state-key namespace for private-data hashes.
+HASH_PREFIX = "\x03pvt"
+
+#: Sentinel marking a staged private *deletion* (distinct from storing
+#: the legitimate JSON value ``None``).
+PURGE = object()
+
+
+class PrivateDataError(LedgerError):
+    """A private-data read failed verification or authorization."""
+
+
+def hash_key(collection: str, key: str) -> str:
+    """The public state key holding the hash of ``(collection, key)``."""
+    if not collection or "\x00" in collection:
+        raise PrivateDataError(f"invalid collection name {collection!r}")
+    return f"{HASH_PREFIX}\x00{collection}\x00{key}"
+
+
+def value_hash(value: Any) -> str:
+    """Deterministic SHA-256 over the canonical JSON of ``value``."""
+    canonical = json.dumps(value, sort_keys=True, default=repr).encode("utf-8")
+    return crypto.sha256_hex(canonical)
+
+
+class SideDatabase:
+    """One peer's private-data store: ``(collection, key) -> value``."""
+
+    def __init__(self) -> None:
+        self._values: Dict[Tuple[str, str], Any] = {}
+
+    def put(self, collection: str, key: str, value: Any) -> None:
+        """Store one private value (authorized dissemination)."""
+        self._values[(collection, key)] = value
+
+    def get(self, collection: str, key: str) -> Optional[Any]:
+        """The stored private value, or ``None``."""
+        return self._values.get((collection, key))
+
+    def delete(self, collection: str, key: str) -> None:
+        """Remove a private value (purge)."""
+        self._values.pop((collection, key), None)
+
+    def copy_from(self, other: "SideDatabase", collection: str) -> int:
+        """Re-fetch one collection's values from another authorized peer
+        (the simulator's stand-in for private-data reconciliation).
+        Returns the number of values copied."""
+        copied = 0
+        for (coll, key), value in other._values.items():
+            if coll == collection:
+                self._values[(coll, key)] = value
+                copied += 1
+        return copied
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class CollectionPolicy:
+    """Which peers may hold each collection's values.
+
+    An unconfigured collection defaults to *every* peer (the simulator's
+    permissive default; configure explicitly for realistic setups).
+    """
+
+    def __init__(self) -> None:
+        self._members: Dict[str, set[str]] = {}
+
+    def configure(self, collection: str, peer_names: list[str]) -> None:
+        """Restrict ``collection`` to ``peer_names``."""
+        if not peer_names:
+            raise PrivateDataError(
+                f"collection {collection!r} needs at least one member peer"
+            )
+        self._members[collection] = set(peer_names)
+
+    def authorized(self, collection: str, peer_name: str) -> bool:
+        """True when ``peer_name`` may hold ``collection``'s values."""
+        members = self._members.get(collection)
+        return members is None or peer_name in members

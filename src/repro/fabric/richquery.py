@@ -1,0 +1,139 @@
+"""CouchDB-style rich queries over the state database.
+
+Fabric's state-db can be CouchDB, which exposes Mango *selectors* to
+chaincode via ``GetQueryResult``.  This module implements the selector
+subset chaincodes actually use:
+
+* field equality: ``{"e": "l"}``
+* comparison operators: ``$gt  $gte  $lt  $lte  $ne  $eq``
+* membership / existence: ``$in  $nin  $exists``
+* boolean composition: ``$and  $or  $not``
+* dotted paths into nested documents: ``{"dims.weight": {"$gt": 10}}``
+
+As in CouchDB without a matching index, evaluation is a full scan of the
+current states with client-side filtering -- which is precisely why the
+paper's temporal queries cannot be served by rich queries alone: state-db
+holds only *current* states, never history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.common.errors import LedgerError
+from repro.fabric.statedb import StateDB
+
+
+class RichQueryError(LedgerError):
+    """A selector is malformed."""
+
+
+_COMPARATORS = {
+    "$eq": lambda actual, expected: actual == expected,
+    "$ne": lambda actual, expected: actual != expected,
+    "$gt": lambda actual, expected: actual is not None and actual > expected,
+    "$gte": lambda actual, expected: actual is not None and actual >= expected,
+    "$lt": lambda actual, expected: actual is not None and actual < expected,
+    "$lte": lambda actual, expected: actual is not None and actual <= expected,
+    "$in": lambda actual, expected: actual in expected,
+    "$nin": lambda actual, expected: actual not in expected,
+}
+
+
+def _resolve_path(document: Any, path: str) -> Tuple[bool, Any]:
+    """Follow a dotted path; returns ``(exists, value)``."""
+    current = document
+    for part in path.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return False, None
+        current = current[part]
+    return True, current
+
+
+def matches(document: Any, selector: Dict[str, Any]) -> bool:
+    """True when ``document`` satisfies ``selector``.
+
+    Raises :class:`RichQueryError` for unknown operators or malformed
+    boolean clauses, so selector typos fail loudly rather than silently
+    matching nothing.
+    """
+    if not isinstance(selector, dict):
+        raise RichQueryError(f"selector must be a dict, got {type(selector).__name__}")
+    for field, condition in selector.items():
+        if field == "$and":
+            _check_clause_list(field, condition)
+            if not all(matches(document, clause) for clause in condition):
+                return False
+        elif field == "$or":
+            _check_clause_list(field, condition)
+            if not any(matches(document, clause) for clause in condition):
+                return False
+        elif field == "$not":
+            if not isinstance(condition, dict):
+                raise RichQueryError("$not takes a selector")
+            if matches(document, condition):
+                return False
+        elif field.startswith("$"):
+            raise RichQueryError(f"unknown top-level operator {field!r}")
+        else:
+            if not _field_matches(document, field, condition):
+                return False
+    return True
+
+
+def _check_clause_list(op: str, condition: Any) -> None:
+    if not isinstance(condition, list) or not condition:
+        raise RichQueryError(f"{op} takes a non-empty list of selectors")
+
+
+def _field_matches(document: Any, field: str, condition: Any) -> bool:
+    exists, actual = _resolve_path(document, field)
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        for op, expected in condition.items():
+            if op == "$exists":
+                if bool(expected) != exists:
+                    return False
+                continue
+            comparator = _COMPARATORS.get(op)
+            if comparator is None:
+                raise RichQueryError(f"unknown operator {op!r} on field {field!r}")
+            if not exists:
+                return False
+            try:
+                if not comparator(actual, expected):
+                    return False
+            except TypeError:
+                return False  # incomparable types never match
+        return True
+    # Plain equality (possibly against a nested dict literal).
+    return exists and actual == condition
+
+
+class RichQueryEngine:
+    """Selector queries over a :class:`StateDB` (CouchDB's GetQueryResult)."""
+
+    def __init__(self, state_db: StateDB) -> None:
+        self._state_db = state_db
+
+    def query(
+        self,
+        selector: Dict[str, Any],
+        start_key: str = "",
+        end_key: str = "",
+        limit: Optional[int] = None,
+    ) -> Iterator[Tuple[str, Any]]:
+        """Yield ``(key, value)`` of current states matching ``selector``.
+
+        ``start_key``/``end_key`` optionally restrict the scanned key
+        range (CouchDB's index pushdown analogue); ``limit`` caps the
+        result count.
+        """
+        if limit is not None and limit <= 0:
+            raise RichQueryError(f"limit must be positive, got {limit}")
+        returned = 0
+        for key, state in self._state_db.get_state_by_range(start_key, end_key):
+            if matches(state.value, selector):
+                yield key, state.value
+                returned += 1
+                if limit is not None and returned >= limit:
+                    return

@@ -1,0 +1,163 @@
+"""The state database: current value + version of every key.
+
+Fabric keeps this in LevelDB (or CouchDB).  Ours sits on a
+:class:`repro.storage.kv.KVStore` -- the LSM backend for file-backed
+fidelity or the in-memory backend for speed -- and stores each key's
+current value together with its version (the Fabric "height"
+``(block, tx)`` at which it was written).
+
+State keys are strings.  Composite keys used by the temporal models embed
+``\\x00`` separators, which encode cleanly to UTF-8 and sort correctly
+under the byte-lexicographic order the KV layer provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.common import metrics as metric_names
+from repro.common.codec import Codec, JsonCodec
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.fabric.block import KVWrite, Version
+from repro.storage.kv.api import KVStore
+
+#: Reserved state key holding the last committed block number, used to
+#: detect whether state must be rebuilt from the block store on open
+#: (Fabric calls this the savepoint).
+SAVEPOINT_KEY = "\x01savepoint"
+
+
+@dataclass(frozen=True)
+class StateValue:
+    """A committed state: the value and the height that wrote it."""
+
+    value: Any
+    version: Version
+
+
+class StateDB:
+    """Versioned current-state store over a sorted KV backend."""
+
+    def __init__(
+        self,
+        store: KVStore,
+        codec: Optional[Codec] = None,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
+        self._store = store
+        self._codec = codec or JsonCodec()
+        self._metrics = metrics
+
+    # -- reads -------------------------------------------------------------
+
+    def get_state(self, key: str) -> Optional[StateValue]:
+        """Current state of ``key`` or ``None`` (counts a GetState call)."""
+        self._metrics.increment(metric_names.GET_STATE_CALLS)
+        raw = self._store.get(self._encode_key(key))
+        if raw is None:
+            return None
+        return self._decode_state(raw)
+
+    def get_version(self, key: str) -> Optional[Version]:
+        """Version of ``key`` without counting a user-visible GetState."""
+        raw = self._store.get(self._encode_key(key))
+        if raw is None:
+            return None
+        return self._decode_state(raw).version
+
+    def get_state_by_range(
+        self, start_key: str, end_key: str
+    ) -> Iterator[Tuple[str, StateValue]]:
+        """Sorted scan of current states with ``start_key <= key < end_key``.
+
+        Empty ``start_key`` / ``end_key`` mean unbounded, as in Fabric's
+        ``GetStateByRange``.
+        """
+        self._metrics.increment(metric_names.RANGE_SCAN_CALLS)
+        start = self._encode_key(start_key) if start_key else None
+        end = self._encode_key(end_key) if end_key else None
+        for raw_key, raw_value in self._store.scan(start, end):
+            key = raw_key.decode("utf-8")
+            if key == SAVEPOINT_KEY:
+                continue
+            yield key, self._decode_state(raw_value)
+
+    def get_state_by_range_with_pagination(
+        self,
+        start_key: str,
+        end_key: str,
+        page_size: int,
+        bookmark: str = "",
+    ) -> Tuple[list, str]:
+        """One page of a range scan, Fabric-style.
+
+        Returns ``(results, next_bookmark)``; pass the bookmark back to
+        resume.  An empty bookmark return value means the scan is done.
+        ``bookmark`` overrides ``start_key`` when present (it is the first
+        key of the next page, exactly as Fabric's pagination works).
+        """
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        effective_start = bookmark if bookmark else start_key
+        results = []
+        next_bookmark = ""
+        for key, state in self.get_state_by_range(effective_start, end_key):
+            if len(results) == page_size:
+                next_bookmark = key
+                break
+            results.append((key, state))
+        return results, next_bookmark
+
+    # -- writes -------------------------------------------------------------
+
+    def apply_write(self, write: KVWrite, version: Version) -> None:
+        """Apply one validated write at ``version``."""
+        encoded_key = self._encode_key(write.key)
+        if write.is_delete:
+            self._store.delete(encoded_key)
+        else:
+            self._store.put(
+                encoded_key,
+                self._codec.encode({"v": write.value, "ver": list(version)}),
+            )
+
+    def record_savepoint(self, block_number: int) -> None:
+        """Persist the last fully-applied block number."""
+        self._store.put(
+            self._encode_key(SAVEPOINT_KEY),
+            self._codec.encode({"v": block_number, "ver": [block_number, 0]}),
+        )
+
+    def savepoint(self) -> Optional[int]:
+        """The last fully-applied block number, or ``None`` when fresh."""
+        raw = self._store.get(self._encode_key(SAVEPOINT_KEY))
+        if raw is None:
+            return None
+        return self._decode_state(raw).value
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def state_count(self) -> int:
+        """Number of live states (drives the paper's state-db-size costs)."""
+        count = 0
+        for raw_key, _ in self._store.scan(None, None):
+            if raw_key.decode("utf-8") != SAVEPOINT_KEY:
+                count += 1
+        return count
+
+    def close(self) -> None:
+        self._store.close()
+
+    # -- encoding --------------------------------------------------------------
+
+    @staticmethod
+    def _encode_key(key: str) -> bytes:
+        if not key:
+            raise ValueError("state keys must be non-empty")
+        return key.encode("utf-8")
+
+    def _decode_state(self, raw: bytes) -> StateValue:
+        decoded = self._codec.decode(raw)
+        block_num, tx_num = decoded["ver"]
+        return StateValue(value=decoded["v"], version=(block_num, tx_num))

@@ -1,0 +1,15 @@
+"""Off-chain analytics: the alternative the paper argues against.
+
+Related work [11]-[13] in the paper takes blockchain data *out* and
+analyzes it in a database; the paper's goal is on-chain processing.  This
+subpackage implements the off-chain baseline so the trade-off can be
+measured rather than asserted: an ETL pass scans the whole chain once
+into an in-memory event warehouse with per-key time indexes, after which
+temporal queries are cheap -- at the cost of the ETL itself, the extra
+storage copy, and staleness (the warehouse must be re-synced as blocks
+arrive).
+"""
+
+from repro.offchain.warehouse import EventWarehouse, WarehouseQueryEngine
+
+__all__ = ["EventWarehouse", "WarehouseQueryEngine"]

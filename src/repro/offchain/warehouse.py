@@ -1,0 +1,141 @@
+"""An in-memory event warehouse fed by ETL from the ledger.
+
+The warehouse keeps, per key, events sorted by time with a bisectable
+time column -- the textbook temporal index the on-chain models cannot
+have.  Window retrieval is two binary searches plus a slice; the costs
+live elsewhere:
+
+* the **ETL pass** deserializes every block once (and again for every
+  re-sync window after new commits);
+* the warehouse is a **second copy** of the data, outside the trust
+  domain of the ledger (no hash chain protects it);
+* results are only as fresh as the last sync.
+
+``WarehouseQueryEngine`` adapts the warehouse to the same interface the
+on-chain engines implement, so it can join and be benchmarked
+identically.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common import metrics as metric_names
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.common.timeutils import Stopwatch
+from repro.fabric.block import VALID
+from repro.fabric.ledger import Ledger
+from repro.temporal.events import Event
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.keys import is_interval_key
+
+
+@dataclass
+class SyncReport:
+    """One ETL pass: blocks scanned and time spent."""
+
+    blocks_scanned: int
+    events_loaded: int
+    seconds: float
+
+
+class EventWarehouse:
+    """Per-key, time-sorted event store synced from a ledger."""
+
+    def __init__(self) -> None:
+        self._events: Dict[str, List[Event]] = {}
+        self._times: Dict[str, List[int]] = {}
+        self._synced_height = 0
+
+    @property
+    def synced_height(self) -> int:
+        """Chain height the warehouse has absorbed."""
+        return self._synced_height
+
+    def key_count(self) -> int:
+        return len(self._events)
+
+    def event_count(self) -> int:
+        """Total events stored across all keys."""
+        return sum(len(events) for events in self._events.values())
+
+    # -- ETL ---------------------------------------------------------------
+
+    def sync(self, ledger: Ledger) -> SyncReport:
+        """Absorb blocks committed since the last sync.
+
+        Deserializes each new block once (counted through the ledger's
+        metrics), extracting every valid write that parses as a
+        supply-chain event.  Index-bundle and directory writes (composite
+        keys, non-event values) are skipped: the warehouse models the ETL
+        of the *business* data.
+        """
+        watch = Stopwatch().start()
+        blocks = 0
+        loaded = 0
+        for block in ledger.block_store.iter_blocks(start=self._synced_height):
+            blocks += 1
+            for tx in block.transactions:
+                if tx.validation_code != VALID:
+                    continue
+                for key, write in tx.rw_set.writes.items():
+                    if write.is_delete or is_interval_key(key) or key.startswith("\x02"):
+                        continue
+                    value = write.value
+                    if not isinstance(value, dict) or {"o", "t", "e"} - set(value):
+                        continue
+                    self._insert(Event.from_value(key, value))
+                    loaded += 1
+            self._synced_height = block.number + 1
+        return SyncReport(
+            blocks_scanned=blocks, events_loaded=loaded, seconds=watch.stop()
+        )
+
+    def _insert(self, event: Event) -> None:
+        times = self._times.setdefault(event.key, [])
+        events = self._events.setdefault(event.key, [])
+        # Ingestion order is time order, so appends dominate; fall back to
+        # a sorted insert for out-of-order histories.
+        if not times or event.time >= times[-1]:
+            times.append(event.time)
+            events.append(event)
+        else:
+            index = bisect.bisect_right(times, event.time)
+            times.insert(index, event.time)
+            events.insert(index, event)
+
+    # -- queries -------------------------------------------------------------
+
+    def events_in_window(self, key: str, window: TimeInterval) -> List[Event]:
+        """Events of ``key`` inside ``(start, end]`` -- two bisects + slice."""
+        times = self._times.get(key)
+        if not times:
+            return []
+        lo = bisect.bisect_right(times, window.start)
+        hi = bisect.bisect_right(times, window.end)
+        return self._events[key][lo:hi]
+
+    def keys_with_prefix(self, prefix: str) -> List[str]:
+        """Sorted keys starting with ``prefix`` (entity enumeration)."""
+        return sorted(key for key in self._events if key.startswith(prefix))
+
+
+class WarehouseQueryEngine:
+    """The off-chain engine behind the common query-model interface."""
+
+    model = "offchain"
+
+    def __init__(
+        self, warehouse: EventWarehouse, metrics: MetricsRegistry = NULL_REGISTRY
+    ) -> None:
+        self._warehouse = warehouse
+        self._metrics = metrics
+
+    def list_keys(self, prefix: str) -> List[str]:
+        return self._warehouse.keys_with_prefix(prefix)
+
+    def fetch_events(self, key: str, window: TimeInterval) -> List[Event]:
+        with self._metrics.timed(metric_names.GHFK_SECONDS):
+            return self._warehouse.events_in_window(key, window)

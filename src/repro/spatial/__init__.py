@@ -1,0 +1,25 @@
+"""Spatial generalization of the Model M2 indexing idea.
+
+The paper's conclusion notes that "the approaches presented in this paper
+can also be generalized to other analytical queries e.g., spatial
+queries".  This subpackage does exactly that: where Model M2 tags each
+key with the fixed-length *time interval* containing its timestamp, the
+spatial variant tags each key with the fixed-size *grid cell* containing
+its coordinates.  A bounding-box query then GHFKs exactly the (key, cell)
+sub-keys whose cells overlap the box, instead of scanning the key's whole
+observation history.
+"""
+
+from repro.spatial.grid import BoundingBox, GridCell, GridScheme
+from repro.spatial.chaincode import SpatialChaincode
+from repro.spatial.query import NaiveSpatialEngine, GridSpatialEngine, Observation
+
+__all__ = [
+    "BoundingBox",
+    "GridCell",
+    "GridScheme",
+    "GridSpatialEngine",
+    "NaiveSpatialEngine",
+    "Observation",
+    "SpatialChaincode",
+]

@@ -1,0 +1,54 @@
+"""Chaincode recording spatial observations under grid-tagged keys.
+
+The Model M2 transformation, generalized: an observation
+``⟨k, (x, y, t, payload)⟩`` is stored as ``⟨(k, cell), (x, y, t, payload)⟩``
+where ``cell`` is the fixed-size grid cell containing ``(x, y)``.
+A ``plain`` mode stores under the base key for the naive baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.common.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.spatial.grid import GridScheme, encode_cell_key
+
+
+class SpatialChaincode(Chaincode):
+    """Record ``(x, y, t)`` observations of moving entities."""
+
+    def __init__(self, cell_size: float = 0.0, name: str = "spatial") -> None:
+        """With ``cell_size > 0`` keys are grid-tagged (the M2 analogue);
+        with ``cell_size == 0`` observations go under their base key
+        (the naive baseline)."""
+        self.scheme = GridScheme(cell_size) if cell_size else None
+        self.name = name
+
+    def _storage_key(self, key: str, x: float, y: float) -> str:
+        if self.scheme is None:
+            return key
+        return encode_cell_key(key, self.scheme.cell_for(x, y))
+
+    def invoke(self, stub: ChaincodeStub, fn: str, args: List[Any]) -> Any:
+        if fn == "observe":
+            key, x, y, time, payload = args
+            if time <= 0:
+                raise ChaincodeError("observation time must be positive")
+            value = {"x": x, "y": y, "t": time, "p": payload}
+            stub.put_state(self._storage_key(key, x, y), value)
+            return {"key": key, "t": time}
+        if fn == "observe_many":
+            seen: set[str] = set()
+            for key, x, y, time, payload in args:
+                storage_key = self._storage_key(key, x, y)
+                if storage_key in seen:
+                    raise ChaincodeError(
+                        f"observe_many batch repeats key {storage_key!r}"
+                    )
+                seen.add(storage_key)
+                stub.put_state(
+                    storage_key, {"x": x, "y": y, "t": time, "p": payload}
+                )
+            return {"count": len(args)}
+        raise ChaincodeError(f"unknown function {fn!r} on {self.name!r}")

@@ -1,0 +1,109 @@
+"""Fixed-size grid cells: the spatial analogue of fixed-length intervals.
+
+A point ``(x, y)`` belongs to the cell ``(⌊x/c⌋, ⌊y/c⌋)`` for cell size
+``c`` -- the 2-D counterpart of Model M2's ``θ = (⌊t/u⌋·u, ⌈t/u⌉·u]``.
+Cells use half-open ``[start, start+c)`` bounds per axis (the natural 2-D
+convention; unlike timestamps, coordinates have no "interval boundary
+belongs left" subtlety to mirror).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.common.errors import TemporalQueryError
+
+
+@dataclass(frozen=True, order=True)
+class GridCell:
+    """One cell, identified by its integer grid coordinates."""
+
+    cx: int
+    cy: int
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned query rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise TemporalQueryError(
+                f"degenerate bounding box: ({self.x_min},{self.y_min})-"
+                f"({self.x_max},{self.y_max})"
+            )
+
+    def contains(self, x: float, y: float) -> bool:
+        """True when the point lies inside the box (bounds inclusive)."""
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+
+class GridScheme:
+    """Fixed-size square grid cells of side ``cell_size``."""
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise TemporalQueryError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = cell_size
+
+    def cell_for(self, x: float, y: float) -> GridCell:
+        """The cell containing ``(x, y)``."""
+        return GridCell(
+            cx=int(x // self.cell_size), cy=int(y // self.cell_size)
+        )
+
+    def cells_overlapping(self, box: BoundingBox) -> Iterator[GridCell]:
+        """All cells intersecting ``box``, in row-major order."""
+        low = self.cell_for(box.x_min, box.y_min)
+        high = self.cell_for(box.x_max, box.y_max)
+        for cy in range(low.cy, high.cy + 1):
+            for cx in range(low.cx, high.cx + 1):
+                yield GridCell(cx=cx, cy=cy)
+
+    def cell_bounds(self, cell: GridCell) -> Tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` of a cell (max exclusive)."""
+        return (
+            cell.cx * self.cell_size,
+            cell.cy * self.cell_size,
+            (cell.cx + 1) * self.cell_size,
+            (cell.cy + 1) * self.cell_size,
+        )
+
+
+#: Bias so negative grid coordinates still encode as sortable digits.
+_BIAS = 10**6
+_WIDTH = 7
+
+
+def encode_cell_key(base_key: str, cell: GridCell) -> str:
+    """Composite state key ``(base_key, cell)``; sorts by key then cell."""
+    if "\x00" in base_key or not base_key:
+        raise TemporalQueryError(f"invalid base key {base_key!r}")
+    cx, cy = cell.cx + _BIAS, cell.cy + _BIAS
+    if not (0 <= cx < 10**_WIDTH and 0 <= cy < 10**_WIDTH):
+        raise TemporalQueryError(f"cell {cell} outside the encodable range")
+    return f"{base_key}\x00g{cx:0{_WIDTH}d}\x00{cy:0{_WIDTH}d}"
+
+
+def decode_cell_key(composite: str) -> Tuple[str, GridCell]:
+    """Invert :func:`encode_cell_key`."""
+    parts = composite.split("\x00")
+    if len(parts) != 3 or not parts[1].startswith("g"):
+        raise TemporalQueryError(f"not a cell key: {composite!r}")
+    try:
+        cx = int(parts[1][1:]) - _BIAS
+        cy = int(parts[2]) - _BIAS
+    except ValueError:
+        raise TemporalQueryError(f"malformed cell key: {composite!r}") from None
+    return parts[0], GridCell(cx=cx, cy=cy)
+
+
+def cell_key_range(base_key: str) -> Tuple[str, str]:
+    """Range-scan bounds covering all of ``base_key``'s cell keys."""
+    return base_key + "\x00g", base_key + "\x00h"

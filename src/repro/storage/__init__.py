@@ -1,0 +1,27 @@
+"""Storage substrate: a from-scratch sorted KV store and ledger block files.
+
+Fabric keeps its state database in LevelDB (or CouchDB) and its blocks in
+append-only files on the peer's file system.  This subpackage provides both
+substrates:
+
+* :mod:`repro.storage.kv` -- a LevelDB-like LSM key-value store (memtable,
+  write-ahead log, SSTables, compaction) plus an in-memory backend behind
+  the same interface.
+* :mod:`repro.storage.blockfile` / :mod:`repro.storage.blockindex` --
+  append-only block files with size-based rollover and a block-location
+  index, mirroring the peer's block storage.
+"""
+
+from repro.storage.blockfile import BlockFileManager
+from repro.storage.blockindex import BlockIndex, BlockLocation
+from repro.storage.kv import KVStore, LSMStore, MemStore, open_kv_store
+
+__all__ = [
+    "BlockFileManager",
+    "BlockIndex",
+    "BlockLocation",
+    "KVStore",
+    "LSMStore",
+    "MemStore",
+    "open_kv_store",
+]

@@ -1,0 +1,88 @@
+"""Block-location index: block number -> (file, offset, length).
+
+Fabric's peer keeps a LevelDB "block index" so a block can be fetched
+without scanning block files.  Ours is an append-only index file with
+fixed-size records, rebuilt into memory on open.
+
+Record layout (little-endian): ``block_num:u64  file_num:u32  offset:u64
+length:u32`` -- 24 bytes per block.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.common.errors import BlockFileError
+
+_RECORD = struct.Struct("<QIQI")
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Where a serialized block lives on the simulated file system."""
+
+    file_num: int
+    offset: int
+    length: int
+
+
+class BlockIndex:
+    """Persistent, append-only mapping of block number to location.
+
+    Block numbers are dense (0, 1, 2, ...) because the chain only appends,
+    so the in-memory form is a plain list.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._locations: List[BlockLocation] = []
+        self._load()
+        self._file = open(self.path, "ab")
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        usable = len(data) - (len(data) % _RECORD.size)  # drop torn tail
+        for offset in range(0, usable, _RECORD.size):
+            block_num, file_num, block_offset, length = _RECORD.unpack_from(
+                data, offset
+            )
+            if block_num != len(self._locations):
+                raise BlockFileError(
+                    f"block index out of sequence: expected {len(self._locations)}, "
+                    f"found {block_num}"
+                )
+            self._locations.append(BlockLocation(file_num, block_offset, length))
+
+    def append(self, location: BlockLocation) -> int:
+        """Record the location of the next block; returns its block number."""
+        block_num = len(self._locations)
+        self._locations.append(location)
+        self._file.write(
+            _RECORD.pack(block_num, location.file_num, location.offset, location.length)
+        )
+        return block_num
+
+    def lookup(self, block_num: int) -> Optional[BlockLocation]:
+        """Location of ``block_num`` or ``None`` beyond the index."""
+        if 0 <= block_num < len(self._locations):
+            return self._locations[block_num]
+        return None
+
+    @property
+    def height(self) -> int:
+        """Number of indexed blocks (== chain height)."""
+        return len(self._locations)
+
+    def sync(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()

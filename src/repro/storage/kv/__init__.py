@@ -1,0 +1,35 @@
+"""A from-scratch sorted key-value store.
+
+Two interchangeable backends implement :class:`~repro.storage.kv.api.KVStore`:
+
+* :class:`~repro.storage.kv.lsm.LSMStore` -- file-backed, LevelDB-like:
+  writes go to a write-ahead log and a sorted memtable; full memtables are
+  flushed to immutable SSTables; reads consult memtable then SSTables
+  newest-first; background-style compaction merges SSTables.
+* :class:`~repro.storage.kv.memstore.MemStore` -- an in-memory sorted map
+  with the same semantics, used when durability is not under test.
+"""
+
+from repro.storage.kv.api import KVStore
+from repro.storage.kv.lsm import LSMStore
+from repro.storage.kv.memstore import MemStore
+
+
+def open_kv_store(backend: str, path=None, **kwargs) -> KVStore:
+    """Open a KV store by backend name (``lsm`` or ``memory``).
+
+    Args:
+        backend: ``"lsm"`` (requires ``path``) or ``"memory"``.
+        path: directory for the LSM backend's files.
+        **kwargs: backend-specific options (e.g. ``memtable_limit``).
+    """
+    if backend == "memory":
+        return MemStore()
+    if backend == "lsm":
+        if path is None:
+            raise ValueError("the 'lsm' backend requires a path")
+        return LSMStore(path, **kwargs)
+    raise ValueError(f"unknown KV backend {backend!r}")
+
+
+__all__ = ["KVStore", "LSMStore", "MemStore", "open_kv_store"]

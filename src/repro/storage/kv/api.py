@@ -1,0 +1,86 @@
+"""The key-value store interface shared by all backends.
+
+Keys and values are ``bytes``.  Iteration order is bytewise-lexicographic
+on keys, which is what makes composite-key range scans (``GetStateByRange``
+in the Fabric layer) work.  Range bounds follow the conventional
+half-open ``[start, end)`` contract with ``None`` meaning unbounded.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional, Tuple
+
+from repro.common.errors import ClosedStoreError
+
+
+class KVStore(ABC):
+    """A sorted, mutable mapping from byte keys to byte values."""
+
+    _closed: bool = False
+
+    @abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None`` if absent."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``.  Deleting an absent key is a no-op."""
+
+    @abstractmethod
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` pairs with ``start <= key < end``, sorted.
+
+        The iterator reflects the store's contents at the time each item is
+        produced; mutating the store while scanning is undefined behaviour
+        (as it is in LevelDB without an explicit snapshot).
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources.  Further operations raise :class:`ClosedStoreError`."""
+
+    # -- shared helpers ------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedStoreError(f"{type(self).__name__} is closed")
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError(f"key must be bytes, got {type(key).__name__}")
+        if not key:
+            raise ValueError("key must be non-empty")
+
+    @staticmethod
+    def _check_value(value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- convenience ----------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Scan the entire store."""
+        return self.scan(None, None)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+
+#: Sentinel byte prepended to SSTable/WAL records to mark deletions.  Kept
+#: here so the memtable, WAL and SSTable modules agree on the encoding.
+OP_PUT = 0
+OP_DELETE = 1

@@ -1,0 +1,274 @@
+"""The LevelDB-like LSM key-value store.
+
+Write path: WAL append -> memtable insert; when the memtable exceeds its
+entry limit it is flushed to a new immutable SSTable and the WAL is
+truncated.  Read path: memtable first, then SSTables newest-first.  Range
+scans merge all sources with newest-wins semantics and tombstone
+suppression.  When the number of SSTables reaches ``compaction_trigger``,
+a full compaction merges them into one table and drops dead entries.
+
+On reopen, surviving WAL records are replayed into a fresh memtable, so a
+process crash between flushes loses no acknowledged writes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common import metrics as metric_names
+from repro.common.errors import StorageError
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.storage.kv.api import KVStore
+from repro.storage.kv.memtable import Memtable
+from repro.storage.kv.sstable import SSTableReader, write_sstable
+from repro.storage.kv.wal import WriteAheadLog, replay
+from repro.storage.kv.api import OP_PUT
+
+_SST_PREFIX = "sst-"
+_SST_SUFFIX = ".sst"
+_WAL_NAME = "wal.log"
+
+
+class LSMStore(KVStore):
+    """File-backed sorted KV store (memtable + WAL + SSTables)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        memtable_limit: int = 8192,
+        compaction_trigger: int = 6,
+        compaction: str = "full",
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
+        """``compaction`` picks the strategy once ``compaction_trigger``
+        SSTables accumulate:
+
+        * ``"full"`` -- merge every table into one and drop dead entries
+          (lowest read amplification, highest write amplification);
+        * ``"tiered"`` -- merge only the newest half of the tables;
+          tombstones survive unless the merge happens to include the
+          oldest table (size-tiered trade-off: cheaper compactions, more
+          tables to consult on reads).
+        """
+        if memtable_limit <= 0:
+            raise ValueError(f"memtable_limit must be positive, got {memtable_limit}")
+        if compaction_trigger <= 1:
+            raise ValueError(
+                f"compaction_trigger must be > 1, got {compaction_trigger}"
+            )
+        if compaction not in ("full", "tiered"):
+            raise ValueError(
+                f"compaction must be 'full' or 'tiered', got {compaction!r}"
+            )
+        self._compaction = compaction
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._memtable_limit = memtable_limit
+        self._compaction_trigger = compaction_trigger
+        self._metrics = metrics
+        self._memtable = Memtable()
+        self._tables: List[Tuple[int, SSTableReader]] = []  # newest last
+        self._next_sequence = 0
+        self._load_tables()
+        self._wal = WriteAheadLog(self.path / _WAL_NAME)
+        self._replay_wal()
+
+    # -- startup ---------------------------------------------------------
+
+    def _load_tables(self) -> None:
+        for file in sorted(self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}")):
+            sequence = int(file.name[len(_SST_PREFIX) : -len(_SST_SUFFIX)])
+            self._tables.append((sequence, SSTableReader(file)))
+            self._next_sequence = max(self._next_sequence, sequence + 1)
+        self._tables.sort(key=lambda pair: pair[0])
+
+    def _replay_wal(self) -> None:
+        for op, key, value in replay(self.path / _WAL_NAME):
+            if op == OP_PUT:
+                assert value is not None
+                self._memtable.put(key, value)
+            else:
+                self._memtable.mark_deleted(key)
+
+    # -- write path -------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self._check_key(key)
+        self._check_value(value)
+        key, value = bytes(key), bytes(value)
+        self._wal.append_put(key, value)
+        self._metrics.increment(metric_names.WAL_RECORDS)
+        self._metrics.increment(metric_names.KV_WRITES)
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        self._check_key(key)
+        key = bytes(key)
+        self._wal.append_delete(key)
+        self._metrics.increment(metric_names.WAL_RECORDS)
+        self._metrics.increment(metric_names.KV_WRITES)
+        self._memtable.mark_deleted(key)
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if len(self._memtable) >= self._memtable_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable to a new SSTable and truncate the WAL."""
+        if not len(self._memtable):
+            return
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        table_path = self._table_path(sequence)
+        write_sstable(table_path, self._memtable.entries_sorted())
+        self._tables.append((sequence, SSTableReader(table_path)))
+        self._memtable.clear()
+        self._wal.truncate()
+        if len(self._tables) >= self._compaction_trigger:
+            self._compact()
+
+    def _table_path(self, sequence: int) -> Path:
+        return self.path / f"{_SST_PREFIX}{sequence:08d}{_SST_SUFFIX}"
+
+    def _compact(self) -> None:
+        if self._compaction == "full":
+            self._merge_tables(victims=self._tables)
+        else:
+            # Tiered: merge the newest half (at least two tables).  The
+            # merged table takes a fresh (highest) sequence number, which
+            # is consistent with its precedence: it replaced exactly the
+            # newest run.
+            count = max(2, len(self._tables) // 2)
+            self._merge_tables(victims=self._tables[-count:])
+
+    def _merge_tables(self, victims: List[Tuple[int, SSTableReader]]) -> None:
+        """Merge ``victims`` (a suffix of the table list, newest last)
+        into one table.  Tombstones can be dropped only when no older
+        table survives to be shadowed."""
+        self._metrics.increment(metric_names.KV_COMPACTIONS)
+        survivors = self._tables[: len(self._tables) - len(victims)]
+        merged = self._merged_entries(
+            sources=[reader for _, reader in victims],
+            include_memtable=False,
+            start=None,
+            end=None,
+            keep_tombstones=bool(survivors),
+        )
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        table_path = self._table_path(sequence)
+        write_sstable(table_path, merged)
+        old_paths = [reader.path for _, reader in victims]
+        self._tables = survivors + [(sequence, SSTableReader(table_path))]
+        for old in old_paths:
+            old.unlink(missing_ok=True)
+
+    # -- read path ---------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        self._check_key(key)
+        key = bytes(key)
+        self._metrics.increment(metric_names.KV_READS)
+        found, value = self._memtable.lookup(key)
+        if found:
+            return value
+        for _, reader in reversed(self._tables):  # newest first
+            self._metrics.increment(metric_names.KV_SSTABLE_READS)
+            found, value = reader.lookup(key)
+            if found:
+                return value
+        return None
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_open()
+        yield from (
+            (key, value)
+            for key, value in self._merged_entries(
+                sources=[reader for _, reader in self._tables],
+                include_memtable=True,
+                start=start,
+                end=end,
+                keep_tombstones=False,
+            )
+            if value is not None
+        )
+
+    def _merged_entries(
+        self,
+        sources: List[SSTableReader],
+        include_memtable: bool,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        keep_tombstones: bool,
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """K-way merge with newest-wins on duplicate keys.
+
+        Source priority: memtable beats any SSTable; later SSTables beat
+        earlier ones.  The heap orders by ``(key, -priority)`` so for equal
+        keys the newest source surfaces first and older duplicates are
+        skipped.
+        """
+        iterators: List[Tuple[int, Iterator[Tuple[bytes, Optional[bytes]]]]] = []
+        for priority, reader in enumerate(sources):
+            iterators.append((priority, reader.scan(start, end)))
+        if include_memtable:
+            iterators.append((len(sources), self._memtable.scan(start, end)))
+
+        heap: List[Tuple[bytes, int, Optional[bytes], int]] = []
+        for priority, iterator in iterators:
+            for key, value in iterator:
+                heap.append((key, -priority, value, priority))
+                break  # only the first item; rest pulled lazily below
+        # Rebuild with live iterators: store iterator index to pull next.
+        live = {priority: iterator for priority, iterator in iterators}
+        heapq.heapify(heap)
+        last_key: Optional[bytes] = None
+        while heap:
+            key, neg_priority, value, priority = heapq.heappop(heap)
+            iterator = live[priority]
+            for next_key, next_value in iterator:
+                heapq.heappush(heap, (next_key, -priority, next_value, priority))
+                break
+            if key == last_key:
+                continue  # older duplicate, already emitted newest
+            last_key = key
+            if value is None and not keep_tombstones:
+                continue
+            yield key, value
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._wal.close()
+        self._closed = True
+
+    @property
+    def sstable_count(self) -> int:
+        """Number of live SSTables (exposed for tests and ablations)."""
+        return len(self._tables)
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)
+
+    def verify_integrity(self) -> None:
+        """Cheap invariant check used by tests: scan yields sorted keys."""
+        previous: Optional[bytes] = None
+        for key, _ in self.scan():
+            if previous is not None and key <= previous:
+                raise StorageError(
+                    f"scan order violated: {previous!r} then {key!r}"
+                )
+            previous = key

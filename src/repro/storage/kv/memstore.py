@@ -1,0 +1,64 @@
+"""In-memory KV backend with the same semantics as the LSM store.
+
+Used for experiments where state-db durability is not the variable under
+test; keeps benchmark setup fast while preserving ordering semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional, Tuple
+
+from repro.storage.kv.api import KVStore
+
+
+class MemStore(KVStore):
+    """A sorted in-memory map implementing :class:`KVStore`."""
+
+    def __init__(self) -> None:
+        self._values: dict[bytes, bytes] = {}
+        self._sorted_keys: list[bytes] = []
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        self._check_key(key)
+        return self._values.get(bytes(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self._check_key(key)
+        self._check_value(value)
+        key = bytes(key)
+        if key not in self._values:
+            bisect.insort(self._sorted_keys, key)
+        self._values[key] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        self._check_key(key)
+        key = bytes(key)
+        if key in self._values:
+            del self._values[key]
+            index = bisect.bisect_left(self._sorted_keys, key)
+            del self._sorted_keys[index]
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_open()
+        lo = 0 if start is None else bisect.bisect_left(self._sorted_keys, bytes(start))
+        hi = (
+            len(self._sorted_keys)
+            if end is None
+            else bisect.bisect_left(self._sorted_keys, bytes(end))
+        )
+        # Materialize the key slice so concurrent mutation during iteration
+        # fails loudly (KeyError) instead of corrupting the scan silently.
+        for key in self._sorted_keys[lo:hi]:
+            yield key, self._values[key]
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,89 @@
+"""The sorted in-memory table at the front of the LSM store.
+
+A memtable holds the most recent writes, including *tombstones* (deletion
+markers) which must shadow older values living in SSTables.  Internally it
+keeps a dict for O(1) point lookups and a sorted key list (maintained with
+``bisect``) for ordered scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional, Tuple
+
+#: Internal marker distinguishing "deleted" from "absent".
+TOMBSTONE = object()
+
+
+class Memtable:
+    """A mutable sorted map supporting tombstones.
+
+    Entries map key -> value-bytes or :data:`TOMBSTONE`.  ``approximate_bytes``
+    tracks the memory footprint used for flush decisions.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, object] = {}
+        self._sorted_keys: list[bytes] = []
+        self.approximate_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._insert(key, bytes(value))
+        self.approximate_bytes += len(key) + len(value)
+
+    def mark_deleted(self, key: bytes) -> None:
+        """Record a tombstone for ``key`` (shadows SSTable values)."""
+        self._insert(key, TOMBSTONE)
+        self.approximate_bytes += len(key)
+
+    def _insert(self, key: bytes, value: object) -> None:
+        key = bytes(key)
+        if key not in self._entries:
+            bisect.insort(self._sorted_keys, key)
+        self._entries[key] = value
+
+    def lookup(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Return ``(found, value)``.
+
+        ``(True, None)`` means a tombstone: the key is *known deleted* and
+        older SSTables must not be consulted.  ``(False, None)`` means the
+        memtable has no opinion.
+        """
+        entry = self._entries.get(bytes(key))
+        if entry is None and bytes(key) not in self._entries:
+            return False, None
+        if entry is TOMBSTONE:
+            return True, None
+        return True, entry  # type: ignore[return-value]
+
+    def scan(
+        self, start: Optional[bytes], end: Optional[bytes]
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield ``(key, value-or-None)`` in key order within ``[start, end)``.
+
+        Tombstones are yielded with value ``None`` so the LSM merge can
+        suppress shadowed SSTable entries.
+        """
+        lo = 0 if start is None else bisect.bisect_left(self._sorted_keys, bytes(start))
+        hi = (
+            len(self._sorted_keys)
+            if end is None
+            else bisect.bisect_left(self._sorted_keys, bytes(end))
+        )
+        for index in range(lo, hi):
+            key = self._sorted_keys[index]
+            entry = self._entries[key]
+            yield key, (None if entry is TOMBSTONE else entry)  # type: ignore[misc]
+
+    def entries_sorted(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """All entries (tombstones as ``None``) in key order, for flushing."""
+        return self.scan(None, None)
+
+    def clear(self) -> None:
+        """Drop every entry (after a flush to an SSTable)."""
+        self._entries.clear()
+        self._sorted_keys.clear()
+        self.approximate_bytes = 0

@@ -1,0 +1,115 @@
+"""Analytics over temporal query results: the paper's motivating
+"valuable business insights" (Section I -- lineage, visualization,
+reporting, compliance).
+
+All functions are pure post-processing over events or join rows, so they
+compose with any of the three retrieval models.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.events import Event
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.join import JoinRow
+
+
+def event_count_histogram(
+    events: Iterable[Event], window: TimeInterval, bucket: int
+) -> List[Tuple[TimeInterval, int]]:
+    """Events per fixed-length bucket across ``window``.
+
+    Buckets tile the window ``(start, start+bucket], ...`` with the final
+    bucket clipped to the window's end.
+    """
+    if bucket <= 0:
+        raise TemporalQueryError(f"bucket length must be positive, got {bucket}")
+    bounds: List[TimeInterval] = []
+    start = window.start
+    while start < window.end:
+        bounds.append(TimeInterval(start, min(start + bucket, window.end)))
+        start += bucket
+    counts = [0] * len(bounds)
+    for event in events:
+        if not window.contains(event.time):
+            continue
+        index = (event.time - window.start - 1) // bucket
+        counts[index] += 1
+    return list(zip(bounds, counts))
+
+
+def merge_intervals(intervals: Iterable[TimeInterval]) -> List[TimeInterval]:
+    """Union of ``(start, end]`` intervals as disjoint sorted intervals.
+
+    Touching intervals (``a.end == b.start``) merge: their union has no
+    gap under half-open-left semantics.
+    """
+    ordered = sorted(intervals, key=lambda interval: (interval.start, interval.end))
+    merged: List[TimeInterval] = []
+    for interval in ordered:
+        if merged and interval.start <= merged[-1].end:
+            if interval.end > merged[-1].end:
+                merged[-1] = TimeInterval(merged[-1].start, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def busy_time_by_truck(rows: Iterable[JoinRow]) -> Dict[str, int]:
+    """Per truck: total time carrying at least one shipment.
+
+    Overlapping rows (two shipments on the same truck at once) count the
+    shared time once -- this is utilization, not shipment-hours.
+    """
+    by_truck: Dict[str, List[TimeInterval]] = defaultdict(list)
+    for row in rows:
+        by_truck[row.truck].append(row.interval)
+    return {
+        truck: sum(interval.length for interval in merge_intervals(intervals))
+        for truck, intervals in by_truck.items()
+    }
+
+
+def shipment_hours_by_truck(rows: Iterable[JoinRow]) -> Dict[str, int]:
+    """Per truck: sum of shipment-carrying time (overlaps counted per
+    shipment -- the freight-billing view)."""
+    totals: Dict[str, int] = defaultdict(int)
+    for row in rows:
+        totals[row.truck] += row.interval.length
+    return dict(totals)
+
+
+def peak_concurrency_by_container(rows: Iterable[JoinRow]) -> Dict[str, int]:
+    """Per container: the maximum number of shipments aboard at once.
+
+    Sweep line over ``(start, end]`` intervals; a shipment leaving at ``t``
+    frees its slot before another boarding at ``t`` occupies one (ends
+    sort before starts at equal time).
+    """
+    boundaries: Dict[str, List[Tuple[int, int, int]]] = defaultdict(list)
+    for row in rows:
+        # (time, order, delta): order 0 = departure, 1 = arrival.
+        boundaries[row.container].append((row.interval.start, 1, 1))
+        boundaries[row.container].append((row.interval.end, 0, -1))
+    peaks: Dict[str, int] = {}
+    for container, events in boundaries.items():
+        current = peak = 0
+        for _, _, delta in sorted(events):
+            current += delta
+            peak = max(peak, current)
+        peaks[container] = peak
+    return peaks
+
+
+def dwell_time_by_shipment(rows: Iterable[JoinRow]) -> Dict[str, int]:
+    """Per shipment: total time spent on any truck (union of its rows)."""
+    by_shipment: Dict[str, List[TimeInterval]] = defaultdict(list)
+    for row in rows:
+        by_shipment[row.shipment].append(row.interval)
+    return {
+        shipment: sum(interval.length for interval in merge_intervals(intervals))
+        for shipment, intervals in by_shipment.items()
+    }

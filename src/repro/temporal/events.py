@@ -1,0 +1,67 @@
+"""The event schema of the supply-chain workload.
+
+The paper's key-value pairs look like ``⟨s, (c, t, "l")⟩``: the *key* is
+the entity the event is about (a shipment or a container) and the *value*
+names the counterpart (the container a shipment enters, or the truck a
+container is loaded onto), the logical time, and whether the event is a
+load (``"l"``) or unload (``"ul"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.common.errors import TemporalQueryError
+from repro.common.timeutils import Timestamp
+
+LOAD = "l"
+UNLOAD = "ul"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One load/unload event.  Orders by ``(time, key, kind)``."""
+
+    time: Timestamp
+    key: str
+    other: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in (LOAD, UNLOAD):
+            raise TemporalQueryError(
+                f"event kind must be {LOAD!r} or {UNLOAD!r}, got {self.kind!r}"
+            )
+        if self.time <= 0:
+            raise TemporalQueryError(
+                f"event time must be positive (no (start, end] interval "
+                f"contains {self.time})"
+            )
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == LOAD
+
+    def to_value(self) -> Dict[str, Any]:
+        """The ledger value ``(other, t, kind)`` of the pair ``⟨key, value⟩``."""
+        return {"o": self.other, "t": self.time, "e": self.kind}
+
+    @staticmethod
+    def from_value(key: str, value: Dict[str, Any]) -> "Event":
+        try:
+            return Event(time=value["t"], key=key, other=value["o"], kind=value["e"])
+        except (KeyError, TypeError) as exc:
+            raise TemporalQueryError(
+                f"malformed event value for key {key!r}: {value!r}"
+            ) from exc
+
+
+def events_to_values(events: List[Event]) -> List[Dict[str, Any]]:
+    """Serialize an event bundle (Model M1 stores ``EV(k, θ)`` this way)."""
+    return [event.to_value() for event in events]
+
+
+def events_from_values(key: str, values: List[Dict[str, Any]]) -> List[Event]:
+    """Invert :func:`events_to_values` for one key's bundle."""
+    return [Event.from_value(key, value) for value in values]

@@ -1,0 +1,157 @@
+"""The temporal join query Q (Section IV-1).
+
+Given a window ``τ = (t_s, t_e]``, find for each shipment the trucks that
+ferried it during ``τ`` and the associated time intervals.  Two event
+streams feed the join:
+
+* shipment events: ``⟨s, (c, t, l/ul)⟩`` -- shipment ``s`` entered/left
+  container ``c``;
+* container events: ``⟨c, (tr, t, l/ul)⟩`` -- container ``c`` was loaded
+  onto / unloaded from truck ``tr``.
+
+Consecutive load/unload events of a key pair into *placement intervals*
+(shipment-inside-container, container-on-truck).  A shipment rode truck
+``tr`` whenever its container placement overlaps the container's truck
+placement; the answer interval is the intersection.  Events clipped by
+the window produce open-ended placements clamped to the window bounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.temporal.events import Event
+from repro.temporal.intervals import TimeInterval
+
+
+@dataclass(frozen=True, order=True)
+class Placement:
+    """Key ``key`` was inside/on ``other`` during ``interval``."""
+
+    key: str
+    other: str
+    interval: TimeInterval
+
+
+@dataclass(frozen=True, order=True)
+class JoinRow:
+    """One result row: shipment ``shipment`` rode ``truck`` during
+    ``interval``, inside ``container``."""
+
+    shipment: str
+    truck: str
+    container: str
+    interval: TimeInterval
+
+
+def build_placements(
+    events: Iterable[Event], window: TimeInterval
+) -> List[Placement]:
+    """Pair load/unload events into placement intervals, clipped to ``window``.
+
+    Events must belong to a single key.  A load with no unload before the
+    window ends stays open to ``window.end``; an unload whose load happened
+    before the window started opens at ``window.start``.  Zero-length
+    placements (load and unload at the same instant, or intervals clipped
+    to nothing) are dropped.
+    """
+    placements: List[Placement] = []
+    open_load: Event | None = None
+    for event in sorted(events):
+        if not window.contains(event.time):
+            continue
+        if event.is_load:
+            # A dangling earlier load (malformed stream) is closed at this
+            # load's time so the data stays interpretable.
+            if open_load is not None and open_load.time < event.time:
+                placements.append(
+                    Placement(
+                        key=open_load.key,
+                        other=open_load.other,
+                        interval=TimeInterval(open_load.time, event.time),
+                    )
+                )
+            open_load = event
+        else:
+            if open_load is not None and open_load.other == event.other:
+                if event.time > open_load.time:
+                    placements.append(
+                        Placement(
+                            key=event.key,
+                            other=event.other,
+                            interval=TimeInterval(open_load.time, event.time),
+                        )
+                    )
+                open_load = None
+            elif event.time > window.start:
+                # Unload of a load that predates the window: clip to start.
+                placements.append(
+                    Placement(
+                        key=event.key,
+                        other=event.other,
+                        interval=TimeInterval(window.start, event.time),
+                    )
+                )
+    if open_load is not None and open_load.time < window.end:
+        placements.append(
+            Placement(
+                key=open_load.key,
+                other=open_load.other,
+                interval=TimeInterval(open_load.time, window.end),
+            )
+        )
+    return placements
+
+
+def temporal_join(
+    shipment_events: Dict[str, List[Event]],
+    container_events: Dict[str, List[Event]],
+    window: TimeInterval,
+) -> List[JoinRow]:
+    """Compute query Q from per-key event lists.
+
+    Args:
+        shipment_events: shipment key -> its events inside the window.
+        container_events: container key -> its events inside the window.
+        window: the query interval ``τ``.
+
+    Returns:
+        Sorted join rows ``(shipment, truck, container, interval)``.
+    """
+    # Group shipment placements by the container they happened in.
+    in_container: Dict[str, List[Placement]] = defaultdict(list)
+    for key, events in shipment_events.items():
+        for placement in build_placements(events, window):
+            in_container[placement.other].append(placement)
+
+    rows: List[JoinRow] = []
+    for container, events in container_events.items():
+        shipments_here = in_container.get(container)
+        if not shipments_here:
+            continue
+        truck_placements = build_placements(events, window)
+        if not truck_placements:
+            continue
+        # Sweep the two sorted-by-start placement lists per container.
+        shipments_here.sort(key=lambda p: p.interval.start)
+        truck_placements.sort(key=lambda p: p.interval.start)
+        for shipment_placement in shipments_here:
+            for truck_placement in truck_placements:
+                if truck_placement.interval.start >= shipment_placement.interval.end:
+                    break
+                shared = shipment_placement.interval.intersection(
+                    truck_placement.interval
+                )
+                if shared is not None:
+                    rows.append(
+                        JoinRow(
+                            shipment=shipment_placement.key,
+                            truck=truck_placement.other,
+                            container=container,
+                            interval=shared,
+                        )
+                    )
+    rows.sort()
+    return rows

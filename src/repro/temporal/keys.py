@@ -1,0 +1,73 @@
+"""Composite key encoding for interval-tagged ledger keys.
+
+Both models form "new keys" ``(k, θ)`` from a base key and an index
+interval.  We encode them as::
+
+    <base-key> \\x00 <start:012d> \\x00 <end:012d>
+
+The ``\\x00`` separator sorts below every printable character, and the
+zero-padded bounds sort numerically, so a ``GetStateByRange`` over
+``[k\\x00, k\\x01)`` enumerates exactly key ``k``'s index intervals in
+temporal order -- the operation Model M2's query planner relies on
+(Section VII-1).
+
+Base keys must not contain ``\\x00``/``\\x01`` themselves; the supply-chain
+workload's entity ids never do.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.intervals import TimeInterval
+
+SEPARATOR = "\x00"
+_RANGE_END = "\x01"
+_WIDTH = 12
+
+
+def validate_base_key(key: str) -> str:
+    """Reject keys that would break composite encoding."""
+    if not key:
+        raise TemporalQueryError("base key must be non-empty")
+    if SEPARATOR in key or _RANGE_END in key:
+        raise TemporalQueryError(
+            f"base key {key!r} contains a reserved separator byte"
+        )
+    return key
+
+
+def encode_interval_key(base_key: str, interval: TimeInterval) -> str:
+    """The composite state key for ``(base_key, interval)``."""
+    validate_base_key(base_key)
+    return (
+        f"{base_key}{SEPARATOR}{interval.start:0{_WIDTH}d}"
+        f"{SEPARATOR}{interval.end:0{_WIDTH}d}"
+    )
+
+
+def decode_interval_key(composite: str) -> Tuple[str, TimeInterval]:
+    """Invert :func:`encode_interval_key`."""
+    parts = composite.split(SEPARATOR)
+    if len(parts) != 3:
+        raise TemporalQueryError(f"not a composite interval key: {composite!r}")
+    base_key, start_raw, end_raw = parts
+    try:
+        interval = TimeInterval(int(start_raw), int(end_raw))
+    except ValueError:
+        raise TemporalQueryError(
+            f"malformed interval bounds in key: {composite!r}"
+        ) from None
+    return base_key, interval
+
+
+def is_interval_key(key: str) -> bool:
+    """True when ``key`` is a composite ``(k, θ)`` key."""
+    return SEPARATOR in key
+
+
+def interval_key_range(base_key: str) -> Tuple[str, str]:
+    """``(start, end)`` bounds scanning all interval keys of ``base_key``."""
+    validate_base_key(base_key)
+    return base_key + SEPARATOR, base_key + _RANGE_END

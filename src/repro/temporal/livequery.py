@@ -1,0 +1,130 @@
+"""Standing temporal queries: join results that follow the chain.
+
+Analytics dashboards don't re-run TQF on every refresh; they keep a
+window's result current as blocks commit.  :class:`LiveJoinQuery`
+subscribes to the network's block stream, folds each valid transaction's
+events into per-key stores, and recomputes the join lazily on read
+(dirty-flagged, so a burst of blocks costs one recompute).
+
+This is pure client-side maintenance -- no extra ledger state -- and is
+exactly the consumer the chaincode-event/block-listener machinery exists
+for.  The window may be anchored (fixed ``(t_s, t_e]``) or *sliding*
+(always the trailing ``width`` of logical time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import TemporalQueryError
+from repro.fabric.block import VALID, Block
+from repro.temporal.events import Event
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.join import JoinRow, temporal_join
+from repro.temporal.keys import is_interval_key
+
+
+class LiveJoinQuery:
+    """Maintains query Q's rows over a fixed or sliding window.
+
+    Attach with :meth:`subscribe` *before* ingesting, or seed from an
+    existing result first.  Reads (:meth:`rows`) are cheap while the
+    underlying data is unchanged.
+    """
+
+    def __init__(
+        self,
+        shipment_prefix: str = "S",
+        container_prefix: str = "C",
+        window: Optional[TimeInterval] = None,
+        sliding_width: Optional[int] = None,
+    ) -> None:
+        if (window is None) == (sliding_width is None):
+            raise TemporalQueryError(
+                "choose exactly one of window= (anchored) or "
+                "sliding_width= (trailing window)"
+            )
+        if sliding_width is not None and sliding_width <= 0:
+            raise TemporalQueryError(
+                f"sliding_width must be positive, got {sliding_width}"
+            )
+        self._shipment_prefix = shipment_prefix
+        self._container_prefix = container_prefix
+        self._window = window
+        self._sliding_width = sliding_width
+        self._shipment_events: Dict[str, List[Event]] = {}
+        self._container_events: Dict[str, List[Event]] = {}
+        self._latest_time = 0
+        self._dirty = True
+        self._cached_rows: List[JoinRow] = []
+        self.blocks_seen = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def subscribe(self, network) -> "LiveJoinQuery":
+        """Register on ``network``'s block stream; returns self."""
+        network.on_block(self.on_block)
+        return self
+
+    def on_block(self, block: Block) -> None:
+        """Fold one committed block's events in (the listener callback)."""
+        self.blocks_seen += 1
+        for tx in block.transactions:
+            if tx.validation_code != VALID:
+                continue
+            for key, write in tx.rw_set.writes.items():
+                if write.is_delete or is_interval_key(key) or key.startswith("\x02"):
+                    continue
+                value = write.value
+                if not isinstance(value, dict) or {"o", "t", "e"} - set(value):
+                    continue
+                self._add_event(Event.from_value(key, value))
+
+    def _add_event(self, event: Event) -> None:
+        if event.key.startswith(self._shipment_prefix):
+            store = self._shipment_events
+        elif event.key.startswith(self._container_prefix):
+            store = self._container_events
+        else:
+            return
+        store.setdefault(event.key, []).append(event)
+        self._latest_time = max(self._latest_time, event.time)
+        self._dirty = True
+
+    # -- reads ------------------------------------------------------------------
+
+    @property
+    def window(self) -> TimeInterval:
+        """The currently effective window."""
+        if self._window is not None:
+            return self._window
+        assert self._sliding_width is not None
+        end = max(self._latest_time, 1)
+        return TimeInterval(max(0, end - self._sliding_width), end)
+
+    def rows(self) -> List[JoinRow]:
+        """Current join rows for the window (recomputed only when dirty)."""
+        if self._dirty:
+            window = self.window
+            self._cached_rows = temporal_join(
+                self._filtered(self._shipment_events, window),
+                self._filtered(self._container_events, window),
+                window,
+            )
+            # Sliding windows move with every new event, so their results
+            # can never be considered clean; anchored windows can.
+            self._dirty = self._sliding_width is not None
+        return self._cached_rows
+
+    @staticmethod
+    def _filtered(
+        store: Dict[str, List[Event]], window: TimeInterval
+    ) -> Dict[str, List[Event]]:
+        return {
+            key: [event for event in events if window.contains(event.time)]
+            for key, events in store.items()
+        }
+
+    def trucks_for(self, shipment: str) -> List[str]:
+        """Distinct trucks currently ferrying ``shipment`` in the window."""
+        return sorted({row.truck for row in self.rows() if row.shipment == shipment})

@@ -1,0 +1,167 @@
+"""Model M2: interval-tagged keys, no separate indexing phase (Section VII).
+
+Events were ingested by :class:`~repro.temporal.chaincodes.M2SupplyChainChaincode`
+under transformed keys ``(k, θ)``, so the indexing information already
+lives in state-db and history-db.  To answer a temporal query the engine:
+
+1. range-scans state-db for key ``k``'s index intervals overlapping the
+   query window ``τ``,
+2. issues one GHFK per overlapping ``(k, θ)``, which touches exactly the
+   blocks holding ``k``'s events inside ``θ``,
+3. filters the returned events to ``τ``.
+
+Because the transformation breaks ordinary chaincode access to base keys,
+:class:`BaseAccessAPI` emulates ``GetState(k)`` and ``GHFK(k)`` on top of
+the transformed data (Section VII-B1), probing backwards from the current
+index interval for the former and unioning all intervals for the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.common import metrics as metric_names
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.fabric.historydb import HistoryEntry
+from repro.fabric.ledger import Ledger
+from repro.temporal.events import Event
+from repro.temporal.intervals import FixedIntervalScheme, TimeInterval
+from repro.temporal.keys import (
+    decode_interval_key,
+    encode_interval_key,
+    interval_key_range,
+)
+from repro.temporal.tqf import PREFIX_END
+
+
+class M2QueryEngine:
+    """Temporal queries over Model M2's transformed ledger."""
+
+    model = "m2"
+
+    def __init__(self, ledger: Ledger, metrics: MetricsRegistry = NULL_REGISTRY) -> None:
+        self._ledger = ledger
+        self._metrics = metrics
+
+    def list_keys(self, prefix: str) -> List[str]:
+        """Distinct base keys under ``prefix``.
+
+        State-db holds only transformed ``(k, θ)`` keys; they sort by base
+        key first, so one range scan with on-the-fly dedup enumerates the
+        entities.
+        """
+        keys: List[str] = []
+        last: Optional[str] = None
+        for composite, _ in self._ledger.get_state_by_range(prefix, prefix + PREFIX_END):
+            base_key, _ = decode_interval_key(composite)
+            if base_key != last:
+                keys.append(base_key)
+                last = base_key
+        return keys
+
+    def index_intervals(self, key: str) -> List[TimeInterval]:
+        """All index intervals recorded for ``key``, in temporal order."""
+        start, end = interval_key_range(key)
+        return [
+            decode_interval_key(composite)[1]
+            for composite, _ in self._ledger.get_state_by_range(start, end)
+        ]
+
+    def fetch_events(self, key: str, window: TimeInterval) -> List[Event]:
+        """Events of ``key`` in ``window`` via per-interval GHFK calls.
+
+        Unlike Model M1, each GHFK may touch several blocks -- the events
+        of ``(k, θ)`` are scattered exactly as the base data was -- but
+        only blocks holding events *inside* ``θ``, never the ``(0, t_s]``
+        prefix TQF pays for.
+        """
+        with self._metrics.timed(metric_names.GHFK_SECONDS):
+            events: List[Event] = []
+            for interval in self.index_intervals(key):
+                if not interval.overlaps(window):
+                    continue
+                composite = encode_interval_key(key, interval)
+                for entry in self._ledger.get_history_for_key(composite):
+                    if entry.is_delete:
+                        continue
+                    # Filter on the event's own time (ME batches stamp every
+                    # event with the batch's newest transaction time).
+                    event = Event.from_value(key, entry.value)
+                    if event.time > window.end:
+                        break
+                    if window.contains(event.time):
+                        events.append(event)
+        events.sort()
+        return events
+
+
+@dataclass
+class BaseAccessResult:
+    """Result of a ``GetState-Base`` call: the value plus the number of
+    underlying GetState probes it needed (Table IV's parenthesized counts)."""
+
+    value: Any
+    probes: int
+
+
+class BaseAccessAPI:
+    """Emulated base-data access on a Model M2 ledger (Section VII-B).
+
+    Applications written against plain Fabric expect ``GetState(k)`` and
+    ``GHFK(k)``; under Model M2 those keys do not exist.  This API
+    implements the paper's second option: probe backwards from the current
+    index interval until a state is found.
+    """
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        u: int,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+    ) -> None:
+        self._ledger = ledger
+        self._scheme = FixedIntervalScheme(u)
+        self._metrics = metrics
+
+    @property
+    def u(self) -> int:
+        return self._scheme.u
+
+    def get_state_base(self, key: str, now: int) -> BaseAccessResult:
+        """``GetState(k)`` emulation: the current state of ``(k, θ_max)``.
+
+        Starting from the index interval containing ``now``, issue GetState
+        on ``(k, θ)`` and step to the previous interval until a state is
+        found (Section VII-B1's second option).
+        """
+        interval: Optional[TimeInterval] = self._scheme.interval_for(now)
+        probes = 0
+        while interval is not None:
+            probes += 1
+            state = self._ledger.get_state_entry(
+                encode_interval_key(key, interval)
+            )
+            if state is not None:
+                return BaseAccessResult(value=state.value, probes=probes)
+            interval = self._scheme.previous_interval(interval)
+        return BaseAccessResult(value=None, probes=probes)
+
+    def ghfk_base(self, key: str, now: int) -> Iterator[HistoryEntry]:
+        """``GHFK(k)`` emulation: union of GHFK over every index interval
+        from ``(0, u]`` up to the one containing ``now``, oldest first."""
+        last = self._scheme.interval_for(now)
+        start = 0
+        while start < last.end:
+            interval = TimeInterval(start, start + self._scheme.u)
+            composite = encode_interval_key(key, interval)
+            yield from self._ledger.get_history_for_key(composite)
+            start += self._scheme.u
+
+    def history_values_base(self, key: str, now: int) -> List[Tuple[int, Any]]:
+        """Convenience: ``(timestamp, value)`` list from :meth:`ghfk_base`."""
+        return [
+            (entry.timestamp, entry.value)
+            for entry in self.ghfk_base(key, now)
+            if not entry.is_delete
+        ]

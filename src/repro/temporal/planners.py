@@ -1,0 +1,155 @@
+"""Interval-creation strategies for the Model M1 indexing process.
+
+Section VI-3 of the paper partitions each indexing range into fixed-length
+intervals and notes that "many other ways of creating indexing intervals
+are possible and we plan to explore them as part of future work", and
+Section VI-1 explicitly allows the interval set ``Θ(k)`` to differ per
+key.  This module implements that future work:
+
+* :class:`FixedLengthPlanner` -- the paper's strategy (same intervals for
+  every key, deterministic from ``u``);
+* :class:`EquiCountPlanner` -- per-key intervals each bundling roughly the
+  same number of events.  On skewed data (DS2's zipf) this avoids both
+  over-stuffed early bundles and empty late intervals;
+* :class:`GeometricPlanner` -- interval lengths grow geometrically from
+  the start of the range, a middle ground favouring recent data.
+
+Fixed-length intervals are computable by the query engine from the run
+metadata alone.  Data-dependent planners are not, so the indexer persists
+a per-key *interval directory* on the ledger (one state-db entry per key)
+that queries consult -- see :class:`repro.temporal.m1.M1Indexer`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.events import Event
+from repro.temporal.intervals import FixedIntervalScheme, TimeInterval
+
+
+class IntervalPlanner(ABC):
+    """Chooses the index intervals ``Θ(k)`` for one key over one range."""
+
+    #: Identifier recorded in the indexing-run metadata.
+    name: str = "abstract"
+
+    #: Whether the query engine can recompute this planner's intervals
+    #: from run metadata alone (no per-key directory needed).
+    deterministic: bool = False
+
+    @abstractmethod
+    def plan(self, events: Sequence[Event], window: TimeInterval) -> List[TimeInterval]:
+        """Disjoint intervals tiling ``window`` for a key with ``events``.
+
+        ``events`` must be sorted by time and fall inside ``window``.
+        The returned intervals must be adjacent (no gaps) and cover
+        ``window`` exactly, so a query window can never fall between
+        intervals and silently miss events.
+        """
+
+
+class FixedLengthPlanner(IntervalPlanner):
+    """The paper's strategy: u-aligned fixed-length intervals."""
+
+    name = "fixed"
+    deterministic = True
+
+    def __init__(self, u: int) -> None:
+        self.scheme = FixedIntervalScheme(u)
+
+    @property
+    def u(self) -> int:
+        return self.scheme.u
+
+    def plan(self, events: Sequence[Event], window: TimeInterval) -> List[TimeInterval]:
+        return self.scheme.partition_clipped(window)
+
+
+class EquiCountPlanner(IntervalPlanner):
+    """Per-key intervals holding ~``events_per_interval`` events each.
+
+    Boundaries are placed at the timestamps of every n-th event, so each
+    bundle (except possibly the last) carries exactly ``n`` events.  A key
+    with no events gets a single interval covering the whole range (which
+    the indexer then skips, as empty bundles are never written).
+    """
+
+    name = "equicount"
+    deterministic = False
+
+    def __init__(self, events_per_interval: int) -> None:
+        if events_per_interval <= 0:
+            raise TemporalQueryError(
+                f"events_per_interval must be positive, got {events_per_interval}"
+            )
+        self.events_per_interval = events_per_interval
+
+    def plan(self, events: Sequence[Event], window: TimeInterval) -> List[TimeInterval]:
+        if not events:
+            return [window]
+        intervals: List[TimeInterval] = []
+        start = window.start
+        n = self.events_per_interval
+        for position in range(n - 1, len(events), n):
+            boundary = events[position].time
+            if position + 1 == len(events):
+                break  # the final chunk extends to the window's end
+            if boundary <= start:
+                continue  # duplicate timestamps collapsed into one interval
+            if boundary >= window.end:
+                break
+            intervals.append(TimeInterval(start, boundary))
+            start = boundary
+        intervals.append(TimeInterval(start, window.end))
+        return intervals
+
+
+class GeometricPlanner(IntervalPlanner):
+    """Interval lengths grow geometrically across the range.
+
+    The first interval has ``base`` length and every subsequent one is
+    ``ratio`` times longer, favouring fine granularity at the start of a
+    range.  Useful when queries concentrate on a known hot region.
+    """
+
+    name = "geometric"
+    deterministic = False
+
+    def __init__(self, base: int, ratio: float = 2.0) -> None:
+        if base <= 0:
+            raise TemporalQueryError(f"base length must be positive, got {base}")
+        if ratio < 1.0:
+            raise TemporalQueryError(f"ratio must be >= 1, got {ratio}")
+        self.base = base
+        self.ratio = ratio
+
+    def plan(self, events: Sequence[Event], window: TimeInterval) -> List[TimeInterval]:
+        intervals: List[TimeInterval] = []
+        start = window.start
+        length = float(self.base)
+        while start < window.end:
+            end = min(window.end, start + max(1, int(length)))
+            intervals.append(TimeInterval(start, end))
+            start = end
+            length *= self.ratio
+        return intervals
+
+
+def make_planner(
+    name: str, u: Optional[int] = None, events_per_interval: Optional[int] = None
+) -> IntervalPlanner:
+    """Planner factory used by the CLI and benches."""
+    if name == "fixed":
+        if u is None:
+            raise TemporalQueryError("the fixed planner requires u")
+        return FixedLengthPlanner(u)
+    if name == "equicount":
+        if events_per_interval is None:
+            raise TemporalQueryError(
+                "the equicount planner requires events_per_interval"
+            )
+        return EquiCountPlanner(events_per_interval)
+    raise TemporalQueryError(f"unknown planner {name!r}")

@@ -1,0 +1,116 @@
+"""Point-in-time state: what was key ``k``'s value at timestamp ``t``?
+
+A second temporal query shape beyond the paper's window retrieval: the
+*as-of* query behind lineage and audit use-cases ("which container held
+shipment S at noon?").  The answer is the latest event of ``k`` with
+``time <= t``.  Each model supports it with its own access path:
+
+* **TQF** -- GHFK from the start, remember the last event at or before
+  ``t``, stop at the first event after it.  Cost ∝ blocks in ``(0, t]``.
+* **M1** -- walk index intervals backwards from the one containing ``t``;
+  the first non-empty bundle holds the answer.  One block per probed
+  interval.
+* **M2** -- range-scan the key's index intervals, pick the latest one
+  starting before ``t``, GHFK it (and earlier ones if the event turns
+  out to be after ``t`` within the interval).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import TemporalQueryError
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.fabric.ledger import Ledger
+from repro.temporal.events import Event
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.m1 import M1QueryEngine
+from repro.temporal.m2 import M2QueryEngine
+from repro.temporal.tqf import TQFEngine
+
+
+class PointInTimeEngine:
+    """As-of-``t`` state queries over any of the three models."""
+
+    def __init__(self, ledger: Ledger, metrics: MetricsRegistry = NULL_REGISTRY) -> None:
+        self._ledger = ledger
+        self._metrics = metrics
+        self._tqf = TQFEngine(ledger, metrics=metrics)
+        self._m1 = M1QueryEngine(ledger, metrics=metrics)
+        self._m2 = M2QueryEngine(ledger, metrics=metrics)
+
+    def state_at(self, model: str, key: str, timestamp: int) -> Optional[Event]:
+        """The latest event of ``key`` at or before ``timestamp``.
+
+        Returns ``None`` when the key had no events yet.  Raises
+        :class:`TemporalQueryError` for an unknown model or, for M1, an
+        unindexed timestamp.
+        """
+        if timestamp <= 0:
+            return None
+        if model == "tqf":
+            return self._tqf_state_at(key, timestamp)
+        if model == "m1":
+            return self._m1_state_at(key, timestamp)
+        if model == "m2":
+            return self._m2_state_at(key, timestamp)
+        raise TemporalQueryError(f"unknown model {model!r}")
+
+    # -- per-model paths ---------------------------------------------------
+
+    def _tqf_state_at(self, key: str, timestamp: int) -> Optional[Event]:
+        latest: Optional[Event] = None
+        for entry in self._ledger.get_history_for_key(key):
+            if entry.is_delete:
+                continue
+            event = Event.from_value(key, entry.value)
+            if event.time > timestamp:
+                break
+            latest = event
+        return latest
+
+    def _m1_state_at(self, key: str, timestamp: int) -> Optional[Event]:
+        if timestamp > self._m1.indexed_until():
+            raise TemporalQueryError(
+                f"timestamp {timestamp} beyond the indexed range "
+                f"({self._m1.indexed_until()})"
+            )
+        # Candidate intervals up to the one containing `timestamp`,
+        # newest first; the first bundle with an event <= timestamp wins.
+        window = TimeInterval(0, timestamp)
+        candidates = sorted(
+            self._m1._overlapping_intervals(key, window),
+            key=lambda interval: interval.start,
+            reverse=True,
+        )
+        for interval in candidates:
+            bundle = self._m1._read_bundle(
+                key, interval, TimeInterval(interval.start, interval.end)
+            )
+            eligible = [event for event in bundle if event.time <= timestamp]
+            if eligible:
+                return max(eligible)
+        return None
+
+    def _m2_state_at(self, key: str, timestamp: int) -> Optional[Event]:
+        intervals = [
+            interval
+            for interval in self._m2.index_intervals(key)
+            if interval.start < timestamp
+        ]
+        for interval in reversed(intervals):  # newest candidate first
+            events = self._m2.fetch_events(
+                key, TimeInterval(interval.start, interval.end)
+            )
+            eligible = [event for event in events if event.time <= timestamp]
+            if eligible:
+                return max(eligible)
+        return None
+
+    # -- convenience --------------------------------------------------------
+
+    def timeline(
+        self, model: str, key: str, timestamps: List[int]
+    ) -> List[Optional[Event]]:
+        """Batch as-of queries (e.g. "state at every hour")."""
+        return [self.state_at(model, key, t) for t in timestamps]

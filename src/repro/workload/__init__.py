@@ -1,0 +1,27 @@
+"""The synthetic supply-chain workload of Section IV.
+
+* :mod:`repro.workload.model` -- entity id conventions (shipments,
+  containers, trucks).
+* :mod:`repro.workload.distributions` -- uniform and zipf event-time
+  samplers.
+* :mod:`repro.workload.generator` -- the event generator with the paper's
+  parameters ``(nS, nC, nTr, nEv, dEv, t_max)`` and its invariants.
+* :mod:`repro.workload.datasets` -- the DS1 / DS2 / DS3 configurations.
+* :mod:`repro.workload.ingest` -- the SE (single event per transaction)
+  and ME (maximal multi-event batches) ingestion strategies.
+"""
+
+from repro.workload.datasets import ds1, ds2, ds3
+from repro.workload.generator import WorkloadConfig, WorkloadData, generate
+from repro.workload.ingest import IngestionReport, ingest
+
+__all__ = [
+    "IngestionReport",
+    "WorkloadConfig",
+    "WorkloadData",
+    "ds1",
+    "ds2",
+    "ds3",
+    "generate",
+    "ingest",
+]

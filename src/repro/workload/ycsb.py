@@ -1,0 +1,252 @@
+"""YCSB-style key-value workloads against the Fabric simulator.
+
+The paper's related work ([8], BLOCKBENCH) benchmarks Fabric against
+database workloads; the paper itself covers only temporal workloads.
+This module fills in the classic side so the simulator can be exercised
+the way BLOCKBENCH exercises real Fabric: the standard YCSB mixes A-F
+over a uniform or zipfian key space.
+
+=========  =============================  ==========================
+workload   mix                            example system
+=========  =============================  ==========================
+A          50% read / 50% update          session store
+B          95% read / 5% update           photo tagging
+C          100% read                      user-profile cache
+D          95% read / 5% insert           user-status updates
+E          95% scan / 5% insert           threaded conversations
+F          50% read / 50% read-modify-    user database
+           write
+=========  =============================  ==========================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.common.errors import WorkloadError
+from repro.common.timeutils import Stopwatch
+from repro.fabric.chaincode import Chaincode, ChaincodeStub
+from repro.fabric.gateway import Gateway
+
+OPERATIONS = ("read", "update", "insert", "scan", "rmw")
+
+
+class YCSBChaincode(Chaincode):
+    """The YCSB table as a chaincode: one state per record."""
+
+    name = "ycsb"
+
+    def invoke(self, stub: ChaincodeStub, fn: str, args: List[Any]) -> Any:
+        if fn == "read":
+            (key,) = args
+            return stub.get_state(key)
+        if fn in ("update", "insert"):
+            key, value = args
+            stub.put_state(key, value)
+            return {"key": key}
+        if fn == "scan":
+            start_key, count = args
+            result = []
+            for key, value in stub.get_state_by_range(start_key, "ycsb~"):
+                result.append(key)
+                if len(result) >= count:
+                    break
+            return result
+        if fn == "rmw":
+            key, field_name, delta = args
+            record = stub.get_state(key) or {}
+            record[field_name] = record.get(field_name, 0) + delta
+            stub.put_state(key, record)
+            return record[field_name]
+        raise WorkloadError(f"unknown YCSB op {fn!r}")
+
+
+@dataclass(frozen=True)
+class YCSBConfig:
+    """One workload's shape."""
+
+    name: str
+    record_count: int = 200
+    operation_count: int = 500
+    #: Operation proportions; must sum to 1 (within rounding).
+    proportions: Dict[str, float] = field(default_factory=dict)
+    #: ``uniform`` or ``zipfian`` request distribution over keys.
+    request_distribution: str = "uniform"
+    value_fields: int = 4
+    scan_length: int = 10
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.record_count <= 0 or self.operation_count <= 0:
+            raise WorkloadError("record_count and operation_count must be positive")
+        if self.request_distribution not in ("uniform", "zipfian"):
+            raise WorkloadError(
+                f"unknown request distribution {self.request_distribution!r}"
+            )
+        unknown = set(self.proportions) - set(OPERATIONS)
+        if unknown:
+            raise WorkloadError(f"unknown operations in mix: {sorted(unknown)}")
+        total = sum(self.proportions.values())
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError(f"operation proportions sum to {total}, not 1")
+
+
+def workload_a(**overrides) -> YCSBConfig:
+    """YCSB A: 50% read / 50% update (session store)."""
+    return _preset("A", {"read": 0.5, "update": 0.5}, **overrides)
+
+
+def workload_b(**overrides) -> YCSBConfig:
+    """YCSB B: 95% read / 5% update (photo tagging)."""
+    return _preset("B", {"read": 0.95, "update": 0.05}, **overrides)
+
+
+def workload_c(**overrides) -> YCSBConfig:
+    """YCSB C: 100% read (profile cache)."""
+    return _preset("C", {"read": 1.0}, **overrides)
+
+
+def workload_d(**overrides) -> YCSBConfig:
+    """YCSB D: 95% read / 5% insert (status updates)."""
+    return _preset("D", {"read": 0.95, "insert": 0.05}, **overrides)
+
+
+def workload_e(**overrides) -> YCSBConfig:
+    """YCSB E: 95% scan / 5% insert (threaded conversations)."""
+    return _preset("E", {"scan": 0.95, "insert": 0.05}, **overrides)
+
+
+def workload_f(**overrides) -> YCSBConfig:
+    """YCSB F: 50% read / 50% read-modify-write (user database)."""
+    return _preset("F", {"read": 0.5, "rmw": 0.5}, **overrides)
+
+
+def _preset(name: str, proportions: Dict[str, float], **overrides) -> YCSBConfig:
+    params = dict(name=name, proportions=proportions)
+    params.update(overrides)
+    return YCSBConfig(**params)
+
+
+@dataclass
+class YCSBReport:
+    """Run results: per-operation counts and overall throughput."""
+
+    config: YCSBConfig
+    load_seconds: float
+    run_seconds: float
+    operation_counts: Dict[str, int]
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second during the run phase."""
+        if self.run_seconds == 0:
+            return float("inf")
+        return sum(self.operation_counts.values()) / self.run_seconds
+
+
+class YCSBDriver:
+    """Loads records and drives one workload through a gateway."""
+
+    def __init__(self, gateway: Gateway, config: YCSBConfig) -> None:
+        self._gateway = gateway
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._inserted = config.record_count
+
+    @staticmethod
+    def record_key(index: int) -> str:
+        return f"ycsb-{index:08d}"
+
+    def _record_value(self) -> Dict[str, Any]:
+        return {
+            f"field{i}": self._rng.randrange(1_000_000)
+            for i in range(self.config.value_fields)
+        }
+
+    def _pick_key_index(self) -> int:
+        if self.config.request_distribution == "uniform":
+            return self._rng.randrange(self._inserted)
+        # Zipfian-by-rank: key popularity follows 1/rank, with ranks
+        # shuffled over the key space as YCSB does.
+        rank = int(self._inserted ** self._rng.random()) - 1
+        return min(self._inserted - 1, max(0, rank))
+
+    # -- phases ------------------------------------------------------------
+
+    def load(self) -> float:
+        """The YCSB load phase: insert every record."""
+        watch = Stopwatch().start()
+        for index in range(self.config.record_count):
+            self._gateway.submit_transaction(
+                YCSBChaincode.name,
+                "insert",
+                [self.record_key(index), self._record_value()],
+            )
+        self._gateway.flush()
+        return watch.stop()
+
+    def run(self) -> YCSBReport:
+        """The YCSB run phase: execute the configured operation mix."""
+        operations = list(self.config.proportions.items())
+        counts = {op: 0 for op, _ in operations}
+        load_seconds = 0.0  # filled by the caller when it ran load()
+        watch = Stopwatch().start()
+        for _ in range(self.config.operation_count):
+            op = self._choose_operation(operations)
+            counts[op] += 1
+            self._execute(op)
+        self._gateway.flush()
+        return YCSBReport(
+            config=self.config,
+            load_seconds=load_seconds,
+            run_seconds=watch.stop(),
+            operation_counts=counts,
+        )
+
+    def _choose_operation(self, operations) -> str:
+        point = self._rng.random()
+        cumulative = 0.0
+        for op, proportion in operations:
+            cumulative += proportion
+            if point < cumulative:
+                return op
+        return operations[-1][0]
+
+    def _execute(self, op: str) -> None:
+        if op == "read":
+            self._gateway.evaluate_transaction(
+                YCSBChaincode.name, "read", [self.record_key(self._pick_key_index())]
+            )
+        elif op == "update":
+            self._gateway.submit_transaction(
+                YCSBChaincode.name,
+                "update",
+                [self.record_key(self._pick_key_index()), self._record_value()],
+            )
+        elif op == "insert":
+            self._gateway.submit_transaction(
+                YCSBChaincode.name,
+                "insert",
+                [self.record_key(self._inserted), self._record_value()],
+            )
+            self._inserted += 1
+        elif op == "scan":
+            self._gateway.evaluate_transaction(
+                YCSBChaincode.name,
+                "scan",
+                [self.record_key(self._pick_key_index()), self.config.scan_length],
+            )
+        elif op == "rmw":
+            # Read-modify-write races with itself under MVCC; commit each
+            # one before the next is endorsed (as a real client would
+            # serialize or retry).
+            self._gateway.submit_transaction(
+                YCSBChaincode.name,
+                "rmw",
+                [self.record_key(self._pick_key_index()), "field0", 1],
+            )
+            self._gateway.flush()
+        else:  # pragma: no cover - guarded by config validation
+            raise WorkloadError(f"unknown op {op!r}")

@@ -1,0 +1,145 @@
+"""Unit and property tests for the serialization codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.codec import (
+    BinaryCodec,
+    JsonCodec,
+    get_codec,
+    read_uvarint,
+    write_uvarint,
+)
+from repro.common.errors import CodecError
+
+CODECS = [JsonCodec(), BinaryCodec()]
+
+
+def codec_id(codec) -> str:
+    return codec.name
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=codec_id)
+class TestRoundTrip:
+    def test_scalars(self, codec):
+        for value in (None, True, False, 0, 1, -1, 2**40, -(2**40), 0.5, -3.25):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_strings(self, codec):
+        for value in ("", "plain", "uniçode ☃", "with\nnewlines\t"):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_bytes(self, codec):
+        for value in (b"", b"\x00\x01\xff", bytes(range(256))):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_nested_containers(self, codec):
+        value = {
+            "list": [1, "two", None, [3.5, {"deep": True}]],
+            "empty": {},
+            "blob": b"\x00binary\xff",
+        }
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_tuple_encodes_as_list(self, codec):
+        assert codec.decode(codec.encode((1, 2))) == [1, 2]
+
+    def test_decode_is_deterministic(self, codec):
+        value = {"a": [1, 2, 3], "b": "x"}
+        assert codec.encode(value) == codec.encode(value)
+
+    def test_unsupported_type_raises(self, codec):
+        with pytest.raises(CodecError):
+            codec.encode({"bad": object()})
+
+    def test_garbage_decode_raises(self, codec):
+        with pytest.raises(CodecError):
+            codec.decode(b"\xff\xfe\x00garbage that is not valid")
+
+
+class TestBinaryCodecDetails:
+    def test_trailing_bytes_rejected(self):
+        codec = BinaryCodec()
+        payload = codec.encode(42) + b"\x00"
+        with pytest.raises(CodecError, match="trailing"):
+            codec.decode(payload)
+
+    def test_truncated_payload_rejected(self):
+        codec = BinaryCodec()
+        payload = codec.encode("hello world")
+        with pytest.raises(CodecError):
+            codec.decode(payload[:-3])
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(CodecError, match="keys must be str"):
+            BinaryCodec().encode({1: "x"})
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(CodecError):
+            BinaryCodec().decode(b"")
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_uvarint(value, out)
+        decoded, offset = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            write_uvarint(-1, bytearray())
+
+    def test_truncated_rejected(self):
+        out = bytearray()
+        write_uvarint(300, out)
+        with pytest.raises(CodecError):
+            read_uvarint(bytes(out[:-1]), 0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_codec("json").name == "json"
+        assert get_codec("binary").name == "binary"
+
+    def test_unknown_codec(self):
+        with pytest.raises(CodecError, match="unknown codec"):
+            get_codec("msgpack")
+
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@given(value=json_values)
+def test_json_codec_round_trip_property(value):
+    codec = JsonCodec()
+    assert codec.decode(codec.encode(value)) == value
+
+
+@given(value=json_values)
+def test_binary_codec_round_trip_property(value):
+    codec = BinaryCodec()
+    assert codec.decode(codec.encode(value)) == value
+
+
+@given(value=json_values)
+def test_codecs_agree(value):
+    """Both codecs must decode to the same in-memory value."""
+    json_codec, binary_codec = JsonCodec(), BinaryCodec()
+    assert json_codec.decode(json_codec.encode(value)) == binary_codec.decode(
+        binary_codec.encode(value)
+    )

@@ -1,0 +1,89 @@
+"""Tests for configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    SCALE_ENV_VAR,
+    BlockCuttingConfig,
+    BlockStoreConfig,
+    FabricConfig,
+    StateDbConfig,
+    default_scale,
+)
+from repro.common.errors import ConfigError
+
+
+class TestBlockCuttingConfig:
+    def test_defaults_match_fabric_v1(self):
+        config = BlockCuttingConfig()
+        assert config.max_message_count == 10
+
+    def test_rejects_zero_message_count(self):
+        with pytest.raises(ConfigError):
+            BlockCuttingConfig(max_message_count=0)
+
+    def test_rejects_negative_timeout(self):
+        with pytest.raises(ConfigError):
+            BlockCuttingConfig(batch_timeout=-1)
+
+
+class TestStateDbConfig:
+    def test_backends(self):
+        assert StateDbConfig(backend="lsm").backend == "lsm"
+        assert StateDbConfig(backend="memory").backend == "memory"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            StateDbConfig(backend="couchdb")
+
+    def test_rejects_zero_memtable(self):
+        with pytest.raises(ConfigError):
+            StateDbConfig(memtable_limit=0)
+
+
+class TestBlockStoreConfig:
+    def test_codec_validation(self):
+        assert BlockStoreConfig(codec="binary").codec == "binary"
+        with pytest.raises(ConfigError):
+            BlockStoreConfig(codec="protobuf")
+
+    def test_rejects_zero_file_size(self):
+        with pytest.raises(ConfigError):
+            BlockStoreConfig(max_file_bytes=0)
+
+
+class TestFabricConfig:
+    def test_default_composition(self):
+        config = FabricConfig()
+        assert config.block_cutting.max_message_count == 10
+        assert config.state_db.backend == "memory"
+        assert config.channel == "supply-chain"
+
+    def test_empty_channel_rejected(self):
+        with pytest.raises(ConfigError):
+            FabricConfig(channel="")
+
+
+class TestDefaultScale:
+    def test_default_is_one_tenth(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert default_scale() == 0.1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "1")
+        assert default_scale() == 1.0
+
+    def test_bad_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "huge")
+        with pytest.raises(ConfigError):
+            default_scale()
+
+    def test_out_of_range_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "2.0")
+        with pytest.raises(ConfigError):
+            default_scale()
+        monkeypatch.setenv(SCALE_ENV_VAR, "0")
+        with pytest.raises(ConfigError):
+            default_scale()

@@ -1,0 +1,80 @@
+"""Tests for the metrics registry used to instrument the ledger."""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_defaults_to_one(self, metrics: MetricsRegistry):
+        assert metrics.increment("a") == 1
+        assert metrics.increment("a") == 2
+        assert metrics.counter("a") == 2
+
+    def test_increment_by_amount(self, metrics: MetricsRegistry):
+        metrics.increment("a", 5)
+        metrics.increment("a", 3)
+        assert metrics.counter("a") == 8
+
+    def test_unknown_counter_is_zero(self, metrics: MetricsRegistry):
+        assert metrics.counter("never-touched") == 0
+
+    def test_reset(self, metrics: MetricsRegistry):
+        metrics.increment("a")
+        metrics.add_time("t", 1.0)
+        metrics.reset()
+        assert metrics.counter("a") == 0
+        assert metrics.timer("t") == 0.0
+
+
+class TestTimers:
+    def test_add_time_accumulates(self, metrics: MetricsRegistry):
+        metrics.add_time("t", 0.5)
+        metrics.add_time("t", 0.25)
+        assert metrics.timer("t") == 0.75
+
+    def test_timed_context_accumulates(self, metrics: MetricsRegistry):
+        with metrics.timed("t"):
+            time.sleep(0.01)
+        with metrics.timed("t"):
+            time.sleep(0.01)
+        assert metrics.timer("t") >= 0.02
+
+    def test_timed_records_on_exception(self, metrics: MetricsRegistry):
+        try:
+            with metrics.timed("t"):
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert metrics.timer("t") > 0
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self, metrics: MetricsRegistry):
+        metrics.increment("a")
+        snap = metrics.snapshot()
+        metrics.increment("a")
+        assert snap.counter("a") == 1
+        assert metrics.counter("a") == 2
+
+    def test_diff_computes_deltas(self, metrics: MetricsRegistry):
+        metrics.increment("a", 2)
+        metrics.add_time("t", 1.0)
+        before = metrics.snapshot()
+        metrics.increment("a", 3)
+        metrics.increment("b")
+        metrics.add_time("t", 0.5)
+        delta = metrics.snapshot().diff(before)
+        assert delta.counter("a") == 3
+        assert delta.counter("b") == 1
+        assert abs(delta.timer("t") - 0.5) < 1e-9
+
+    def test_as_dict_merges_counters_and_timers(self, metrics: MetricsRegistry):
+        metrics.increment("a")
+        metrics.add_time("t", 2.0)
+        merged = metrics.as_dict()
+        assert merged["a"] == 1
+        assert merged["t"] == 2.0

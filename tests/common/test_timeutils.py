@@ -1,0 +1,99 @@
+"""Tests for logical clocks, stopwatches and duration formatting."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.timeutils import (
+    LogicalClock,
+    Stopwatch,
+    format_duration,
+    require_timestamp,
+)
+
+
+class TestRequireTimestamp:
+    def test_accepts_non_negative_int(self):
+        assert require_timestamp(0) == 0
+        assert require_timestamp(150_000) == 150_000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_timestamp(-1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            require_timestamp(1.5)  # type: ignore[arg-type]
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValueError):
+            require_timestamp(True)
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now == 0
+
+    def test_advances_forward(self):
+        clock = LogicalClock()
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_never_moves_backwards(self):
+        clock = LogicalClock(100)
+        clock.advance_to(50)
+        assert clock.now == 100
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            LogicalClock(-1)
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.01
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed > first
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+
+class TestFormatDuration:
+    def test_sub_ten_seconds_two_decimals(self):
+        assert format_duration(3.817) == "3.82s"
+
+    def test_sub_minute_one_decimal(self):
+        assert format_duration(12.24) == "12.2s"
+
+    def test_minutes_and_seconds(self):
+        assert format_duration(7 * 60 + 13) == "7m13s"
+
+    def test_exact_minute(self):
+        assert format_duration(60) == "1m0s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-0.1)

@@ -1,0 +1,12 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def metrics() -> MetricsRegistry:
+    return MetricsRegistry()

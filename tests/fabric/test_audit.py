@@ -1,0 +1,120 @@
+"""Tests for the ledger audit tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.audit import audit_ledger
+from repro.fabric.block import KVWrite
+from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.ledger import Ledger
+from repro.fabric.network import FabricNetwork
+from tests.helpers import fabric_config
+
+
+@pytest.fixture
+def network(tmp_path):
+    with FabricNetwork(tmp_path, config=fabric_config(max_message_count=3)) as net:
+        net.install(KeyValueChaincode())
+        gateway = net.gateway("writer")
+        for i in range(9):
+            gateway.submit_transaction("kv", "put", [f"k{i}", i], timestamp=i + 1)
+        gateway.submit_transaction("kv", "delete", ["k0"], timestamp=20)
+        gateway.flush()
+        yield net
+
+
+class TestHealthyLedger:
+    def test_clean_audit(self, network):
+        report = audit_ledger(network.ledger)
+        assert report.ok
+        assert report.findings == []
+        assert "healthy" in report.render()
+
+    def test_empty_ledger(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        report = audit_ledger(ledger)
+        assert report.ok
+        ledger.close()
+
+    def test_audit_after_reopen(self, network, tmp_path):
+        # The primary network fixture path holds the ledger; reopening a
+        # second Ledger on it must also audit clean (memory state-db is
+        # rebuilt from blocks).
+        path = network.peer.ledger.block_store._files.path.parent.parent
+        reopened = Ledger(path)
+        assert audit_ledger(reopened).ok
+        reopened.close()
+
+
+class TestDamagedLedger:
+    def test_tampered_state_value_detected(self, network):
+        network.ledger.state_db.apply_write(KVWrite("k3", "evil"), version=(0, 0))
+        report = audit_ledger(network.ledger)
+        assert not report.ok
+        codes = {finding.code for finding in report.findings}
+        assert "state-mismatch" in codes
+
+    def test_extra_state_detected(self, network):
+        network.ledger.state_db.apply_write(
+            KVWrite("planted", "value"), version=(0, 0)
+        )
+        report = audit_ledger(network.ledger)
+        assert not report.ok
+        assert any(f.code == "state-extra" for f in report.findings)
+
+    def test_missing_state_detected(self, network):
+        network.ledger.state_db.apply_write(
+            KVWrite("k5", None, is_delete=True), version=(0, 0)
+        )
+        report = audit_ledger(network.ledger)
+        assert any(f.code == "state-missing" for f in report.findings)
+
+    def test_corrupted_history_index_detected(self, network):
+        network.ledger.history_db._locations["k3"] = [(0, 0), (0, 0)]
+        report = audit_ledger(network.ledger)
+        assert any(f.code == "history-index-divergent" for f in report.findings)
+
+    def test_stale_savepoint_is_warning_not_error(self, network):
+        network.ledger.state_db.record_savepoint(0)
+        report = audit_ledger(network.ledger)
+        assert report.ok  # warnings do not fail the audit
+        assert any(f.code == "savepoint-stale" for f in report.findings)
+
+    def test_findings_render(self, network):
+        network.ledger.state_db.apply_write(KVWrite("k3", "evil"), version=(0, 0))
+        rendered = audit_ledger(network.ledger).render()
+        assert "state-mismatch" in rendered
+        assert "finding" in rendered
+
+
+class TestPrivateDataAudit:
+    @pytest.fixture
+    def private_network(self, tmp_path):
+        from tests.fabric.test_privatedata import _ShipmentChaincode, SECRET
+
+        with FabricNetwork(tmp_path, config=fabric_config()) as net:
+            net.install(_ShipmentChaincode())
+            gateway = net.gateway("shipper")
+            gateway.submit_transaction(
+                "shipments", "register", ["S1", "in-transit", SECRET], timestamp=1
+            )
+            gateway.flush()
+            yield net
+
+    def test_clean_private_data(self, private_network):
+        report = audit_ledger(private_network.ledger, private_network.peer.side_db)
+        assert report.ok
+        assert not report.findings
+
+    def test_tampered_private_value_detected(self, private_network):
+        private_network.peer.side_db.put("manifests", "S1", {"contents": "socks"})
+        report = audit_ledger(private_network.ledger, private_network.peer.side_db)
+        assert not report.ok
+        assert any(f.code == "private-hash-mismatch" for f in report.findings)
+
+    def test_orphan_private_value_is_warning(self, private_network):
+        private_network.peer.side_db.put("manifests", "ghost", {"x": 1})
+        report = audit_ledger(private_network.ledger, private_network.peer.side_db)
+        assert report.ok  # warning only
+        assert any(f.code == "private-orphan" for f in report.findings)

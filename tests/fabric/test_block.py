@@ -1,0 +1,128 @@
+"""Tests for the block data model: RWSets, serialization, hashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.codec import BinaryCodec, JsonCodec
+from repro.common.errors import LedgerError
+from repro.fabric.block import (
+    GENESIS_PREVIOUS_HASH,
+    Block,
+    BlockHeader,
+    KVRead,
+    KVWrite,
+    RWSet,
+    Transaction,
+)
+
+
+def make_tx(tx_id="tx-1", key="k", value="v", timestamp=5) -> Transaction:
+    rw_set = RWSet()
+    rw_set.add_read("other", (0, 1))
+    rw_set.add_write(key, value)
+    return Transaction(
+        tx_id=tx_id,
+        chaincode="cc",
+        creator="alice",
+        timestamp=timestamp,
+        rw_set=rw_set,
+        signature=b"\x01\x02",
+    )
+
+
+def make_block(number=0, previous=GENESIS_PREVIOUS_HASH, txs=None) -> Block:
+    transactions = txs if txs is not None else [make_tx()]
+    header = BlockHeader(
+        number=number,
+        previous_hash=previous,
+        data_hash=Block.compute_data_hash(transactions),
+    )
+    return Block(header=header, transactions=transactions)
+
+
+class TestRWSet:
+    def test_one_write_per_key(self):
+        """Section II: one transaction persists only one state per key."""
+        rw_set = RWSet()
+        rw_set.add_write("k", "first")
+        rw_set.add_write("k", "second")
+        assert len(rw_set.writes) == 1
+        assert rw_set.writes["k"].value == "second"
+
+    def test_delete_replaces_write(self):
+        rw_set = RWSet()
+        rw_set.add_write("k", "v")
+        rw_set.add_delete("k")
+        assert rw_set.writes["k"].is_delete
+
+    def test_reads_accumulate(self):
+        rw_set = RWSet()
+        rw_set.add_read("a", None)
+        rw_set.add_read("a", (1, 2))
+        assert rw_set.reads == [KVRead("a", None), KVRead("a", (1, 2))]
+
+    def test_round_trip(self):
+        rw_set = RWSet()
+        rw_set.add_read("r", (3, 4))
+        rw_set.add_read("absent", None)
+        rw_set.add_write("w", {"nested": [1, 2]})
+        rw_set.add_delete("d")
+        restored = RWSet.from_dict(rw_set.to_dict())
+        assert restored.reads == rw_set.reads
+        assert restored.writes == rw_set.writes
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("codec", [JsonCodec(), BinaryCodec()], ids=["json", "binary"])
+    def test_block_round_trip_through_codec(self, codec):
+        block = make_block(txs=[make_tx("tx-1"), make_tx("tx-2", key="k2")])
+        restored = Block.from_dict(codec.decode(codec.encode(block.to_dict())))
+        assert restored.number == block.number
+        assert restored.header == block.header
+        assert len(restored.transactions) == 2
+        assert restored.transactions[0].tx_id == "tx-1"
+        assert restored.transactions[0].rw_set.writes == block.transactions[0].rw_set.writes
+        assert restored.transactions[0].signature == b"\x01\x02"
+
+    def test_transaction_round_trip_preserves_validation_code(self):
+        tx = make_tx()
+        tx.validation_code = "VALID"
+        assert Transaction.from_dict(tx.to_dict()).validation_code == "VALID"
+
+
+class TestHashes:
+    def test_data_hash_depends_on_tx_content(self):
+        hash1 = Block.compute_data_hash([make_tx(value="a")])
+        hash2 = Block.compute_data_hash([make_tx(value="b")])
+        assert hash1 != hash2
+
+    def test_data_hash_depends_on_order(self):
+        tx1, tx2 = make_tx("t1"), make_tx("t2")
+        assert Block.compute_data_hash([tx1, tx2]) != Block.compute_data_hash([tx2, tx1])
+
+    def test_verify_data_hash_accepts_valid(self):
+        make_block().verify_data_hash()
+
+    def test_verify_data_hash_rejects_tampering(self):
+        block = make_block()
+        block.transactions[0].rw_set.add_write("k", "tampered")
+        with pytest.raises(LedgerError, match="data hash mismatch"):
+            block.verify_data_hash()
+
+    def test_header_hash_changes_with_number(self):
+        block1 = make_block(number=0)
+        header2 = BlockHeader(1, block1.header.previous_hash, block1.header.data_hash)
+        assert block1.header.hash() != header2.hash()
+
+
+class TestCommitTimestamp:
+    def test_max_of_tx_timestamps(self):
+        block = make_block(
+            txs=[make_tx("t1", timestamp=3), make_tx("t2", timestamp=9)]
+        )
+        assert block.commit_timestamp == 9
+
+    def test_empty_block(self):
+        header = BlockHeader(0, GENESIS_PREVIOUS_HASH, Block.compute_data_hash([]))
+        assert Block(header, []).commit_timestamp == 0

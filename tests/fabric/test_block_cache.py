@@ -1,0 +1,86 @@
+"""Tests for the optional decoded-block LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.config import BlockStoreConfig, FabricConfig
+from repro.common.errors import ConfigError
+from repro.fabric.blockstore import BlockStore
+from repro.fabric.network import FabricNetwork
+from repro.fabric.chaincode import KeyValueChaincode
+from tests.fabric.test_blockstore_historydb import chain_blocks, make_tx
+
+
+@pytest.fixture
+def blocks():
+    return chain_blocks([[make_tx(f"t{i}", {"k": f"v{i}"})] for i in range(6)])
+
+
+class TestCacheBehaviour:
+    def test_disabled_by_default(self, tmp_path, metrics, blocks):
+        store = BlockStore(tmp_path, metrics=metrics)
+        for block in blocks:
+            store.add_block(block)
+        store.get_block(0)
+        store.get_block(0)
+        assert metrics.counter(metric_names.BLOCKS_DESERIALIZED) == 2
+        assert metrics.counter(metric_names.BLOCK_CACHE_HITS) == 0
+        store.close()
+
+    def test_hit_skips_deserialization(self, tmp_path, metrics, blocks):
+        store = BlockStore(tmp_path, metrics=metrics, cache_blocks=4)
+        for block in blocks:
+            store.add_block(block)
+        store.get_block(0)
+        store.get_block(0)
+        assert metrics.counter(metric_names.BLOCKS_DESERIALIZED) == 1
+        assert metrics.counter(metric_names.BLOCK_CACHE_HITS) == 1
+        store.close()
+
+    def test_lru_eviction(self, tmp_path, metrics, blocks):
+        store = BlockStore(tmp_path, metrics=metrics, cache_blocks=2)
+        for block in blocks:
+            store.add_block(block)
+        store.get_block(0)
+        store.get_block(1)
+        store.get_block(2)  # evicts block 0
+        store.get_block(0)  # miss again
+        assert metrics.counter(metric_names.BLOCKS_DESERIALIZED) == 4
+        store.close()
+
+    def test_cached_block_content_correct(self, tmp_path, metrics, blocks):
+        store = BlockStore(tmp_path, metrics=metrics, cache_blocks=4)
+        for block in blocks:
+            store.add_block(block)
+        first = store.get_block(3)
+        second = store.get_block(3)
+        assert second.transactions[0].tx_id == first.transactions[0].tx_id == "t3"
+        store.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BlockStoreConfig(cache_blocks=-1)
+
+
+class TestCacheThroughNetwork:
+    def test_ghfk_benefits_from_cache(self, tmp_path):
+        config = FabricConfig(block_store=BlockStoreConfig(cache_blocks=64))
+        with FabricNetwork(tmp_path, config=config) as network:
+            network.install(KeyValueChaincode())
+            gateway = network.gateway("c")
+            for i in range(12):
+                gateway.submit_transaction("kv", "put", ["k", i], timestamp=i)
+            gateway.flush()
+            list(network.ledger.get_history_for_key("k"))
+            deserialized_first = network.metrics.counter(
+                metric_names.BLOCKS_DESERIALIZED
+            )
+            list(network.ledger.get_history_for_key("k"))
+            # The second scan is served from cache.
+            assert (
+                network.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+                == deserialized_first
+            )
+            assert network.metrics.counter(metric_names.BLOCK_CACHE_HITS) > 0

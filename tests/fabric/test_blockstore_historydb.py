@@ -1,0 +1,188 @@
+"""Tests for block storage and the history database (GHFK laziness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.errors import BlockNotFoundError
+from repro.common.metrics import MetricsRegistry
+from repro.fabric.block import (
+    GENESIS_PREVIOUS_HASH,
+    VALID,
+    Block,
+    BlockHeader,
+    RWSet,
+    Transaction,
+)
+from repro.fabric.blockstore import BlockStore
+from repro.fabric.historydb import HistoryDB
+
+
+def make_tx(tx_id: str, writes: dict, timestamp: int = 0) -> Transaction:
+    rw_set = RWSet()
+    for key, value in writes.items():
+        rw_set.add_write(key, value)
+    tx = Transaction(
+        tx_id=tx_id, chaincode="cc", creator="c", timestamp=timestamp, rw_set=rw_set
+    )
+    tx.validation_code = VALID
+    return tx
+
+
+def chain_blocks(tx_groups) -> list[Block]:
+    """Build a valid hash chain of blocks from groups of transactions."""
+    blocks = []
+    previous = GENESIS_PREVIOUS_HASH
+    for number, txs in enumerate(tx_groups):
+        header = BlockHeader(number, previous, Block.compute_data_hash(txs))
+        blocks.append(Block(header, txs))
+        previous = header.hash()
+    return blocks
+
+
+@pytest.fixture
+def store(tmp_path, metrics):
+    store = BlockStore(tmp_path, metrics=metrics)
+    yield store
+    store.close()
+
+
+class TestBlockStore:
+    def test_add_and_get(self, store):
+        block = chain_blocks([[make_tx("t0", {"k": "v"})]])[0]
+        store.add_block(block)
+        restored = store.get_block(0)
+        assert restored.number == 0
+        assert restored.transactions[0].rw_set.writes["k"].value == "v"
+
+    def test_height_tracks_blocks(self, store):
+        assert store.height == 0
+        for block in chain_blocks([[make_tx("t0", {"a": 1})], [make_tx("t1", {"b": 2})]]):
+            store.add_block(block)
+        assert store.height == 2
+
+    def test_out_of_sequence_rejected(self, store):
+        blocks = chain_blocks([[make_tx("t0", {"a": 1})], [make_tx("t1", {"b": 2})]])
+        with pytest.raises(BlockNotFoundError):
+            store.add_block(blocks[1])
+
+    def test_get_beyond_height_rejected(self, store):
+        with pytest.raises(BlockNotFoundError):
+            store.get_block(0)
+
+    def test_reads_are_counted(self, store, metrics):
+        store.add_block(chain_blocks([[make_tx("t0", {"k": "v"})]])[0])
+        before = metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        store.get_block(0)
+        store.get_block(0)
+        assert metrics.counter(metric_names.BLOCKS_DESERIALIZED) == before + 2
+        assert metrics.counter(metric_names.BLOCK_BYTES_READ) > 0
+
+    def test_iter_blocks_range(self, store):
+        for block in chain_blocks([[make_tx(f"t{i}", {"k": i})] for i in range(4)]):
+            store.add_block(block)
+        numbers = [block.number for block in store.iter_blocks(1, 3)]
+        assert numbers == [1, 2]
+
+    def test_persistence_across_reopen(self, tmp_path):
+        store = BlockStore(tmp_path)
+        store.add_block(chain_blocks([[make_tx("t0", {"k": "v"})]])[0])
+        store.close()
+        reopened = BlockStore(tmp_path)
+        assert reopened.height == 1
+        assert reopened.get_block(0).transactions[0].tx_id == "t0"
+        reopened.close()
+
+
+class TestHistoryDB:
+    def build(self, store, tx_groups):
+        history = HistoryDB(metrics=store._metrics)
+        for block in chain_blocks(tx_groups):
+            store.add_block(block)
+            history.index_block(block)
+        return history
+
+    def test_locations_oldest_first(self, store):
+        history = self.build(
+            store,
+            [[make_tx("t0", {"k": "v0"})], [make_tx("t1", {"k": "v1"})]],
+        )
+        assert history.locations_for_key("k") == [(0, 0), (1, 0)]
+
+    def test_ghfk_yields_all_states_oldest_first(self, store):
+        history = self.build(
+            store,
+            [
+                [make_tx("t0", {"k": "v0"}, timestamp=1)],
+                [make_tx("t1", {"k": "v1"}, timestamp=2)],
+            ],
+        )
+        entries = list(history.get_history_for_key("k", store))
+        assert [e.value for e in entries] == ["v0", "v1"]
+        assert [e.timestamp for e in entries] == [1, 2]
+        assert [e.block_num for e in entries] == [0, 1]
+
+    def test_ghfk_absent_key_is_empty(self, store):
+        history = self.build(store, [[make_tx("t0", {"k": "v"})]])
+        assert list(history.get_history_for_key("nope", store)) == []
+
+    def test_invalid_txs_not_indexed(self, store):
+        tx = make_tx("t0", {"k": "v"})
+        tx.validation_code = "MVCC_READ_CONFLICT"
+        history = HistoryDB()
+        block = chain_blocks([[tx]])[0]
+        store.add_block(block)
+        history.index_block(block)
+        assert history.locations_for_key("k") == []
+
+    def test_ghfk_laziness_early_stop_skips_blocks(self, store, metrics):
+        """Abandoning the iterator must not deserialize remaining blocks."""
+        history = self.build(
+            store,
+            [[make_tx(f"t{i}", {"k": f"v{i}"}, timestamp=i)] for i in range(10)],
+        )
+        before = metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        iterator = history.get_history_for_key("k", store)
+        for entry in iterator:
+            if entry.timestamp >= 2:
+                break
+        deserialized = metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+        assert deserialized == 3  # blocks 0, 1, 2 only
+
+    def test_ghfk_same_block_entries_use_cache(self, store, metrics):
+        """Multiple writes of a key in one block cost one deserialization."""
+        txs = [make_tx(f"t{i}", {"k": f"v{i}"}) for i in range(3)]
+        history = self.build(store, [txs])
+        before = metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        entries = list(history.get_history_for_key("k", store))
+        assert len(entries) == 3
+        assert metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before == 1
+
+    def test_ghfk_call_counted(self, store, metrics):
+        history = self.build(store, [[make_tx("t0", {"k": "v"})]])
+        before = metrics.counter(metric_names.GHFK_CALLS)
+        list(history.get_history_for_key("k", store))
+        assert metrics.counter(metric_names.GHFK_CALLS) == before + 1
+
+    def test_block_count_for_key(self, store):
+        history = self.build(
+            store,
+            [
+                [make_tx("t0", {"k": "a"}), make_tx("t1", {"k": "b"})],
+                [make_tx("t2", {"other": 1})],
+                [make_tx("t3", {"k": "c"})],
+            ],
+        )
+        assert history.block_count_for_key("k") == 2
+
+    def test_rebuild_matches_incremental(self, store):
+        history = self.build(
+            store,
+            [[make_tx("t0", {"a": 1})], [make_tx("t1", {"a": 2, "b": 3})]],
+        )
+        rebuilt = HistoryDB()
+        rebuilt.rebuild(store)
+        assert rebuilt.locations_for_key("a") == history.locations_for_key("a")
+        assert rebuilt.locations_for_key("b") == history.locations_for_key("b")
+        assert rebuilt.key_count() == 2

@@ -1,0 +1,124 @@
+"""Tests for chaincode events and block/event listeners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ChaincodeError, EndorsementError
+from repro.fabric.block import Transaction
+from repro.fabric.network import FabricNetwork
+from tests.helpers import fabric_config
+
+
+class _EventingChaincode:
+    """Chaincode emitting an event per write."""
+
+    name = "eventing"
+
+    def invoke(self, stub, fn, args):
+        if fn == "put":
+            key, value = args
+            stub.put_state(key, value)
+            stub.set_event("written", {"key": key})
+            return value
+        if fn == "put_quiet":
+            key, value = args
+            stub.put_state(key, value)
+            return value
+        if fn == "double_event":
+            stub.set_event("first", 1)
+            stub.set_event("second", 2)
+            stub.put_state("k", "v")
+            return None
+        if fn == "bad_event":
+            stub.set_event("", None)
+            return None
+        raise ValueError(fn)
+
+
+@pytest.fixture
+def network(tmp_path):
+    with FabricNetwork(tmp_path, config=fabric_config(max_message_count=2)) as net:
+        net.install(_EventingChaincode())
+        yield net
+
+
+class TestChaincodeEvents:
+    def test_event_delivered_to_listener(self, network):
+        received = []
+        network.on_chaincode_event(
+            "eventing", lambda tx, name, payload: received.append((name, payload))
+        )
+        gateway = network.gateway("c")
+        gateway.submit_transaction("eventing", "put", ["k1", "v"], timestamp=1)
+        gateway.submit_transaction("eventing", "put", ["k2", "v"], timestamp=2)
+        gateway.flush()
+        assert received == [
+            ("written", {"key": "k1"}),
+            ("written", {"key": "k2"}),
+        ]
+
+    def test_no_event_no_delivery(self, network):
+        received = []
+        network.on_chaincode_event(
+            "eventing", lambda tx, name, payload: received.append(name)
+        )
+        gateway = network.gateway("c")
+        gateway.submit_transaction("eventing", "put_quiet", ["k", "v"], timestamp=1)
+        gateway.flush()
+        assert received == []
+
+    def test_later_event_replaces_earlier(self, network):
+        received = []
+        network.on_chaincode_event(
+            "eventing", lambda tx, name, payload: received.append((name, payload))
+        )
+        gateway = network.gateway("c")
+        gateway.submit_transaction("eventing", "double_event", [], timestamp=1)
+        gateway.flush()
+        assert received == [("second", 2)]
+
+    def test_empty_event_name_rejected(self, network):
+        gateway = network.gateway("c")
+        with pytest.raises(EndorsementError, match="non-empty"):
+            gateway.submit_transaction("eventing", "bad_event", [])
+
+    def test_event_survives_block_serialization(self, network):
+        gateway = network.gateway("c")
+        gateway.submit_transaction("eventing", "put", ["k", "v"], timestamp=1)
+        gateway.flush()
+        block = network.ledger.block_store.get_block(0)
+        tx = block.transactions[0]
+        assert tx.event_name == "written"
+        assert tx.event_payload == {"key": "k"}
+        restored = Transaction.from_dict(tx.to_dict())
+        assert restored.event_name == "written"
+
+    def test_invalidated_tx_event_dropped(self, network):
+        """Events from transactions that fail validation never fire."""
+        received = []
+        network.on_chaincode_event(
+            "eventing", lambda tx, name, payload: received.append(name)
+        )
+        tx, _ = network.peer.endorse("eventing", "put", ["k", "v"], "mallory", 1)
+        tx.signature = b"forged"
+        network.orderer.submit(tx)
+        network.orderer.flush()
+        assert received == []
+
+
+class TestBlockListeners:
+    def test_block_listener_sees_validated_blocks(self, network):
+        heights = []
+        network.on_block(lambda block: heights.append(block.number))
+        gateway = network.gateway("c")
+        for i in range(4):
+            gateway.submit_transaction("eventing", "put", [f"k{i}", i], timestamp=i + 1)
+        gateway.flush()
+        assert heights == [0, 1]
+        # Validation codes are final by the time listeners run.
+        network.on_block(
+            lambda block: [
+                tx.validation_code for tx in block.transactions
+            ].count("NOT_VALIDATED") == 0
+        )

@@ -1,0 +1,99 @@
+"""Tests for paginated range scans (Fabric's ...WithPagination API)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.block import KVWrite
+from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.network import FabricNetwork
+from repro.fabric.statedb import StateDB
+from repro.storage.kv.memstore import MemStore
+from tests.helpers import fabric_config
+
+
+@pytest.fixture
+def state_db():
+    db = StateDB(MemStore())
+    for i in range(10):
+        db.apply_write(KVWrite(f"k{i:02d}", i), version=(1, i))
+    return db
+
+
+class TestStateDbPagination:
+    def test_first_page(self, state_db):
+        page, bookmark = state_db.get_state_by_range_with_pagination(
+            "k00", "k99", page_size=3
+        )
+        assert [key for key, _ in page] == ["k00", "k01", "k02"]
+        assert bookmark == "k03"
+
+    def test_resume_from_bookmark(self, state_db):
+        _, bookmark = state_db.get_state_by_range_with_pagination("k00", "k99", 3)
+        page, bookmark = state_db.get_state_by_range_with_pagination(
+            "k00", "k99", 3, bookmark=bookmark
+        )
+        assert [key for key, _ in page] == ["k03", "k04", "k05"]
+        assert bookmark == "k06"
+
+    def test_last_page_has_empty_bookmark(self, state_db):
+        page, bookmark = state_db.get_state_by_range_with_pagination(
+            "k08", "k99", page_size=5
+        )
+        assert [key for key, _ in page] == ["k08", "k09"]
+        assert bookmark == ""
+
+    def test_exact_page_boundary(self, state_db):
+        """A page that consumes the final items exactly still terminates."""
+        page, bookmark = state_db.get_state_by_range_with_pagination(
+            "k08", "k99", page_size=2
+        )
+        assert len(page) == 2
+        assert bookmark == ""
+
+    def test_all_pages_cover_the_range(self, state_db):
+        seen = []
+        bookmark = ""
+        while True:
+            page, bookmark = state_db.get_state_by_range_with_pagination(
+                "", "", 4, bookmark=bookmark
+            )
+            seen.extend(key for key, _ in page)
+            if not bookmark:
+                break
+        assert seen == [f"k{i:02d}" for i in range(10)]
+
+    def test_bad_page_size(self, state_db):
+        with pytest.raises(ValueError):
+            state_db.get_state_by_range_with_pagination("", "", 0)
+
+
+class TestStubPagination:
+    def test_chaincode_sees_pages(self, tmp_path):
+        with FabricNetwork(tmp_path, config=fabric_config()) as network:
+            network.install(KeyValueChaincode())
+            network.install(_PagingChaincode())
+            gateway = network.gateway("c")
+            for i in range(7):
+                gateway.submit_transaction("kv", "put", [f"p{i}", i], timestamp=i + 1)
+            gateway.flush()
+            pages = gateway.evaluate_transaction("pager", "pages", ["p", "q", 3])
+            assert pages == [["p0", "p1", "p2"], ["p3", "p4", "p5"], ["p6"]]
+
+
+class _PagingChaincode:
+    """Query chaincode returning all pages of a prefix scan."""
+
+    name = "pager"
+
+    def invoke(self, stub, fn, args):
+        start, end, page_size = args
+        pages = []
+        bookmark = ""
+        while True:
+            page, bookmark = stub.get_state_by_range_with_pagination(
+                start, end, page_size, bookmark
+            )
+            pages.append([key for key, _ in page])
+            if not bookmark:
+                return pages

@@ -1,0 +1,151 @@
+"""Tests for private data collections: hashes on-chain, values off-chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import EndorsementError
+from repro.fabric.network import FabricNetwork
+from repro.fabric.privatedata import (
+    CollectionPolicy,
+    PrivateDataError,
+    SideDatabase,
+    hash_key,
+    value_hash,
+)
+from tests.helpers import fabric_config
+
+SECRET = {"contents": "2000x microchips", "declared_value": 95_000}
+
+
+class _ShipmentChaincode:
+    """Public tracking + private manifest per shipment."""
+
+    name = "shipments"
+
+    def invoke(self, stub, fn, args):
+        if fn == "register":
+            key, public_status, manifest = args
+            stub.put_state(key, {"status": public_status})
+            stub.put_private_data("manifests", key, manifest)
+            return key
+        if fn == "manifest":
+            (key,) = args
+            return stub.get_private_data("manifests", key)
+        if fn == "purge_manifest":
+            (key,) = args
+            stub.del_private_data("manifests", key)
+            return key
+        raise ValueError(fn)
+
+
+@pytest.fixture
+def network(tmp_path):
+    with FabricNetwork(tmp_path, config=fabric_config(max_message_count=2)) as net:
+        net.install(_ShipmentChaincode())
+        yield net
+
+
+def register(network, key="S1", manifest=SECRET):
+    gateway = network.gateway("shipper")
+    gateway.submit_transaction(
+        "shipments", "register", [key, "in-transit", manifest], timestamp=1
+    )
+    gateway.flush()
+    return gateway
+
+
+class TestHelpers:
+    def test_value_hash_deterministic(self):
+        assert value_hash({"a": 1, "b": 2}) == value_hash({"b": 2, "a": 1})
+        assert value_hash({"a": 1}) != value_hash({"a": 2})
+
+    def test_hash_key_namespaced(self):
+        key = hash_key("manifests", "S1")
+        assert key.startswith("\x03pvt")
+        with pytest.raises(PrivateDataError):
+            hash_key("bad\x00name", "S1")
+
+    def test_policy_defaults_open(self):
+        policy = CollectionPolicy()
+        assert policy.authorized("anything", "peer0")
+        policy.configure("secret", ["peer0"])
+        assert policy.authorized("secret", "peer0")
+        assert not policy.authorized("secret", "peer1")
+        with pytest.raises(PrivateDataError):
+            policy.configure("empty", [])
+
+    def test_side_db_ops(self):
+        db = SideDatabase()
+        db.put("c", "k", {"v": 1})
+        assert db.get("c", "k") == {"v": 1}
+        db.delete("c", "k")
+        assert db.get("c", "k") is None
+        db.delete("c", "never")  # no-op
+
+
+class TestPrivateWrites:
+    def test_value_readable_on_authorized_peer(self, network):
+        gateway = register(network)
+        assert gateway.evaluate_transaction("shipments", "manifest", ["S1"]) == SECRET
+
+    def test_value_never_enters_block_files(self, network):
+        register(network)
+        network.ledger.block_store.sync()
+        chains = network.peer.ledger.block_store._files.path
+        raw = b"".join(f.read_bytes() for f in chains.glob("blockfile_*"))
+        assert b"microchips" not in raw
+        assert b"95000" not in raw
+
+    def test_hash_is_on_chain(self, network):
+        register(network)
+        committed = network.ledger.get_state(hash_key("manifests", "S1"))
+        assert committed == value_hash(SECRET)
+
+    def test_absent_key_reads_none(self, network):
+        register(network)
+        gateway = network.gateway("reader")
+        assert gateway.evaluate_transaction("shipments", "manifest", ["S9"]) is None
+
+    def test_purge_removes_value_and_hash(self, network):
+        gateway = register(network)
+        gateway.submit_transaction("shipments", "purge_manifest", ["S1"], timestamp=2)
+        gateway.flush()
+        assert network.ledger.get_state(hash_key("manifests", "S1")) is None
+        assert gateway.evaluate_transaction("shipments", "manifest", ["S1"]) is None
+
+    def test_tampered_side_value_detected(self, network):
+        gateway = register(network)
+        network.peer.side_db.put("manifests", "S1", {"contents": "socks"})
+        with pytest.raises(EndorsementError, match="hash check"):
+            gateway.evaluate_transaction("shipments", "manifest", ["S1"])
+
+
+class TestDissemination:
+    def test_authorized_second_peer_receives_values(self, network):
+        peer1 = network.add_peer("peer1")
+        register(network)
+        assert peer1.side_db.get("manifests", "S1") == SECRET
+
+    def test_unauthorized_peer_gets_hash_only(self, network):
+        network.configure_collection("manifests", ["peer0"])
+        peer1 = network.add_peer("peer1")
+        register(network)
+        assert peer1.side_db.get("manifests", "S1") is None
+        # The public hash still replicated (it is in the block).
+        assert peer1.ledger.get_state(hash_key("manifests", "S1")) == value_hash(SECRET)
+
+    def test_late_peer_reconciles_via_copy(self, network):
+        register(network)
+        peer1 = network.add_peer("peer1")  # synced from blocks: no payloads
+        assert peer1.side_db.get("manifests", "S1") is None
+        copied = peer1.side_db.copy_from(network.peer.side_db, "manifests")
+        assert copied == 1
+        assert peer1.side_db.get("manifests", "S1") == SECRET
+
+    def test_private_payloads_not_serialized(self, network):
+        register(network)
+        block = network.ledger.block_store.get_block(0)
+        for tx in block.transactions:
+            assert tx.private_payloads == {}
+            assert "private" not in str(tx.to_dict())

@@ -1,0 +1,200 @@
+"""Tests for CouchDB-style rich queries (selectors) over the state-db."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.block import KVWrite
+from repro.fabric.richquery import RichQueryEngine, RichQueryError, matches
+from repro.fabric.statedb import StateDB
+from repro.storage.kv.memstore import MemStore
+
+
+class TestMatches:
+    DOC = {"e": "l", "o": "C1", "t": 42, "dims": {"weight": 10.5, "tags": ["x"]}}
+
+    def test_equality(self):
+        assert matches(self.DOC, {"e": "l"})
+        assert not matches(self.DOC, {"e": "ul"})
+
+    def test_multiple_fields_are_anded(self):
+        assert matches(self.DOC, {"e": "l", "o": "C1"})
+        assert not matches(self.DOC, {"e": "l", "o": "C2"})
+
+    def test_missing_field_never_matches_equality(self):
+        assert not matches(self.DOC, {"missing": "x"})
+
+    def test_comparisons(self):
+        assert matches(self.DOC, {"t": {"$gt": 41}})
+        assert matches(self.DOC, {"t": {"$gte": 42}})
+        assert matches(self.DOC, {"t": {"$lt": 43}})
+        assert matches(self.DOC, {"t": {"$lte": 42}})
+        assert matches(self.DOC, {"t": {"$ne": 41}})
+        assert not matches(self.DOC, {"t": {"$gt": 42}})
+
+    def test_range_combination(self):
+        assert matches(self.DOC, {"t": {"$gt": 40, "$lt": 45}})
+        assert not matches(self.DOC, {"t": {"$gt": 40, "$lt": 42}})
+
+    def test_in_nin(self):
+        assert matches(self.DOC, {"e": {"$in": ["l", "ul"]}})
+        assert not matches(self.DOC, {"e": {"$nin": ["l"]}})
+
+    def test_exists(self):
+        assert matches(self.DOC, {"o": {"$exists": True}})
+        assert matches(self.DOC, {"missing": {"$exists": False}})
+        assert not matches(self.DOC, {"missing": {"$exists": True}})
+
+    def test_dotted_paths(self):
+        assert matches(self.DOC, {"dims.weight": {"$gt": 10}})
+        assert not matches(self.DOC, {"dims.height": {"$exists": True}})
+
+    def test_and_or_not(self):
+        assert matches(self.DOC, {"$and": [{"e": "l"}, {"t": {"$gt": 0}}]})
+        assert matches(self.DOC, {"$or": [{"e": "ul"}, {"o": "C1"}]})
+        assert matches(self.DOC, {"$not": {"e": "ul"}})
+        assert not matches(self.DOC, {"$not": {"e": "l"}})
+
+    def test_nested_boolean_composition(self):
+        selector = {
+            "$or": [
+                {"$and": [{"e": "l"}, {"t": {"$lt": 40}}]},
+                {"dims.weight": {"$gte": 10}},
+            ]
+        }
+        assert matches(self.DOC, selector)
+
+    def test_incomparable_types_never_match(self):
+        assert not matches(self.DOC, {"e": {"$gt": 5}})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(RichQueryError, match="unknown operator"):
+            matches(self.DOC, {"t": {"$regex": ".*"}})
+        with pytest.raises(RichQueryError, match="unknown top-level"):
+            matches(self.DOC, {"$nor": []})
+
+    def test_malformed_boolean_clauses_raise(self):
+        with pytest.raises(RichQueryError):
+            matches(self.DOC, {"$and": []})
+        with pytest.raises(RichQueryError):
+            matches(self.DOC, {"$or": {"e": "l"}})
+        with pytest.raises(RichQueryError):
+            matches(self.DOC, {"$not": [1]})
+
+    def test_non_dict_selector_raises(self):
+        with pytest.raises(RichQueryError):
+            matches(self.DOC, ["e", "l"])  # type: ignore[arg-type]
+
+    @settings(max_examples=50, deadline=None)
+    @given(t=st.integers(-100, 100), threshold=st.integers(-100, 100))
+    def test_comparison_property(self, t, threshold):
+        document = {"t": t}
+        assert matches(document, {"t": {"$gt": threshold}}) == (t > threshold)
+        assert matches(document, {"t": {"$lte": threshold}}) == (t <= threshold)
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(0, 5), a=st.integers(0, 5), b=st.integers(0, 5))
+    def test_and_is_intersection(self, value, a, b):
+        doc = {"v": value}
+        left = matches(doc, {"v": {"$gte": a}})
+        right = matches(doc, {"v": {"$lte": b}})
+        both = matches(doc, {"$and": [{"v": {"$gte": a}}, {"v": {"$lte": b}}]})
+        assert both == (left and right)
+
+
+class TestRichQueryEngine:
+    @pytest.fixture
+    def engine(self):
+        state_db = StateDB(MemStore())
+        values = [
+            ("S1", {"e": "l", "o": "C1", "t": 10}),
+            ("S2", {"e": "ul", "o": "C1", "t": 20}),
+            ("S3", {"e": "l", "o": "C2", "t": 30}),
+            ("C1", {"e": "l", "o": "T1", "t": 15}),
+        ]
+        for index, (key, value) in enumerate(values):
+            state_db.apply_write(KVWrite(key, value), version=(1, index))
+        return RichQueryEngine(state_db)
+
+    def test_query_filters(self, engine):
+        keys = [key for key, _ in engine.query({"e": "l"})]
+        assert keys == ["C1", "S1", "S3"]
+
+    def test_query_key_range_pushdown(self, engine):
+        keys = [key for key, _ in engine.query({"e": "l"}, start_key="S", end_key="T")]
+        assert keys == ["S1", "S3"]
+
+    def test_query_limit(self, engine):
+        keys = [key for key, _ in engine.query({"e": "l"}, limit=2)]
+        assert keys == ["C1", "S1"]
+
+    def test_bad_limit(self, engine):
+        with pytest.raises(RichQueryError):
+            list(engine.query({}, limit=0))
+
+    def test_empty_selector_matches_all(self, engine):
+        assert len(list(engine.query({}))) == 4
+
+    def test_currently_loaded_shipments_in_container(self, engine):
+        """The domain query: everything currently loaded into C1."""
+        rows = dict(engine.query({"e": "l", "o": "C1"}))
+        assert rows == {"S1": {"e": "l", "o": "C1", "t": 10}}
+
+
+class TestChaincodeLevelRichQuery:
+    def test_stub_get_query_result(self, tmp_path):
+        """Rich queries are reachable from inside chaincode (Fabric's
+        GetQueryResult) and do not enter the read set."""
+        from repro.fabric.network import FabricNetwork
+
+        class LoadedQueryChaincode:
+            name = "loaded"
+
+            def invoke(self, stub, fn, args):
+                if fn == "put":
+                    key, value = args
+                    stub.put_state(key, value)
+                    return key
+                if fn == "loaded_in":
+                    (container,) = args
+                    reads_before = len(stub.rw_set.reads)
+                    keys = [
+                        key
+                        for key, _ in stub.get_query_result(
+                            {"e": "l", "o": container}
+                        )
+                    ]
+                    assert len(stub.rw_set.reads) == reads_before
+                    return keys
+                raise ValueError(fn)
+
+        with FabricNetwork(tmp_path) as network:
+            network.install(LoadedQueryChaincode())
+            gateway = network.gateway("client")
+            gateway.submit_transaction(
+                "loaded", "put", ["S1", {"e": "l", "o": "C1"}], timestamp=1
+            )
+            gateway.submit_transaction(
+                "loaded", "put", ["S2", {"e": "ul", "o": "C1"}], timestamp=2
+            )
+            gateway.submit_transaction(
+                "loaded", "put", ["S3", {"e": "l", "o": "C2"}], timestamp=3
+            )
+            gateway.flush()
+            result = gateway.evaluate_transaction("loaded", "loaded_in", ["C1"])
+            assert result == ["S1"]
+
+    def test_ledger_level_rich_query(self, tmp_path):
+        from repro.fabric.chaincode import KeyValueChaincode
+        from repro.fabric.network import FabricNetwork
+
+        with FabricNetwork(tmp_path) as network:
+            network.install(KeyValueChaincode())
+            gateway = network.gateway("client")
+            gateway.submit_transaction("kv", "put", ["a", {"n": 1}], timestamp=1)
+            gateway.submit_transaction("kv", "put", ["b", {"n": 5}], timestamp=2)
+            gateway.flush()
+            matches = dict(network.ledger.get_query_result({"n": {"$gte": 3}}))
+            assert matches == {"b": {"n": 5}}

@@ -1,0 +1,134 @@
+"""Tests for ledger snapshots: export, bootstrap, and their trade-offs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.ledger import Ledger
+from repro.fabric.network import FabricNetwork
+from repro.fabric.snapshot import export_snapshot, import_snapshot
+from tests.helpers import fabric_config
+
+
+@pytest.fixture
+def source(tmp_path):
+    network = FabricNetwork(tmp_path / "src", config=fabric_config(max_message_count=2))
+    network.install(KeyValueChaincode())
+    gateway = network.gateway("writer")
+    for i in range(10):
+        gateway.submit_transaction("kv", "put", [f"k{i}", i], timestamp=i + 1)
+    gateway.flush()
+    yield network
+    network.close()
+
+
+class TestExportImport:
+    def test_round_trip_state(self, source, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        exported = export_snapshot(source.ledger, snapshot)
+        assert exported == 10
+
+        fresh = Ledger(tmp_path / "fresh")
+        imported = import_snapshot(fresh, snapshot)
+        assert imported == 10
+        assert fresh.height == source.ledger.height
+        assert fresh.get_state("k7") == 7
+        assert fresh.state_fingerprint() == source.ledger.state_fingerprint()
+        fresh.close()
+
+    def test_snapshot_peer_has_no_history(self, source, tmp_path):
+        """The documented trade-off: GHFK before the snapshot is empty."""
+        snapshot = tmp_path / "snap.json"
+        export_snapshot(source.ledger, snapshot)
+        fresh = Ledger(tmp_path / "fresh")
+        import_snapshot(fresh, snapshot)
+        assert list(fresh.get_history_for_key("k3")) == []
+        fresh.close()
+
+    def test_snapshot_peer_accepts_next_block(self, source, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        export_snapshot(source.ledger, snapshot)
+        fresh = Ledger(tmp_path / "fresh")
+        import_snapshot(fresh, snapshot)
+
+        # Produce the next block on the source and commit it on both.
+        gateway = source.gateway("writer")
+        gateway.submit_transaction("kv", "put", ["new-key", "new"], timestamp=100)
+        gateway.submit_transaction("kv", "put", ["new-key2", "new"], timestamp=101)
+        next_block = source.ledger.block_store.get_block(source.ledger.height - 1)
+        fresh.commit_block(next_block)
+        assert fresh.get_state("new-key") == "new"
+        # Post-snapshot history works.
+        assert [e.value for e in fresh.get_history_for_key("new-key")] == ["new"]
+        fresh.verify_chain()
+        fresh.close()
+
+    def test_reopen_snapshot_ledger(self, source, tmp_path):
+        """Reopening an imported snapshot requires a *persistent* state-db
+        backend (the LSM store): with no pre-snapshot blocks on disk, the
+        state cannot be rebuilt by replay."""
+        from repro.common.config import FabricConfig, StateDbConfig
+
+        config = FabricConfig(state_db=StateDbConfig(backend="lsm"))
+        snapshot = tmp_path / "snap.json"
+        export_snapshot(source.ledger, snapshot)
+        fresh_path = tmp_path / "fresh"
+        fresh = Ledger(fresh_path, config=config)
+        import_snapshot(fresh, snapshot)
+        height = fresh.height
+        fingerprint = fresh.state_fingerprint()
+        fresh.close()
+
+        reopened = Ledger(fresh_path, config=config)
+        assert reopened.height == height
+        assert reopened.state_fingerprint() == fingerprint
+        assert reopened.last_header_hash == source.ledger.last_header_hash
+        reopened.close()
+
+
+class TestValidation:
+    def test_import_into_nonempty_ledger_rejected(self, source, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        export_snapshot(source.ledger, snapshot)
+        with pytest.raises(LedgerError, match="empty ledger"):
+            import_snapshot(source.ledger, snapshot)
+
+    def test_missing_file(self, tmp_path):
+        fresh = Ledger(tmp_path / "fresh")
+        with pytest.raises(LedgerError, match="does not exist"):
+            import_snapshot(fresh, tmp_path / "nope.json")
+        fresh.close()
+
+    def test_bad_format_version(self, source, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        export_snapshot(source.ledger, snapshot)
+        document = json.loads(snapshot.read_text())
+        document["format"] = 99
+        snapshot.write_text(json.dumps(document))
+        fresh = Ledger(tmp_path / "fresh")
+        with pytest.raises(LedgerError, match="unsupported snapshot format"):
+            import_snapshot(fresh, snapshot)
+        fresh.close()
+
+    def test_tampered_snapshot_detected(self, source, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        export_snapshot(source.ledger, snapshot)
+        document = json.loads(snapshot.read_text())
+        document["states"][0][1] = "tampered-value"
+        snapshot.write_text(json.dumps(document))
+        fresh = Ledger(tmp_path / "fresh")
+        with pytest.raises(LedgerError, match="fingerprint mismatch"):
+            import_snapshot(fresh, snapshot)
+        fresh.close()
+
+    def test_malformed_json(self, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text("{not json")
+        fresh = Ledger(tmp_path / "fresh")
+        with pytest.raises(LedgerError, match="malformed snapshot"):
+            import_snapshot(fresh, snapshot)
+        fresh.close()

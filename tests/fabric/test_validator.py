@@ -1,0 +1,96 @@
+"""Tests for MVCC validation and endorsement checks."""
+
+from __future__ import annotations
+
+from repro.fabric.block import (
+    BAD_SIGNATURE,
+    GENESIS_PREVIOUS_HASH,
+    MVCC_READ_CONFLICT,
+    VALID,
+    Block,
+    BlockHeader,
+    RWSet,
+    Transaction,
+)
+from repro.fabric.validator import Validator
+
+
+def make_tx(tx_id, reads=(), writes=()):
+    rw_set = RWSet()
+    for key, version in reads:
+        rw_set.add_read(key, version)
+    for key, value in writes:
+        rw_set.add_write(key, value)
+    return Transaction(
+        tx_id=tx_id, chaincode="cc", creator="c", timestamp=0, rw_set=rw_set
+    )
+
+
+def make_block(txs, number=0):
+    header = BlockHeader(number, GENESIS_PREVIOUS_HASH, Block.compute_data_hash(txs))
+    return Block(header, txs)
+
+
+class TestMVCC:
+    def test_read_of_matching_version_is_valid(self):
+        validator = Validator(version_lookup={"k": (1, 0)}.get)
+        block = make_block([make_tx("t0", reads=[("k", (1, 0))])])
+        assert validator.validate_block(block) == 1
+        assert block.transactions[0].validation_code == VALID
+
+    def test_stale_read_version_conflicts(self):
+        validator = Validator(version_lookup={"k": (2, 0)}.get)
+        block = make_block([make_tx("t0", reads=[("k", (1, 0))])])
+        assert validator.validate_block(block) == 0
+        assert block.transactions[0].validation_code == MVCC_READ_CONFLICT
+
+    def test_read_of_absent_key_valid_when_still_absent(self):
+        validator = Validator(version_lookup={}.get)
+        block = make_block([make_tx("t0", reads=[("k", None)])])
+        assert validator.validate_block(block) == 1
+
+    def test_read_of_absent_key_conflicts_when_created(self):
+        validator = Validator(version_lookup={"k": (1, 0)}.get)
+        block = make_block([make_tx("t0", reads=[("k", None)])])
+        assert block.transactions[0].validation_code == "NOT_VALIDATED"
+        validator.validate_block(block)
+        assert block.transactions[0].validation_code == MVCC_READ_CONFLICT
+
+    def test_intra_block_conflict(self):
+        """A tx reading a key written by an earlier tx in the same block
+        is invalidated, exactly as in Fabric."""
+        validator = Validator(version_lookup={"k": (1, 0)}.get)
+        writer = make_tx("t0", writes=[("k", "new")])
+        reader = make_tx("t1", reads=[("k", (1, 0))])
+        block = make_block([writer, reader], number=5)
+        assert validator.validate_block(block) == 1
+        assert writer.validation_code == VALID
+        assert reader.validation_code == MVCC_READ_CONFLICT
+
+    def test_intra_block_conflict_only_after_writer(self):
+        """Order matters: a reader *before* the writer is fine."""
+        validator = Validator(version_lookup={"k": (1, 0)}.get)
+        reader = make_tx("t0", reads=[("k", (1, 0))])
+        writer = make_tx("t1", writes=[("k", "new")])
+        block = make_block([reader, writer])
+        assert validator.validate_block(block) == 2
+
+    def test_write_only_txs_never_conflict(self):
+        validator = Validator(version_lookup={}.get)
+        block = make_block(
+            [make_tx(f"t{i}", writes=[("k", i)]) for i in range(3)]
+        )
+        assert validator.validate_block(block) == 3
+
+
+class TestSignatureCheck:
+    def test_bad_signature_rejected(self):
+        validator = Validator(
+            version_lookup={}.get, signature_check=lambda tx: tx.tx_id == "good"
+        )
+        good = make_tx("good", writes=[("a", 1)])
+        bad = make_tx("bad", writes=[("b", 2)])
+        block = make_block([good, bad])
+        assert validator.validate_block(block) == 1
+        assert good.validation_code == VALID
+        assert bad.validation_code == BAD_SIGNATURE

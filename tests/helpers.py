@@ -1,0 +1,73 @@
+"""Shared test helpers: build ingested networks for each model."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.common.config import BlockCuttingConfig, FabricConfig
+from repro.fabric.network import FabricNetwork
+from repro.temporal.chaincodes import (
+    M1IndexChaincode,
+    M2SupplyChainChaincode,
+    SupplyChainChaincode,
+)
+from repro.temporal.m1 import M1Indexer
+from repro.workload.generator import WorkloadConfig, WorkloadData, generate
+from repro.workload.ingest import ingest
+
+#: A small but non-trivial workload used across temporal tests: 6 shipments,
+#: 3 containers, 2 trucks, 20 events per key over a 1000-tick timeline.
+SMALL_CONFIG = WorkloadConfig(
+    name="small",
+    n_shipments=6,
+    n_containers=3,
+    n_trucks=2,
+    events_per_key=20,
+    t_max=1_000,
+    distribution="uniform",
+    seed=99,
+)
+
+
+def small_workload() -> WorkloadData:
+    return generate(SMALL_CONFIG)
+
+
+def fabric_config(max_message_count: int = 10) -> FabricConfig:
+    return FabricConfig(
+        block_cutting=BlockCuttingConfig(max_message_count=max_message_count)
+    )
+
+
+def build_plain_network(
+    path: Path, data: WorkloadData, strategy: str = "me"
+) -> FabricNetwork:
+    """Network ingested with original keys (TQF / Model M1 substrate)."""
+    network = FabricNetwork(path, config=fabric_config())
+    network.install(SupplyChainChaincode())
+    network.install(M1IndexChaincode())
+    gateway = network.gateway("ingestor")
+    ingest(gateway, data.events, SupplyChainChaincode.name, strategy=strategy)
+    return network
+
+
+def build_m2_network(
+    path: Path, data: WorkloadData, u: int, strategy: str = "me"
+) -> FabricNetwork:
+    """Network ingested through the Model M2 key transformation."""
+    network = FabricNetwork(path, config=fabric_config())
+    network.install(M2SupplyChainChaincode(u=u))
+    gateway = network.gateway("ingestor")
+    ingest(gateway, data.events, M2SupplyChainChaincode.name, strategy=strategy)
+    return network
+
+
+def build_m1_index(network: FabricNetwork, t1: int, t2: int, u: int):
+    """Run the M1 indexing process over ``(t1, t2]``."""
+    indexer = M1Indexer(
+        ledger=network.ledger,
+        gateway=network.gateway("indexer"),
+        key_prefixes=["S", "C"],
+        metrics=network.metrics,
+    )
+    return indexer.run(t1, t2, u)

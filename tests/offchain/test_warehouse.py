@@ -1,0 +1,110 @@
+"""Tests for the off-chain event warehouse and its query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.offchain.warehouse import EventWarehouse, WarehouseQueryEngine
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.join import temporal_join
+from tests.helpers import build_m1_index, build_plain_network, small_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return small_workload()
+
+
+@pytest.fixture(scope="module")
+def network(tmp_path_factory, workload):
+    network = build_plain_network(tmp_path_factory.mktemp("offchain"), workload)
+    build_m1_index(network, t1=0, t2=workload.config.t_max, u=100)
+    yield network
+    network.close()
+
+
+@pytest.fixture(scope="module")
+def warehouse(network):
+    warehouse = EventWarehouse()
+    warehouse.sync(network.ledger)
+    return warehouse
+
+
+class TestETL:
+    def test_sync_absorbs_whole_chain(self, warehouse, network, workload):
+        assert warehouse.synced_height == network.ledger.height
+        assert warehouse.event_count() == len(workload.events)
+        assert warehouse.key_count() == workload.config.key_count
+
+    def test_index_bundles_excluded(self, warehouse, workload):
+        """The M1 bundles on the chain must not be double-counted."""
+        assert warehouse.event_count() == len(workload.events)
+
+    def test_resync_is_incremental(self, warehouse, network):
+        report = warehouse.sync(network.ledger)
+        assert report.blocks_scanned == 0
+        assert report.events_loaded == 0
+
+    def test_new_blocks_flow_in_on_resync(self, tmp_path, workload):
+        network = build_plain_network(tmp_path, workload)
+        warehouse = EventWarehouse()
+        first = warehouse.sync(network.ledger)
+        assert first.events_loaded == len(workload.events)
+        gateway = network.gateway("late-writer")
+        gateway.submit_transaction(
+            "supplychain", "record_event",
+            ["S00000", "C00000", workload.config.t_max, "l"],
+            timestamp=workload.config.t_max,
+        )
+        gateway.flush()
+        second = warehouse.sync(network.ledger)
+        assert second.events_loaded == 1
+        assert warehouse.synced_height == network.ledger.height
+        network.close()
+
+
+class TestQueries:
+    def test_window_retrieval_matches_oracle(self, warehouse, workload):
+        engine = WarehouseQueryEngine(warehouse)
+        for window in (TimeInterval(0, 250), TimeInterval(300, 800)):
+            for key in workload.shipments[:3]:
+                expected = sorted(
+                    e for e in workload.events
+                    if e.key == key and window.contains(e.time)
+                )
+                assert engine.fetch_events(key, window) == expected
+
+    def test_window_boundaries_half_open_left(self, warehouse, workload):
+        engine = WarehouseQueryEngine(warehouse)
+        key = workload.shipments[0]
+        times = [e.time for e in workload.events if e.key == key]
+        pivot = times[len(times) // 2]
+        inside = engine.fetch_events(key, TimeInterval(pivot - 1, pivot))
+        assert any(e.time == pivot for e in inside)
+        excluded = engine.fetch_events(key, TimeInterval(pivot, pivot + 1))
+        assert all(e.time != pivot for e in excluded)
+
+    def test_list_keys(self, warehouse, workload):
+        engine = WarehouseQueryEngine(warehouse)
+        assert engine.list_keys("S") == workload.shipments
+        assert engine.list_keys("C") == workload.containers
+
+    def test_unknown_key_empty(self, warehouse):
+        engine = WarehouseQueryEngine(warehouse)
+        assert engine.fetch_events("S99999", TimeInterval(0, 100)) == []
+
+    def test_join_identical_to_on_chain(self, warehouse, network, workload):
+        """The off-chain warehouse must answer query Q exactly like the
+        on-chain models -- same rows, different cost profile."""
+        engine = WarehouseQueryEngine(warehouse)
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        window = TimeInterval(200, 700)
+        shipment_events = {
+            key: engine.fetch_events(key, window) for key in engine.list_keys("S")
+        }
+        container_events = {
+            key: engine.fetch_events(key, window) for key in engine.list_keys("C")
+        }
+        offchain_rows = temporal_join(shipment_events, container_events, window)
+        assert offchain_rows == facade.run_join("tqf", window).rows

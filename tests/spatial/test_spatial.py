@@ -1,0 +1,194 @@
+"""Tests for the spatial generalization of Model M2."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import metrics as metric_names
+from repro.common.errors import TemporalQueryError
+from repro.fabric.network import FabricNetwork
+from repro.spatial.chaincode import SpatialChaincode
+from repro.spatial.grid import (
+    BoundingBox,
+    GridCell,
+    GridScheme,
+    cell_key_range,
+    decode_cell_key,
+    encode_cell_key,
+)
+from repro.spatial.query import GridSpatialEngine, NaiveSpatialEngine
+from tests.helpers import fabric_config
+
+CELL = 10.0
+
+
+class TestGridScheme:
+    def test_cell_for(self):
+        scheme = GridScheme(10)
+        assert scheme.cell_for(0, 0) == GridCell(0, 0)
+        assert scheme.cell_for(9.99, 9.99) == GridCell(0, 0)
+        assert scheme.cell_for(10, 0) == GridCell(1, 0)
+        assert scheme.cell_for(-0.1, 5) == GridCell(-1, 0)
+
+    def test_cells_overlapping(self):
+        scheme = GridScheme(10)
+        cells = list(scheme.cells_overlapping(BoundingBox(5, 5, 25, 15)))
+        assert GridCell(0, 0) in cells
+        assert GridCell(2, 1) in cells
+        assert len(cells) == 6  # 3 columns x 2 rows
+
+    def test_cell_bounds_roundtrip(self):
+        scheme = GridScheme(10)
+        x_min, y_min, x_max, y_max = scheme.cell_bounds(GridCell(2, -1))
+        assert (x_min, y_min, x_max, y_max) == (20.0, -10.0, 30.0, 0.0)
+
+    def test_degenerate_box_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            BoundingBox(10, 0, 5, 10)
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(TemporalQueryError):
+            GridScheme(0)
+
+    @given(
+        x=st.floats(-1e4, 1e4, allow_nan=False),
+        y=st.floats(-1e4, 1e4, allow_nan=False),
+        size=st.floats(0.1, 100, allow_nan=False),
+    )
+    def test_point_near_its_cell(self, x, y, size):
+        """Geometric sanity up to float fuzz.  Exact cell assignment on
+        boundaries is irrelevant for correctness: writes and queries use
+        the same ``cell_for``, so they always agree (next property)."""
+        scheme = GridScheme(size)
+        cell = scheme.cell_for(x, y)
+        x_min, y_min, x_max, y_max = scheme.cell_bounds(cell)
+        tolerance = size * 1e-6
+        assert x_min - tolerance <= x <= x_max + tolerance
+        assert y_min - tolerance <= y <= y_max + tolerance
+
+    @given(
+        x=st.floats(-1e4, 1e4, allow_nan=False),
+        y=st.floats(-1e4, 1e4, allow_nan=False),
+        size=st.floats(0.1, 100, allow_nan=False),
+    )
+    def test_query_box_covering_point_finds_its_cell(self, x, y, size):
+        """The consistency that matters: any box containing (x, y) must
+        enumerate the cell that ``cell_for`` assigned to (x, y)."""
+        scheme = GridScheme(size)
+        cell = scheme.cell_for(x, y)
+        box = BoundingBox(x - 1, y - 1, x + 1, y + 1)
+        assert cell in set(scheme.cells_overlapping(box))
+
+
+class TestCellKeys:
+    def test_round_trip(self):
+        for cell in (GridCell(0, 0), GridCell(-3, 7), GridCell(999, -999)):
+            key = encode_cell_key("V1", cell)
+            assert decode_cell_key(key) == ("V1", cell)
+
+    def test_range_covers_only_one_key(self):
+        start, end = cell_key_range("V1")
+        inside = encode_cell_key("V1", GridCell(5, 5))
+        other = encode_cell_key("V10", GridCell(5, 5))
+        assert start <= inside < end
+        assert not (start <= other < end)
+
+    def test_bad_keys_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            encode_cell_key("bad\x00key", GridCell(0, 0))
+        with pytest.raises(TemporalQueryError):
+            decode_cell_key("V1")
+
+
+def random_walk(rng, steps, start=(50.0, 50.0)):
+    x, y = start
+    for time in range(1, steps + 1):
+        x += rng.uniform(-5, 5)
+        y += rng.uniform(-5, 5)
+        yield x, y, time
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def network(self, tmp_path_factory):
+        network = FabricNetwork(
+            tmp_path_factory.mktemp("spatial"), config=fabric_config()
+        )
+        network.install(SpatialChaincode(cell_size=0.0, name="spatial-naive"))
+        network.install(SpatialChaincode(cell_size=CELL, name="spatial-grid"))
+        gateway = network.gateway("tracker")
+        rng = random.Random(3)
+        observations = {}
+        for vehicle in ("V1", "V2"):
+            observations[vehicle] = list(random_walk(rng, 80))
+            for x, y, time in observations[vehicle]:
+                for chaincode in ("spatial-naive", "spatial-grid"):
+                    gateway.submit_transaction(
+                        chaincode, "observe", [vehicle, x, y, time, None],
+                        timestamp=time,
+                    )
+        gateway.flush()
+        yield network, observations
+        network.close()
+
+    def test_grid_matches_naive(self, network):
+        net, observations = network
+        naive = NaiveSpatialEngine(net.ledger, metrics=net.metrics)
+        grid = GridSpatialEngine(net.ledger, cell_size=CELL, metrics=net.metrics)
+        boxes = [
+            BoundingBox(40, 40, 60, 60),
+            BoundingBox(0, 0, 100, 100),
+            BoundingBox(55, 30, 80, 45),
+            BoundingBox(-10, -10, 0, 0),
+        ]
+        for vehicle in ("V1", "V2"):
+            for box in boxes:
+                naive_result = naive.observations_in_box(vehicle, box)
+                grid_result = grid.observations_in_box(vehicle, box)
+                assert grid_result == naive_result
+
+    def test_grid_matches_brute_force(self, network):
+        net, observations = network
+        grid = GridSpatialEngine(net.ledger, cell_size=CELL, metrics=net.metrics)
+        box = BoundingBox(45, 45, 65, 65)
+        expected = sorted(
+            (time, "V1", x, y)
+            for x, y, time in observations["V1"]
+            if box.contains(x, y)
+        )
+        got = [
+            (obs.time, obs.key, obs.x, obs.y)
+            for obs in grid.observations_in_box("V1", box)
+        ]
+        assert got == expected
+
+    def test_grid_reads_fewer_blocks_for_small_boxes(self, network):
+        net, _ = network
+        naive = NaiveSpatialEngine(net.ledger, metrics=net.metrics)
+        grid = GridSpatialEngine(net.ledger, cell_size=CELL, metrics=net.metrics)
+        box = BoundingBox(48, 48, 52, 52)  # one cell's worth of space
+
+        before = net.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        naive.observations_in_box("V1", box)
+        naive_blocks = net.metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+
+        before = net.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        grid.observations_in_box("V1", box)
+        grid_blocks = net.metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+
+        assert grid_blocks < naive_blocks
+
+    def test_occupied_cells_sorted_and_plausible(self, network):
+        net, observations = network
+        grid = GridSpatialEngine(net.ledger, cell_size=CELL, metrics=net.metrics)
+        cells = grid.occupied_cells("V1")
+        assert cells == sorted(cells)
+        expected = {
+            GridCell(int(x // CELL), int(y // CELL))
+            for x, y, _ in observations["V1"]
+        }
+        assert set(cells) == expected

@@ -1,0 +1,86 @@
+"""Tests for the Bloom filter and its SSTable integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.kv.bloom import BloomFilter
+from repro.storage.kv.sstable import SSTableReader, write_sstable
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [f"key-{i}".encode() for i in range(500)]
+        bloom = BloomFilter.build(keys)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_mostly_true_negatives(self):
+        keys = [f"key-{i}".encode() for i in range(500)]
+        bloom = BloomFilter.build(keys, bits_per_key=10)
+        false_positives = sum(
+            1 for i in range(2_000) if bloom.may_contain(f"other-{i}".encode())
+        )
+        assert false_positives < 2_000 * 0.05  # ~1% expected at 10 bits/key
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter.build([])
+        assert not bloom.may_contain(b"anything")
+
+    def test_serialization_round_trip(self):
+        keys = [b"a", b"bb", b"\x00\xff"]
+        bloom = BloomFilter.build(keys)
+        restored = BloomFilter.from_bytes(bloom.to_bytes())
+        assert restored.bit_count == bloom.bit_count
+        assert restored.hash_count == bloom.hash_count
+        assert all(restored.may_contain(key) for key in keys)
+
+    def test_from_bytes_validates_length(self):
+        bloom = BloomFilter.build([b"a"])
+        payload = bloom.to_bytes()
+        with pytest.raises(ValueError, match="expected"):
+            BloomFilter.from_bytes(payload[:-1])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bytearray(1), bit_count=0, hash_count=1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=st.sets(st.binary(min_size=1, max_size=12), max_size=60))
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter.build(keys)
+        for key in keys:
+            assert bloom.may_contain(key)
+
+    @settings(max_examples=20, deadline=None)
+    @given(keys=st.sets(st.binary(min_size=1, max_size=12), min_size=1, max_size=60))
+    def test_persistence_preserves_membership(self, keys):
+        bloom = BloomFilter.from_bytes(BloomFilter.build(keys).to_bytes())
+        for key in keys:
+            assert bloom.may_contain(key)
+
+
+class TestSSTableBloomIntegration:
+    def test_reader_exposes_bloom(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, iter([(b"a", b"1"), (b"m", b"2")]))
+        reader = SSTableReader(path)
+        assert reader.bloom.may_contain(b"a")
+        assert reader.bloom.may_contain(b"m")
+
+    def test_lookup_still_correct_with_bloom(self, tmp_path):
+        path = tmp_path / "t.sst"
+        entries = [(f"k{i:04d}".encode(), str(i).encode()) for i in range(100)]
+        write_sstable(path, iter(entries))
+        reader = SSTableReader(path)
+        for key, value in entries:
+            assert reader.lookup(key) == (True, value)
+        assert reader.lookup(b"k9999") == (False, None)
+        assert reader.lookup(b"a") == (False, None)
+
+    def test_tombstones_pass_the_bloom(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, iter([(b"dead", None)]))
+        reader = SSTableReader(path)
+        assert reader.lookup(b"dead") == (True, None)

@@ -1,0 +1,197 @@
+"""Tests for the LSM store: read/write paths, flush, compaction, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ClosedStoreError
+from repro.common.metrics import MetricsRegistry
+from repro.common import metrics as metric_names
+from repro.storage.kv.lsm import LSMStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with LSMStore(tmp_path / "db", memtable_limit=8, compaction_trigger=4) as store:
+        yield store
+
+
+class TestBasicOps:
+    def test_get_absent(self, store):
+        assert store.get(b"missing") is None
+
+    def test_put_get(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_delete_absent_is_noop(self, store):
+        store.delete(b"never-existed")
+        assert store.get(b"never-existed") is None
+
+    def test_contains(self, store):
+        store.put(b"k", b"v")
+        assert b"k" in store
+        assert b"other" not in store
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put(b"", b"v")
+
+    def test_non_bytes_rejected(self, store):
+        with pytest.raises(TypeError):
+            store.put("str-key", b"v")  # type: ignore[arg-type]
+
+
+class TestFlushAndShadowing:
+    def test_flush_preserves_reads(self, store):
+        for i in range(20):  # crosses the memtable limit of 8
+            store.put(f"k{i:02d}".encode(), f"v{i}".encode())
+        assert store.sstable_count >= 1
+        for i in range(20):
+            assert store.get(f"k{i:02d}".encode()) == f"v{i}".encode()
+
+    def test_memtable_overwrites_sstable_value(self, store):
+        store.put(b"k", b"old")
+        store.flush()
+        store.put(b"k", b"new")
+        assert store.get(b"k") == b"new"
+
+    def test_tombstone_shadows_sstable_value(self, store):
+        store.put(b"k", b"old")
+        store.flush()
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_tombstone_shadows_in_scan(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.flush()
+        store.delete(b"a")
+        assert list(store.scan()) == [(b"b", b"2")]
+
+    def test_newer_sstable_beats_older(self, store):
+        store.put(b"k", b"old")
+        store.flush()
+        store.put(b"k", b"new")
+        store.flush()
+        assert store.get(b"k") == b"new"
+
+
+class TestScan:
+    def test_scan_merges_memtable_and_sstables(self, store):
+        store.put(b"a", b"1")
+        store.flush()
+        store.put(b"c", b"3")
+        store.flush()
+        store.put(b"b", b"2")
+        assert list(store.scan()) == [(b"a", b"1"), (b"b", b"2"), (b"c", b"3")]
+
+    def test_scan_range(self, store):
+        for i in range(10):
+            store.put(f"k{i}".encode(), str(i).encode())
+        assert [k for k, _ in store.scan(b"k3", b"k6")] == [b"k3", b"k4", b"k5"]
+
+    def test_scan_duplicate_key_newest_wins(self, store):
+        store.put(b"k", b"v1")
+        store.flush()
+        store.put(b"k", b"v2")
+        store.flush()
+        store.put(b"k", b"v3")
+        assert list(store.scan()) == [(b"k", b"v3")]
+
+    def test_scan_empty_store(self, store):
+        assert list(store.scan()) == []
+
+    def test_verify_integrity(self, store):
+        for i in range(30):
+            store.put(f"key{i:03d}".encode(), b"v")
+        store.verify_integrity()
+
+
+class TestCompaction:
+    def test_compaction_reduces_table_count(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = LSMStore(
+            tmp_path / "db", memtable_limit=4, compaction_trigger=3, metrics=metrics
+        )
+        for i in range(40):
+            store.put(f"k{i:03d}".encode(), b"v")
+        assert metrics.counter(metric_names.KV_COMPACTIONS) >= 1
+        assert store.sstable_count < 3
+        for i in range(40):
+            assert store.get(f"k{i:03d}".encode()) == b"v"
+        store.close()
+
+    def test_compaction_drops_tombstones(self, tmp_path):
+        store = LSMStore(tmp_path / "db", memtable_limit=2, compaction_trigger=2)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")  # flush 1
+        store.delete(b"a")
+        store.delete(b"b")  # flush 2 -> compaction
+        assert store.get(b"a") is None
+        assert list(store.scan()) == []
+        store.close()
+
+
+class TestRecovery:
+    def test_reopen_recovers_memtable_from_wal(self, tmp_path):
+        store = LSMStore(tmp_path / "db", memtable_limit=100)
+        store.put(b"k1", b"v1")
+        store.put(b"k2", b"v2")
+        store._wal.sync()
+        # Simulate a crash: do NOT close (close would flush the memtable).
+        store._wal._file.close()
+        reopened = LSMStore(tmp_path / "db", memtable_limit=100)
+        assert reopened.get(b"k1") == b"v1"
+        assert reopened.get(b"k2") == b"v2"
+        reopened.close()
+
+    def test_reopen_recovers_deletes_from_wal(self, tmp_path):
+        store = LSMStore(tmp_path / "db", memtable_limit=2)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")  # flushed to SSTable
+        store.delete(b"a")  # only in WAL
+        store._wal.sync()
+        store._wal._file.close()
+        reopened = LSMStore(tmp_path / "db", memtable_limit=100)
+        assert reopened.get(b"a") is None
+        assert reopened.get(b"b") == b"2"
+        reopened.close()
+
+    def test_close_flushes_and_reopen_reads(self, tmp_path):
+        store = LSMStore(tmp_path / "db")
+        store.put(b"k", b"v")
+        store.close()
+        reopened = LSMStore(tmp_path / "db")
+        assert reopened.get(b"k") == b"v"
+        reopened.close()
+
+    def test_operations_after_close_raise(self, tmp_path):
+        store = LSMStore(tmp_path / "db")
+        store.close()
+        with pytest.raises(ClosedStoreError):
+            store.get(b"k")
+        with pytest.raises(ClosedStoreError):
+            store.put(b"k", b"v")
+
+
+class TestMetricsIntegration:
+    def test_reads_and_writes_counted(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = LSMStore(tmp_path / "db", metrics=metrics)
+        store.put(b"k", b"v")
+        store.get(b"k")
+        assert metrics.counter(metric_names.KV_WRITES) == 1
+        assert metrics.counter(metric_names.KV_READS) == 1
+        assert metrics.counter(metric_names.WAL_RECORDS) == 1
+        store.close()

@@ -1,0 +1,80 @@
+"""Tests for the LSM memtable."""
+
+from __future__ import annotations
+
+from repro.storage.kv.memtable import Memtable
+
+
+class TestLookup:
+    def test_absent_key(self):
+        table = Memtable()
+        assert table.lookup(b"k") == (False, None)
+
+    def test_put_then_lookup(self):
+        table = Memtable()
+        table.put(b"k", b"v")
+        assert table.lookup(b"k") == (True, b"v")
+
+    def test_overwrite(self):
+        table = Memtable()
+        table.put(b"k", b"v1")
+        table.put(b"k", b"v2")
+        assert table.lookup(b"k") == (True, b"v2")
+        assert len(table) == 1
+
+    def test_tombstone_distinguished_from_absent(self):
+        table = Memtable()
+        table.mark_deleted(b"k")
+        found, value = table.lookup(b"k")
+        assert found is True
+        assert value is None
+
+    def test_put_after_tombstone_resurrects(self):
+        table = Memtable()
+        table.mark_deleted(b"k")
+        table.put(b"k", b"back")
+        assert table.lookup(b"k") == (True, b"back")
+
+
+class TestScan:
+    def test_scan_is_sorted(self):
+        table = Memtable()
+        for key in (b"m", b"a", b"z", b"c"):
+            table.put(key, b"v-" + key)
+        keys = [key for key, _ in table.scan(None, None)]
+        assert keys == sorted(keys)
+
+    def test_scan_range_half_open(self):
+        table = Memtable()
+        for key in (b"a", b"b", b"c", b"d"):
+            table.put(key, key)
+        keys = [key for key, _ in table.scan(b"b", b"d")]
+        assert keys == [b"b", b"c"]
+
+    def test_scan_yields_tombstones_as_none(self):
+        table = Memtable()
+        table.put(b"a", b"1")
+        table.mark_deleted(b"b")
+        entries = dict(table.scan(None, None))
+        assert entries == {b"a": b"1", b"b": None}
+
+    def test_scan_unbounded_start(self):
+        table = Memtable()
+        table.put(b"x", b"1")
+        assert list(table.scan(None, b"y")) == [(b"x", b"1")]
+
+
+class TestBookkeeping:
+    def test_approximate_bytes_grows(self):
+        table = Memtable()
+        assert table.approximate_bytes == 0
+        table.put(b"key", b"value")
+        assert table.approximate_bytes == 8
+
+    def test_clear(self):
+        table = Memtable()
+        table.put(b"a", b"1")
+        table.clear()
+        assert len(table) == 0
+        assert table.approximate_bytes == 0
+        assert list(table.scan(None, None)) == []

@@ -1,0 +1,114 @@
+"""Tests for SSTable write/read, sparse index seeks and tombstones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SSTableError
+from repro.storage.kv.sstable import INDEX_STRIDE, SSTableReader, write_sstable
+
+
+def build(tmp_path, entries, name="t.sst"):
+    path = tmp_path / name
+    write_sstable(path, iter(entries))
+    return SSTableReader(path)
+
+
+class TestWrite:
+    def test_write_returns_count(self, tmp_path):
+        count = write_sstable(tmp_path / "t.sst", iter([(b"a", b"1"), (b"b", b"2")]))
+        assert count == 2
+
+    def test_out_of_order_keys_rejected(self, tmp_path):
+        with pytest.raises(SSTableError, match="out of order"):
+            write_sstable(tmp_path / "t.sst", iter([(b"b", b"1"), (b"a", b"2")]))
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        with pytest.raises(SSTableError, match="out of order"):
+            write_sstable(tmp_path / "t.sst", iter([(b"a", b"1"), (b"a", b"2")]))
+
+    def test_empty_table(self, tmp_path):
+        reader = build(tmp_path, [])
+        assert reader.entry_count == 0
+        assert reader.lookup(b"x") == (False, None)
+        assert list(reader.scan(None, None)) == []
+
+
+class TestLookup:
+    def test_point_lookup(self, tmp_path):
+        reader = build(tmp_path, [(b"a", b"1"), (b"m", b"2"), (b"z", b"3")])
+        assert reader.lookup(b"m") == (True, b"2")
+
+    def test_absent_between_keys(self, tmp_path):
+        reader = build(tmp_path, [(b"a", b"1"), (b"z", b"3")])
+        assert reader.lookup(b"m") == (False, None)
+
+    def test_absent_before_first_key(self, tmp_path):
+        reader = build(tmp_path, [(b"m", b"1")])
+        assert reader.lookup(b"a") == (False, None)
+
+    def test_absent_after_last_key(self, tmp_path):
+        reader = build(tmp_path, [(b"m", b"1")])
+        assert reader.lookup(b"z") == (False, None)
+
+    def test_tombstone_lookup(self, tmp_path):
+        reader = build(tmp_path, [(b"dead", None), (b"live", b"v")])
+        assert reader.lookup(b"dead") == (True, None)
+        assert reader.lookup(b"live") == (True, b"v")
+
+    def test_lookup_across_index_strides(self, tmp_path):
+        entries = [(f"key{i:05d}".encode(), f"val{i}".encode()) for i in range(200)]
+        reader = build(tmp_path, entries)
+        assert reader.entry_count == 200
+        for i in (0, 1, INDEX_STRIDE - 1, INDEX_STRIDE, 57, 199):
+            assert reader.lookup(f"key{i:05d}".encode()) == (True, f"val{i}".encode())
+        assert reader.lookup(b"key99999") == (False, None)
+
+
+class TestScan:
+    def test_full_scan_sorted(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), b"v") for i in range(50)]
+        reader = build(tmp_path, entries)
+        keys = [key for key, _ in reader.scan(None, None)]
+        assert keys == [key for key, _ in entries]
+
+    def test_range_scan_half_open(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), b"v") for i in range(50)]
+        reader = build(tmp_path, entries)
+        keys = [key for key, _ in reader.scan(b"k010", b"k013")]
+        assert keys == [b"k010", b"k011", b"k012"]
+
+    def test_range_scan_start_between_index_points(self, tmp_path):
+        entries = [(f"k{i:03d}".encode(), b"v") for i in range(64)]
+        reader = build(tmp_path, entries)
+        keys = [key for key, _ in reader.scan(b"k017", b"k020")]
+        assert keys == [b"k017", b"k018", b"k019"]
+
+    def test_scan_includes_tombstones(self, tmp_path):
+        reader = build(tmp_path, [(b"a", b"1"), (b"b", None), (b"c", b"3")])
+        assert list(reader.scan(None, None)) == [
+            (b"a", b"1"),
+            (b"b", None),
+            (b"c", b"3"),
+        ]
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.sst"
+        write_sstable(path, iter([(b"a", b"1")]))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SSTableError, match="magic"):
+            SSTableReader(path)
+
+    def test_tiny_file_rejected(self, tmp_path):
+        path = tmp_path / "t.sst"
+        path.write_bytes(b"short")
+        with pytest.raises(SSTableError, match="too small"):
+            SSTableReader(path)
+
+    def test_smallest_key(self, tmp_path):
+        reader = build(tmp_path, [(b"bbb", b"1"), (b"ccc", b"2")])
+        assert reader.smallest_key == b"bbb"

@@ -1,0 +1,33 @@
+"""Module-scoped ingested networks shared by the temporal tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import (
+    build_m1_index,
+    build_m2_network,
+    build_plain_network,
+    small_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return small_workload()
+
+
+@pytest.fixture(scope="session")
+def plain_network(tmp_path_factory, workload):
+    """Plain ingestion + a full M1 index at u=100 over (0, 1000]."""
+    network = build_plain_network(tmp_path_factory.mktemp("plain"), workload)
+    build_m1_index(network, t1=0, t2=workload.config.t_max, u=100)
+    yield network
+    network.close()
+
+
+@pytest.fixture(scope="session")
+def m2_network(tmp_path_factory, workload):
+    network = build_m2_network(tmp_path_factory.mktemp("m2"), workload, u=100)
+    yield network
+    network.close()

@@ -1,0 +1,163 @@
+"""Tests for the analytics aggregates over events and join rows."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.aggregates import (
+    busy_time_by_truck,
+    dwell_time_by_shipment,
+    event_count_histogram,
+    merge_intervals,
+    peak_concurrency_by_container,
+    shipment_hours_by_truck,
+)
+from repro.temporal.events import LOAD, Event
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.join import JoinRow
+
+
+def row(shipment, truck, start, end, container="C1"):
+    return JoinRow(shipment, truck, container, TimeInterval(start, end))
+
+
+class TestHistogram:
+    def events(self, times):
+        return [Event(time=t, key="k", other="o", kind=LOAD) for t in times]
+
+    def test_counts_per_bucket(self):
+        histogram = event_count_histogram(
+            self.events([1, 5, 10, 11, 20]), TimeInterval(0, 20), bucket=10
+        )
+        assert histogram == [
+            (TimeInterval(0, 10), 3),
+            (TimeInterval(10, 20), 2),
+        ]
+
+    def test_boundary_event_belongs_left(self):
+        histogram = event_count_histogram(
+            self.events([10]), TimeInterval(0, 20), bucket=10
+        )
+        assert histogram[0][1] == 1
+        assert histogram[1][1] == 0
+
+    def test_final_bucket_clipped(self):
+        histogram = event_count_histogram(
+            self.events([24]), TimeInterval(0, 25), bucket=10
+        )
+        assert histogram[-1][0] == TimeInterval(20, 25)
+        assert histogram[-1][1] == 1
+
+    def test_events_outside_window_ignored(self):
+        histogram = event_count_histogram(
+            self.events([5, 50]), TimeInterval(10, 30), bucket=10
+        )
+        assert sum(count for _, count in histogram) == 0
+
+    def test_bad_bucket(self):
+        with pytest.raises(TemporalQueryError):
+            event_count_histogram([], TimeInterval(0, 10), bucket=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(times=st.lists(st.integers(1, 100), max_size=30))
+    def test_total_preserved(self, times):
+        window = TimeInterval(0, 100)
+        histogram = event_count_histogram(self.events(times), window, bucket=7)
+        assert sum(count for _, count in histogram) == len(times)
+        # Buckets tile the window.
+        assert histogram[0][0].start == 0
+        assert histogram[-1][0].end == 100
+
+
+class TestMergeIntervals:
+    def test_disjoint_stay_apart(self):
+        merged = merge_intervals([TimeInterval(0, 5), TimeInterval(10, 15)])
+        assert merged == [TimeInterval(0, 5), TimeInterval(10, 15)]
+
+    def test_overlap_merges(self):
+        merged = merge_intervals([TimeInterval(0, 10), TimeInterval(5, 15)])
+        assert merged == [TimeInterval(0, 15)]
+
+    def test_touching_merges(self):
+        merged = merge_intervals([TimeInterval(0, 5), TimeInterval(5, 10)])
+        assert merged == [TimeInterval(0, 10)]
+
+    def test_containment(self):
+        merged = merge_intervals([TimeInterval(0, 20), TimeInterval(5, 10)])
+        assert merged == [TimeInterval(0, 20)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        intervals=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(1, 20)).map(
+                lambda pair: TimeInterval(pair[0], pair[0] + pair[1])
+            ),
+            max_size=15,
+        )
+    )
+    def test_union_covers_same_points(self, intervals):
+        merged = merge_intervals(intervals)
+        original_points = {
+            t for interval in intervals for t in range(interval.start + 1, interval.end + 1)
+        }
+        merged_points = {
+            t for interval in merged for t in range(interval.start + 1, interval.end + 1)
+        }
+        assert merged_points == original_points
+        # Disjoint and sorted.
+        for left, right in zip(merged, merged[1:]):
+            assert left.end < right.start
+
+
+class TestTruckAggregates:
+    ROWS = [
+        row("S1", "T1", 0, 10),
+        row("S2", "T1", 5, 15),  # overlaps S1 on T1
+        row("S3", "T2", 0, 5),
+    ]
+
+    def test_busy_time_counts_overlap_once(self):
+        assert busy_time_by_truck(self.ROWS) == {"T1": 15, "T2": 5}
+
+    def test_shipment_hours_counts_overlap_per_shipment(self):
+        assert shipment_hours_by_truck(self.ROWS) == {"T1": 20, "T2": 5}
+
+    def test_busy_never_exceeds_shipment_hours(self):
+        busy = busy_time_by_truck(self.ROWS)
+        hours = shipment_hours_by_truck(self.ROWS)
+        assert all(busy[truck] <= hours[truck] for truck in busy)
+
+
+class TestConcurrency:
+    def test_peak_concurrency(self):
+        rows = [
+            row("S1", "T1", 0, 10, container="C1"),
+            row("S2", "T1", 5, 15, container="C1"),
+            row("S3", "T1", 20, 30, container="C1"),
+            row("S4", "T2", 0, 5, container="C2"),
+        ]
+        assert peak_concurrency_by_container(rows) == {"C1": 2, "C2": 1}
+
+    def test_departure_frees_slot_before_arrival(self):
+        """(0,10] then (10,20]: never two aboard at once."""
+        rows = [
+            row("S1", "T1", 0, 10, container="C1"),
+            row("S2", "T1", 10, 20, container="C1"),
+        ]
+        assert peak_concurrency_by_container(rows) == {"C1": 1}
+
+
+class TestDwellTime:
+    def test_union_per_shipment(self):
+        rows = [
+            row("S1", "T1", 0, 10),
+            row("S1", "T2", 5, 20),  # overlapping ride segments
+            row("S2", "T1", 0, 3),
+        ]
+        assert dwell_time_by_shipment(rows) == {"S1": 20, "S2": 3}

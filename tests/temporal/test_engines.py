@@ -1,0 +1,200 @@
+"""Tests for the three query engines against ingested ledgers.
+
+The ground truth for every fetch is the generated workload itself
+(filtered in memory), so these tests check the engines against an oracle
+that never touches the ledger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.errors import TemporalQueryError
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.m1 import M1QueryEngine
+from repro.temporal.m2 import M2QueryEngine
+from repro.temporal.tqf import TQFEngine
+
+
+def oracle_events(workload, key, window):
+    return sorted(
+        event
+        for event in workload.events
+        if event.key == key and window.contains(event.time)
+    )
+
+
+WINDOWS = [
+    TimeInterval(0, 100),
+    TimeInterval(100, 300),
+    TimeInterval(350, 650),
+    TimeInterval(900, 1_000),
+]
+
+
+class TestTQFEngine:
+    def test_list_keys(self, plain_network, workload):
+        engine = TQFEngine(plain_network.ledger)
+        assert engine.list_keys("S") == workload.shipments
+        assert engine.list_keys("C") == workload.containers
+
+    @pytest.mark.parametrize("window", WINDOWS, ids=str)
+    def test_fetch_matches_oracle(self, plain_network, workload, window):
+        engine = TQFEngine(plain_network.ledger, metrics=plain_network.metrics)
+        for key in workload.shipments[:3] + workload.containers[:2]:
+            assert engine.fetch_events(key, window) == oracle_events(
+                workload, key, window
+            )
+
+    def test_early_window_cheaper_than_late(self, plain_network, workload):
+        """TQF's defining weakness: cost grows with the window's *end*."""
+        engine = TQFEngine(plain_network.ledger, metrics=plain_network.metrics)
+        key = workload.shipments[0]
+
+        def blocks_for(window):
+            before = plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+            engine.fetch_events(key, window)
+            return plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+
+        early = blocks_for(TimeInterval(0, 100))
+        late = blocks_for(TimeInterval(900, 1_000))
+        assert late > early
+
+
+class TestM1Engine:
+    def test_indexing_runs_recorded(self, plain_network, workload):
+        engine = M1QueryEngine(plain_network.ledger)
+        runs = engine.indexing_runs()
+        assert len(runs) == 1
+        assert runs[0].t1 == 0
+        assert runs[0].t2 == workload.config.t_max
+        assert runs[0].u == 100
+        assert engine.indexed_until() == workload.config.t_max
+
+    def test_list_keys_sees_base_keys(self, plain_network, workload):
+        engine = M1QueryEngine(plain_network.ledger)
+        assert engine.list_keys("S") == workload.shipments
+
+    @pytest.mark.parametrize("window", WINDOWS, ids=str)
+    def test_fetch_matches_oracle(self, plain_network, workload, window):
+        engine = M1QueryEngine(plain_network.ledger, metrics=plain_network.metrics)
+        for key in workload.shipments[:3] + workload.containers[:2]:
+            assert engine.fetch_events(key, window) == oracle_events(
+                workload, key, window
+            )
+
+    def test_one_block_per_bundle(self, plain_network, workload):
+        """Each GHFK on an index key deserializes exactly one block."""
+        metrics = plain_network.metrics
+        engine = M1QueryEngine(plain_network.ledger, metrics=metrics)
+        key = workload.shipments[0]
+        window = TimeInterval(200, 500)  # 3 index intervals at u=100
+        before = metrics.snapshot()
+        engine.fetch_events(key, window)
+        delta = metrics.snapshot().diff(before)
+        ghfk_calls = delta.counter(metric_names.GHFK_CALLS)
+        assert ghfk_calls == 3
+        # At most one block per call (empty bundles cost zero blocks).
+        assert delta.counter(metric_names.BLOCKS_DESERIALIZED) <= ghfk_calls
+
+    def test_query_beyond_indexed_range_rejected(self, plain_network, workload):
+        engine = M1QueryEngine(plain_network.ledger)
+        beyond = TimeInterval(0, workload.config.t_max + 100)
+        with pytest.raises(TemporalQueryError, match="beyond the indexed range"):
+            engine.fetch_events(workload.shipments[0], beyond)
+
+    def test_unindexed_ledger_rejects_queries(self, tmp_path, workload):
+        from tests.helpers import build_plain_network
+
+        network = build_plain_network(tmp_path, workload)
+        engine = M1QueryEngine(network.ledger)
+        assert engine.indexed_until() == 0
+        with pytest.raises(TemporalQueryError):
+            engine.fetch_events(workload.shipments[0], TimeInterval(0, 100))
+        network.close()
+
+
+class TestM2Engine:
+    def test_list_keys_dedups_composites(self, m2_network, workload):
+        engine = M2QueryEngine(m2_network.ledger)
+        assert engine.list_keys("S") == workload.shipments
+        assert engine.list_keys("C") == workload.containers
+
+    def test_index_intervals_are_temporal(self, m2_network, workload):
+        engine = M2QueryEngine(m2_network.ledger)
+        intervals = engine.index_intervals(workload.shipments[0])
+        assert intervals == sorted(intervals)
+        assert all(interval.length == 100 for interval in intervals)
+
+    @pytest.mark.parametrize("window", WINDOWS, ids=str)
+    def test_fetch_matches_oracle(self, m2_network, workload, window):
+        engine = M2QueryEngine(m2_network.ledger, metrics=m2_network.metrics)
+        for key in workload.shipments[:3] + workload.containers[:2]:
+            assert engine.fetch_events(key, window) == oracle_events(
+                workload, key, window
+            )
+
+    def test_late_window_does_not_scan_prefix(self, m2_network, workload):
+        """M2's defining strength: a late window touches only late blocks."""
+        metrics = m2_network.metrics
+        engine = M2QueryEngine(m2_network.ledger, metrics=metrics)
+        key = workload.shipments[0]
+
+        def blocks_for(window):
+            before = metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+            engine.fetch_events(key, window)
+            return metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+
+        late = blocks_for(TimeInterval(900, 1_000))
+        full = blocks_for(TimeInterval(0, 1_000))
+        assert late < full
+
+
+class TestFacade:
+    def test_unknown_model_rejected(self, plain_network):
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        with pytest.raises(TemporalQueryError, match="unknown model"):
+            facade.engine("m3")
+
+    def test_run_join_stats_populated(self, plain_network, workload):
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        result = facade.run_join("tqf", TimeInterval(100, 400))
+        assert result.stats.model == "tqf"
+        assert result.stats.ghfk_calls == workload.config.key_count
+        assert result.stats.blocks_deserialized > 0
+        assert result.stats.join_seconds > 0
+        assert result.stats.ghfk_seconds > 0
+        assert result.stats.keys_queried == workload.config.key_count
+
+    def test_m1_makes_more_but_cheaper_ghfk_calls(self, plain_network, workload):
+        """Table I's structure: M1 calls = keys x overlapping intervals,
+        TQF calls = keys; M1 deserializes fewer blocks."""
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        window = TimeInterval(500, 800)
+        tqf = facade.run_join("tqf", window).stats
+        m1 = facade.run_join("m1", window).stats
+        assert m1.ghfk_calls == workload.config.key_count * 3  # 3 intervals of 100
+        assert tqf.ghfk_calls == workload.config.key_count
+        assert m1.blocks_deserialized < tqf.blocks_deserialized
+
+    def test_join_rows_identical_across_models(
+        self, plain_network, m2_network, workload
+    ):
+        window = TimeInterval(200, 700)
+        plain_facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        m2_facade = TemporalQueryEngine(m2_network.ledger, m2_network.metrics)
+        rows_tqf = plain_facade.run_join("tqf", window).rows
+        rows_m1 = plain_facade.run_join("m1", window).rows
+        rows_m2 = m2_facade.run_join("m2", window).rows
+        assert rows_tqf == rows_m1 == rows_m2
+        assert rows_tqf  # the window is wide enough to produce rows
+
+    def test_keep_events_flag(self, plain_network):
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        window = TimeInterval(100, 400)
+        without = facade.run_join("tqf", window)
+        with_events = facade.run_join("tqf", window, keep_events=True)
+        assert without.shipment_events == {}
+        assert with_events.shipment_events

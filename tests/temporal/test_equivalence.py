@@ -1,0 +1,104 @@
+"""Cross-model equivalence: TQF, M1 and M2 must answer identically.
+
+This is the core correctness property of the paper's models -- indexes
+accelerate queries without changing their answers.  Randomized workloads
+are ingested three ways (plain for TQF, plain+index for M1, transformed
+for M2) and every engine must return the oracle's events and the same
+join rows on every window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.intervals import TimeInterval
+from repro.workload.generator import WorkloadConfig, generate
+from tests.helpers import build_m1_index, build_m2_network, build_plain_network
+
+SCENARIOS = [
+    # (seed, events_per_key, t_max, distribution, u, ingestion)
+    (101, 12, 600, "uniform", 100, "me"),
+    (202, 12, 600, "zipf", 100, "me"),
+    (303, 8, 400, "uniform", 50, "se"),
+    (404, 20, 1_000, "uniform", 200, "me"),
+]
+
+WINDOW_FRACTIONS = [(0.0, 0.2), (0.2, 0.5), (0.5, 0.6), (0.8, 1.0), (0.0, 1.0)]
+
+
+def scenario_id(scenario):
+    seed, events, t_max, dist, u, ingestion = scenario
+    return f"seed{seed}-{dist}-{ingestion}-u{u}"
+
+
+@pytest.fixture(scope="module", params=SCENARIOS, ids=scenario_id)
+def scenario(request, tmp_path_factory):
+    seed, events_per_key, t_max, distribution, u, ingestion = request.param
+    config = WorkloadConfig(
+        name="equiv",
+        n_shipments=5,
+        n_containers=3,
+        n_trucks=2,
+        events_per_key=events_per_key,
+        t_max=t_max,
+        distribution=distribution,
+        seed=seed,
+    )
+    data = generate(config)
+    plain = build_plain_network(
+        tmp_path_factory.mktemp("plain"), data, strategy=ingestion
+    )
+    build_m1_index(plain, t1=0, t2=t_max, u=u)
+    m2 = build_m2_network(tmp_path_factory.mktemp("m2"), data, u=u, strategy=ingestion)
+    yield data, plain, m2
+    plain.close()
+    m2.close()
+
+
+def windows(t_max):
+    result = []
+    for lo, hi in WINDOW_FRACTIONS:
+        start, end = int(t_max * lo), int(t_max * hi)
+        if end > start:
+            result.append(TimeInterval(start, end))
+    return result
+
+
+class TestModelEquivalence:
+    def test_per_key_events_identical(self, scenario):
+        data, plain, m2 = scenario
+        plain_facade = TemporalQueryEngine(plain.ledger, plain.metrics)
+        m2_facade = TemporalQueryEngine(m2.ledger, m2.metrics)
+        oracle = data.events_by_key()
+        for window in windows(data.config.t_max):
+            for key in data.shipments + data.containers:
+                expected = sorted(
+                    e for e in oracle.get(key, []) if window.contains(e.time)
+                )
+                tqf = plain_facade.engine("tqf").fetch_events(key, window)
+                m1 = plain_facade.engine("m1").fetch_events(key, window)
+                m2_events = m2_facade.engine("m2").fetch_events(key, window)
+                assert tqf == expected, (key, str(window), "tqf")
+                assert m1 == expected, (key, str(window), "m1")
+                assert m2_events == expected, (key, str(window), "m2")
+
+    def test_join_rows_identical(self, scenario):
+        data, plain, m2 = scenario
+        plain_facade = TemporalQueryEngine(plain.ledger, plain.metrics)
+        m2_facade = TemporalQueryEngine(m2.ledger, m2.metrics)
+        for window in windows(data.config.t_max):
+            rows_tqf = plain_facade.run_join("tqf", window).rows
+            rows_m1 = plain_facade.run_join("m1", window).rows
+            rows_m2 = m2_facade.run_join("m2", window).rows
+            assert rows_tqf == rows_m1, str(window)
+            assert rows_tqf == rows_m2, str(window)
+
+    def test_m1_deserializes_fewer_blocks_on_late_windows(self, scenario):
+        data, plain, _ = scenario
+        facade = TemporalQueryEngine(plain.ledger, plain.metrics)
+        t_max = data.config.t_max
+        window = TimeInterval(int(t_max * 0.8), t_max)
+        tqf = facade.run_join("tqf", window).stats
+        m1 = facade.run_join("m1", window).stats
+        assert m1.blocks_deserialized < tqf.blocks_deserialized

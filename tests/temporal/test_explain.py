@@ -1,0 +1,113 @@
+"""Tests for query EXPLAIN: predictions must match measured counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.errors import TemporalQueryError
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.explain import QueryExplainer
+from repro.temporal.intervals import TimeInterval
+
+WINDOWS = [
+    TimeInterval(0, 200),
+    TimeInterval(200, 500),
+    TimeInterval(450, 1_000),
+]
+
+
+def measured_fetch(network, engine, key, window):
+    before = network.metrics.snapshot()
+    engine.fetch_events(key, window)
+    delta = network.metrics.snapshot().diff(before)
+    return (
+        delta.counter(metric_names.GHFK_CALLS),
+        delta.counter(metric_names.BLOCKS_DESERIALIZED),
+    )
+
+
+class TestM1Explain:
+    @pytest.mark.parametrize("window", WINDOWS, ids=str)
+    def test_prediction_matches_measurement(self, plain_network, workload, window):
+        explainer = QueryExplainer(plain_network.ledger)
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        for key in workload.shipments[:3]:
+            plan = explainer.explain_fetch("m1", key, window)
+            calls, blocks = measured_fetch(
+                plain_network, facade.engine("m1"), key, window
+            )
+            assert plan.ghfk_calls == calls, key
+            assert plan.blocks == blocks, key
+            assert plan.blocks_exact
+
+    def test_plan_lists_intervals(self, plain_network, workload):
+        explainer = QueryExplainer(plain_network.ledger)
+        plan = explainer.explain_fetch(
+            "m1", workload.shipments[0], TimeInterval(200, 500)
+        )
+        assert len(plan.intervals) == 3  # u=100 over a 300-wide window
+        assert "m1 fetch" in plan.render()
+
+
+class TestM2Explain:
+    @pytest.mark.parametrize("window", WINDOWS, ids=str)
+    def test_prediction_bounds_measurement(self, m2_network, workload, window):
+        explainer = QueryExplainer(m2_network.ledger)
+        facade = TemporalQueryEngine(m2_network.ledger, m2_network.metrics)
+        for key in workload.shipments[:3]:
+            plan = explainer.explain_fetch("m2", key, window)
+            calls, blocks = measured_fetch(m2_network, facade.engine("m2"), key, window)
+            assert plan.ghfk_calls == calls, key
+            if plan.blocks_exact:
+                assert plan.blocks == blocks, key
+            else:
+                assert plan.blocks >= blocks, key
+
+    def test_aligned_window_is_exact(self, m2_network, workload):
+        explainer = QueryExplainer(m2_network.ledger)
+        plan = explainer.explain_fetch(
+            "m2", workload.shipments[0], TimeInterval(0, 1_000)
+        )
+        assert plan.blocks_exact
+
+
+class TestTQFExplain:
+    def test_upper_bound_holds(self, plain_network, workload):
+        explainer = QueryExplainer(plain_network.ledger)
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        key = workload.containers[0]
+        for window in WINDOWS:
+            plan = explainer.explain_fetch("tqf", key, window)
+            calls, blocks = measured_fetch(
+                plain_network, facade.engine("tqf"), key, window
+            )
+            assert calls == 1 == plan.ghfk_calls
+            assert not plan.blocks_exact
+            assert plan.blocks >= blocks
+
+    def test_full_window_bound_is_tight(self, plain_network, workload):
+        """Scanning to the end of time hits the bound exactly."""
+        explainer = QueryExplainer(plain_network.ledger)
+        facade = TemporalQueryEngine(plain_network.ledger, plain_network.metrics)
+        key = workload.containers[0]
+        window = TimeInterval(0, workload.config.t_max)
+        plan = explainer.explain_fetch("tqf", key, window)
+        _, blocks = measured_fetch(plain_network, facade.engine("tqf"), key, window)
+        assert plan.blocks == blocks
+
+
+class TestExplainJoin:
+    def test_join_plan_aggregates(self, plain_network, workload):
+        explainer = QueryExplainer(plain_network.ledger)
+        window = TimeInterval(200, 500)
+        plans = explainer.explain_join("m1", window, workload.shipments)
+        assert len(plans) == len(workload.shipments)
+        total_calls = sum(plan.ghfk_calls for plan in plans)
+        assert total_calls == len(workload.shipments) * 3
+
+    def test_unknown_model(self, plain_network):
+        with pytest.raises(TemporalQueryError):
+            QueryExplainer(plain_network.ledger).explain_fetch(
+                "m7", "S00000", TimeInterval(0, 100)
+            )

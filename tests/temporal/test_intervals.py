@@ -1,0 +1,148 @@
+"""Tests for the (start, end] interval algebra and fixed-length scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.intervals import FixedIntervalScheme, TimeInterval
+
+
+class TestTimeInterval:
+    def test_contains_is_half_open_left(self):
+        interval = TimeInterval(10, 20)
+        assert not interval.contains(10)  # start excluded
+        assert interval.contains(11)
+        assert interval.contains(20)  # end included
+        assert not interval.contains(21)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            TimeInterval(5, 5)
+        with pytest.raises(TemporalQueryError):
+            TimeInterval(7, 3)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            TimeInterval(-1, 5)
+
+    def test_overlap(self):
+        assert TimeInterval(0, 10).overlaps(TimeInterval(5, 15))
+        assert TimeInterval(5, 15).overlaps(TimeInterval(0, 10))
+        assert not TimeInterval(0, 10).overlaps(TimeInterval(10, 20))  # adjacent
+        assert not TimeInterval(10, 20).overlaps(TimeInterval(0, 10))
+
+    def test_intersection(self):
+        assert TimeInterval(0, 10).intersection(TimeInterval(5, 15)) == TimeInterval(5, 10)
+        assert TimeInterval(0, 10).intersection(TimeInterval(10, 20)) is None
+        assert TimeInterval(0, 30).intersection(TimeInterval(10, 20)) == TimeInterval(10, 20)
+
+    def test_length_and_str(self):
+        interval = TimeInterval(2_000, 4_000)
+        assert interval.length == 2_000
+        assert str(interval) == "(2000-4000]"
+
+
+class TestFixedIntervalScheme:
+    def test_interval_for_interior_point(self):
+        scheme = FixedIntervalScheme(2_000)
+        assert scheme.interval_for(1) == TimeInterval(0, 2_000)
+        assert scheme.interval_for(1_999) == TimeInterval(0, 2_000)
+        assert scheme.interval_for(2_001) == TimeInterval(2_000, 4_000)
+
+    def test_interval_for_boundary_belongs_left(self):
+        """t = k*u lands in ((k-1)u, ku] -- the only partition-consistent
+        reading of the paper's floor/ceil formula."""
+        scheme = FixedIntervalScheme(2_000)
+        assert scheme.interval_for(2_000) == TimeInterval(0, 2_000)
+        assert scheme.interval_for(4_000) == TimeInterval(2_000, 4_000)
+
+    def test_interval_for_zero_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            FixedIntervalScheme(10).interval_for(0)
+
+    def test_non_positive_u_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            FixedIntervalScheme(0)
+
+    def test_previous_interval(self):
+        scheme = FixedIntervalScheme(100)
+        assert scheme.previous_interval(TimeInterval(100, 200)) == TimeInterval(0, 100)
+        assert scheme.previous_interval(TimeInterval(0, 100)) is None
+
+    def test_intervals_overlapping_paper_example(self):
+        """Query (10K, 20K] with u=2K touches exactly the 5 intervals the
+        paper lists in Section VII-A."""
+        scheme = FixedIntervalScheme(2_000)
+        overlapping = scheme.intervals_overlapping(TimeInterval(10_000, 20_000))
+        assert overlapping == [
+            TimeInterval(10_000, 12_000),
+            TimeInterval(12_000, 14_000),
+            TimeInterval(14_000, 16_000),
+            TimeInterval(16_000, 18_000),
+            TimeInterval(18_000, 20_000),
+        ]
+
+    def test_intervals_overlapping_unaligned_window(self):
+        scheme = FixedIntervalScheme(100)
+        overlapping = scheme.intervals_overlapping(TimeInterval(150, 250))
+        assert overlapping == [
+            TimeInterval(100, 200),
+            TimeInterval(200, 300),
+        ]
+
+    def test_partition(self):
+        scheme = FixedIntervalScheme(50)
+        parts = scheme.partition(TimeInterval(100, 250))
+        assert parts == [
+            TimeInterval(100, 150),
+            TimeInterval(150, 200),
+            TimeInterval(200, 250),
+        ]
+
+    def test_partition_requires_alignment(self):
+        with pytest.raises(TemporalQueryError, match="not aligned"):
+            FixedIntervalScheme(50).partition(TimeInterval(10, 100))
+
+
+@given(t=st.integers(min_value=1, max_value=10**9), u=st.integers(min_value=1, max_value=10**6))
+def test_interval_for_always_contains_t(t, u):
+    interval = FixedIntervalScheme(u).interval_for(t)
+    assert interval.contains(t)
+    assert interval.length == u
+    assert interval.start % u == 0
+
+
+@given(
+    start=st.integers(min_value=0, max_value=10**6),
+    length=st.integers(min_value=1, max_value=10**5),
+    u=st.integers(min_value=1, max_value=10**4),
+)
+def test_overlapping_intervals_tile_the_window(start, length, u):
+    """The overlapping intervals are adjacent, cover the window, and each
+    one genuinely overlaps it."""
+    window = TimeInterval(start, start + length)
+    scheme = FixedIntervalScheme(u)
+    intervals = scheme.intervals_overlapping(window)
+    assert intervals, "a non-empty window always overlaps something"
+    for interval in intervals:
+        assert interval.overlaps(window)
+    for left, right in zip(intervals, intervals[1:]):
+        assert left.end == right.start
+    assert intervals[0].start <= window.start
+    assert intervals[-1].end >= window.end
+
+
+@given(
+    a_start=st.integers(min_value=0, max_value=1000),
+    a_len=st.integers(min_value=1, max_value=100),
+    b_start=st.integers(min_value=0, max_value=1000),
+    b_len=st.integers(min_value=1, max_value=100),
+)
+def test_overlap_agrees_with_intersection(a_start, a_len, b_start, b_len):
+    a = TimeInterval(a_start, a_start + a_len)
+    b = TimeInterval(b_start, b_start + b_len)
+    assert a.overlaps(b) == (a.intersection(b) is not None)
+    assert a.overlaps(b) == b.overlaps(a)

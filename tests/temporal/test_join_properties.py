@@ -1,0 +1,155 @@
+"""Property tests: the temporal join against a point-wise oracle.
+
+The oracle evaluates membership instant by instant -- shipment ``s`` is
+inside container ``c`` at time ``t`` iff some load/unload pair satisfies
+``load < t <= unload`` -- and marks ``(s, truck, t)`` whenever both
+memberships hold.  The join's interval rows, expanded to points, must
+cover exactly the same set.  This is independent of the placement-pairing
+logic under test.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal.events import LOAD, UNLOAD, Event
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.join import temporal_join
+
+T_MAX = 40
+
+
+@st.composite
+def key_events(draw, key, counterparts):
+    """A valid alternating load/unload sequence for one key."""
+    pair_count = draw(st.integers(min_value=0, max_value=3))
+    times = sorted(
+        draw(
+            st.sets(
+                st.integers(min_value=1, max_value=T_MAX),
+                min_size=pair_count * 2,
+                max_size=pair_count * 2,
+            )
+        )
+    )
+    events = []
+    for index in range(0, len(times), 2):
+        other = draw(st.sampled_from(counterparts))
+        events.append(Event(time=times[index], key=key, other=other, kind=LOAD))
+        events.append(Event(time=times[index + 1], key=key, other=other, kind=UNLOAD))
+    return events
+
+
+@st.composite
+def scenario(draw):
+    shipments = ["S1", "S2"]
+    containers = ["C1", "C2"]
+    trucks = ["T1", "T2"]
+    shipment_events = {
+        key: draw(key_events(key, containers)) for key in shipments
+    }
+    container_events = {
+        key: draw(key_events(key, trucks)) for key in containers
+    }
+    return shipment_events, container_events
+
+
+def membership_at(events, t, window=None):
+    """The counterpart ``key`` is inside at instant ``t``, or None.
+
+    With ``window`` set, placements with *no event inside the window* are
+    treated as unknowable: a window-retrieval query (any of the paper's
+    models) only sees events in ``τ``, so a placement spanning the whole
+    window is invisible to it by construction.
+    """
+    for index in range(0, len(events), 2):
+        load, unload = events[index], events[index + 1]
+        if load.time < t <= unload.time:
+            if window is not None and not (
+                window.contains(load.time) or window.contains(unload.time)
+            ):
+                return None
+            return load.other
+    return None
+
+
+def oracle_points(shipment_events, container_events, window, knowable_only=False):
+    restriction = window if knowable_only else None
+    points = set()
+    for t in range(window.start + 1, window.end + 1):
+        truck_of_container = {
+            container: membership_at(events, t, restriction)
+            for container, events in container_events.items()
+        }
+        for shipment, events in shipment_events.items():
+            container = membership_at(events, t, restriction)
+            if container is None:
+                continue
+            truck = truck_of_container.get(container)
+            if truck is not None:
+                points.add((shipment, truck, container, t))
+    return points
+
+
+def rows_to_points(rows):
+    points = set()
+    for row in rows:
+        for t in range(row.interval.start + 1, row.interval.end + 1):
+            points.add((row.shipment, row.truck, row.container, t))
+    return points
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=scenario())
+def test_join_matches_pointwise_oracle_full_window(data):
+    shipment_events, container_events = data
+    window = TimeInterval(0, T_MAX)
+    rows = temporal_join(shipment_events, container_events, window)
+    assert rows_to_points(rows) == oracle_points(
+        shipment_events, container_events, window
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    data=scenario(),
+    start=st.integers(min_value=0, max_value=T_MAX - 1),
+    length=st.integers(min_value=1, max_value=T_MAX),
+)
+def test_join_matches_pointwise_oracle_sub_window(data, start, length):
+    """Windowed joins see clipped placements; the point sets must still
+    agree inside the window."""
+    shipment_events, container_events = data
+    window = TimeInterval(start, min(T_MAX, start + length))
+    if window.end <= window.start:
+        return
+    # The engine only receives events inside the window -- exactly what
+    # any of the paper's retrieval paths would deliver.
+    visible_shipments = {
+        key: [e for e in events if window.contains(e.time)]
+        for key, events in shipment_events.items()
+    }
+    visible_containers = {
+        key: [e for e in events if window.contains(e.time)]
+        for key, events in container_events.items()
+    }
+    rows = temporal_join(visible_shipments, visible_containers, window)
+    # The oracle has FULL knowledge but honours knowability: a placement
+    # with no event inside the window is invisible to window retrieval.
+    oracle = oracle_points(
+        shipment_events, container_events, window, knowable_only=True
+    )
+    assert rows_to_points(rows) == oracle
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=scenario())
+def test_rows_are_within_window_and_sorted(data):
+    shipment_events, container_events = data
+    window = TimeInterval(5, 30)
+    rows = temporal_join(shipment_events, container_events, window)
+    assert rows == sorted(rows)
+    for row in rows:
+        assert row.interval.start >= window.start
+        assert row.interval.end <= window.end

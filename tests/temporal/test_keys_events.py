@@ -1,0 +1,116 @@
+"""Tests for composite key encoding and the event schema."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.events import LOAD, UNLOAD, Event, events_from_values, events_to_values
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.keys import (
+    decode_interval_key,
+    encode_interval_key,
+    interval_key_range,
+    is_interval_key,
+    validate_base_key,
+)
+
+
+class TestCompositeKeys:
+    def test_round_trip(self):
+        interval = TimeInterval(2_000, 4_000)
+        composite = encode_interval_key("S00001", interval)
+        assert decode_interval_key(composite) == ("S00001", interval)
+
+    def test_is_interval_key(self):
+        assert is_interval_key(encode_interval_key("k", TimeInterval(0, 10)))
+        assert not is_interval_key("S00001")
+
+    def test_reserved_bytes_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            validate_base_key("bad\x00key")
+        with pytest.raises(TemporalQueryError):
+            validate_base_key("bad\x01key")
+        with pytest.raises(TemporalQueryError):
+            validate_base_key("")
+
+    def test_decode_rejects_plain_keys(self):
+        with pytest.raises(TemporalQueryError):
+            decode_interval_key("S00001")
+
+    def test_decode_rejects_malformed_bounds(self):
+        with pytest.raises(TemporalQueryError):
+            decode_interval_key("k\x00abc\x00def")
+
+    def test_interval_keys_sort_by_base_then_start(self):
+        keys = [
+            encode_interval_key("S2", TimeInterval(0, 10)),
+            encode_interval_key("S1", TimeInterval(90, 100)),
+            encode_interval_key("S1", TimeInterval(0, 10)),
+            encode_interval_key("S10", TimeInterval(0, 10)),
+        ]
+        ordered = sorted(keys)
+        decoded = [decode_interval_key(key)[0] for key in ordered]
+        assert decoded == ["S1", "S1", "S10", "S2"]
+        assert decode_interval_key(ordered[0])[1].start == 0
+        assert decode_interval_key(ordered[1])[1].start == 90
+
+    def test_range_covers_exactly_one_base_key(self):
+        start, end = interval_key_range("S1")
+        inside = encode_interval_key("S1", TimeInterval(0, 10))
+        other = encode_interval_key("S10", TimeInterval(0, 10))
+        assert start <= inside < end
+        assert not (start <= other < end)
+        assert not (start <= "S1" < end)
+
+    @given(
+        base=st.text(
+            alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+            min_size=1,
+            max_size=10,
+        ),
+        start=st.integers(min_value=0, max_value=10**10),
+        length=st.integers(min_value=1, max_value=10**6),
+    )
+    def test_round_trip_property(self, base, start, length):
+        interval = TimeInterval(start, start + length)
+        assert decode_interval_key(encode_interval_key(base, interval)) == (
+            base,
+            interval,
+        )
+
+
+class TestEvents:
+    def test_value_round_trip(self):
+        event = Event(time=42, key="S00001", other="C00002", kind=LOAD)
+        assert Event.from_value("S00001", event.to_value()) == event
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            Event(time=1, key="k", other="o", kind="loadish")
+
+    def test_time_zero_rejected(self):
+        with pytest.raises(TemporalQueryError):
+            Event(time=0, key="k", other="o", kind=LOAD)
+
+    def test_is_load(self):
+        assert Event(time=1, key="k", other="o", kind=LOAD).is_load
+        assert not Event(time=1, key="k", other="o", kind=UNLOAD).is_load
+
+    def test_ordering_by_time(self):
+        early = Event(time=1, key="z", other="o", kind=UNLOAD)
+        late = Event(time=2, key="a", other="o", kind=LOAD)
+        assert sorted([late, early]) == [early, late]
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(TemporalQueryError, match="malformed"):
+            Event.from_value("k", {"wrong": "shape"})
+
+    def test_bundle_round_trip(self):
+        events = [
+            Event(time=1, key="k", other="a", kind=LOAD),
+            Event(time=5, key="k", other="a", kind=UNLOAD),
+        ]
+        assert events_from_values("k", events_to_values(events)) == events

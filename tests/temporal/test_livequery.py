@@ -1,0 +1,115 @@
+"""Tests for standing (live) join queries over the block stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import TemporalQueryError
+from repro.fabric.network import FabricNetwork
+from repro.temporal.chaincodes import SupplyChainChaincode
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.livequery import LiveJoinQuery
+from repro.workload.generator import WorkloadConfig, generate
+from repro.workload.ingest import ingest
+from tests.helpers import fabric_config
+
+CONFIG = WorkloadConfig(
+    name="live",
+    n_shipments=5,
+    n_containers=3,
+    n_trucks=2,
+    events_per_key=16,
+    t_max=800,
+    seed=13,
+)
+
+
+@pytest.fixture
+def network(tmp_path):
+    with FabricNetwork(tmp_path, config=fabric_config(max_message_count=4)) as net:
+        net.install(SupplyChainChaincode())
+        yield net
+
+
+@pytest.fixture
+def workload():
+    return generate(CONFIG)
+
+
+class TestValidation:
+    def test_exactly_one_window_mode(self):
+        with pytest.raises(TemporalQueryError, match="exactly one"):
+            LiveJoinQuery()
+        with pytest.raises(TemporalQueryError, match="exactly one"):
+            LiveJoinQuery(window=TimeInterval(0, 10), sliding_width=5)
+        with pytest.raises(TemporalQueryError, match="positive"):
+            LiveJoinQuery(sliding_width=0)
+
+
+class TestAnchoredWindow:
+    def test_matches_batch_query_after_full_ingest(self, network, workload):
+        window = TimeInterval(100, 600)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        assert live.rows() == facade.run_join("tqf", window).rows
+
+    def test_matches_batch_query_at_every_step(self, network, workload):
+        """Results stay correct mid-stream, not just at the end."""
+        window = TimeInterval(0, CONFIG.t_max)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        gateway = network.gateway("ingestor")
+        chunk = len(workload.events) // 4
+        for index in range(0, len(workload.events), chunk):
+            ingest(gateway, workload.events[index: index + chunk], "supplychain")
+            assert live.rows() == facade.run_join("tqf", window).rows
+
+    def test_reads_are_cached_until_new_blocks(self, network, workload):
+        window = TimeInterval(0, CONFIG.t_max)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        first = live.rows()
+        assert live.rows() is first  # same object: no recompute
+
+    def test_invalid_and_index_writes_ignored(self, network, workload):
+        from tests.helpers import build_m1_index
+
+        window = TimeInterval(0, CONFIG.t_max)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        from repro.temporal.chaincodes import M1IndexChaincode
+
+        network.install(M1IndexChaincode())
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        rows_before = list(live.rows())
+        build_m1_index(network, t1=0, t2=CONFIG.t_max, u=100)
+        assert live.rows() == rows_before  # index traffic changes nothing
+
+    def test_blocks_seen_counts(self, network, workload):
+        live = LiveJoinQuery(window=TimeInterval(0, 10)).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        assert live.blocks_seen == network.ledger.height
+
+
+class TestSlidingWindow:
+    def test_window_trails_latest_event(self, network, workload):
+        live = LiveJoinQuery(sliding_width=200).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        latest = max(e.time for e in workload.events)
+        assert live.window == TimeInterval(latest - 200, latest)
+
+    def test_sliding_rows_match_batch_on_same_window(self, network, workload):
+        live = LiveJoinQuery(sliding_width=300).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        assert live.rows() == facade.run_join("tqf", live.window).rows
+
+    def test_trucks_for_helper(self, network, workload):
+        live = LiveJoinQuery(window=TimeInterval(0, CONFIG.t_max)).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        shipment = workload.shipments[0]
+        expected = sorted(
+            {row.truck for row in live.rows() if row.shipment == shipment}
+        )
+        assert live.trucks_for(shipment) == expected

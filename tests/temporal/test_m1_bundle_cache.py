@@ -1,0 +1,68 @@
+"""Tests for the M1 client-side bundle cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.m1 import M1QueryEngine
+
+
+@pytest.fixture
+def cached_engine(plain_network):
+    return M1QueryEngine(
+        plain_network.ledger, metrics=plain_network.metrics, bundle_cache_size=256
+    )
+
+
+class TestBundleCache:
+    def test_repeat_fetch_costs_zero_blocks(self, cached_engine, plain_network, workload):
+        key = workload.shipments[0]
+        window = TimeInterval(200, 600)
+        cached_engine.fetch_events(key, window)
+        before = plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        cached_engine.fetch_events(key, window)
+        assert plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED) == before
+
+    def test_overlapping_windows_share_cached_bundles(
+        self, cached_engine, plain_network, workload
+    ):
+        key = workload.shipments[1]
+        cached_engine.fetch_events(key, TimeInterval(0, 500))
+        before = plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        # (200, 400] is fully covered by intervals already cached.
+        cached_engine.fetch_events(key, TimeInterval(200, 400))
+        assert plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED) == before
+
+    def test_answers_identical_with_and_without_cache(
+        self, cached_engine, plain_network, workload
+    ):
+        plain_engine = M1QueryEngine(plain_network.ledger)
+        for window in (TimeInterval(0, 300), TimeInterval(450, 1_000)):
+            for key in workload.shipments[:3]:
+                assert cached_engine.fetch_events(key, window) == (
+                    plain_engine.fetch_events(key, window)
+                )
+                # Repeat from cache: still identical.
+                assert cached_engine.fetch_events(key, window) == (
+                    plain_engine.fetch_events(key, window)
+                )
+
+    def test_eviction_bounds_memory(self, plain_network, workload):
+        tiny = M1QueryEngine(
+            plain_network.ledger, metrics=plain_network.metrics, bundle_cache_size=2
+        )
+        for key in workload.shipments[:3]:
+            tiny.fetch_events(key, TimeInterval(0, 1_000))
+        assert len(tiny._bundle_cache) <= 2
+
+    def test_disabled_by_default(self, plain_network, workload):
+        engine = M1QueryEngine(plain_network.ledger, metrics=plain_network.metrics)
+        key = workload.shipments[0]
+        window = TimeInterval(200, 600)
+        engine.fetch_events(key, window)
+        before = plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        engine.fetch_events(key, window)
+        # Without the cache every fetch pays its blocks again.
+        assert plain_network.metrics.counter(metric_names.BLOCKS_DESERIALIZED) > before

@@ -1,0 +1,157 @@
+"""Integration tests: M1 indexing with data-dependent planners.
+
+A planner-based run persists a per-key interval directory; queries must
+consult it and still return oracle-identical answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.temporal.intervals import TimeInterval
+from repro.temporal.m1 import (
+    SCHEME_DIRECTORY,
+    M1Indexer,
+    M1QueryEngine,
+    directory_key,
+)
+from repro.temporal.planners import EquiCountPlanner, GeometricPlanner
+from repro.workload.generator import WorkloadConfig, generate
+from tests.helpers import build_plain_network
+
+CONFIG = WorkloadConfig(
+    name="planner",
+    n_shipments=5,
+    n_containers=3,
+    n_trucks=2,
+    events_per_key=24,
+    t_max=1_200,
+    distribution="zipf",  # skew makes equi-count genuinely different
+    seed=77,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def network(tmp_path_factory, workload):
+    network = build_plain_network(tmp_path_factory.mktemp("planner"), workload)
+    indexer = M1Indexer(
+        ledger=network.ledger,
+        gateway=network.gateway("indexer"),
+        key_prefixes=["S", "C"],
+        metrics=network.metrics,
+    )
+    report = indexer.run_with_planner(0, CONFIG.t_max, EquiCountPlanner(4))
+    yield network, report
+    network.close()
+
+
+class TestEquiCountRun:
+    def test_run_recorded_as_directory_scheme(self, network):
+        net, report = network
+        assert report.planner == "equicount"
+        assert report.run.scheme == SCHEME_DIRECTORY
+        engine = M1QueryEngine(net.ledger)
+        assert engine.indexing_runs()[0].scheme == SCHEME_DIRECTORY
+
+    def test_directory_written_per_key(self, network, workload):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger)
+        for key in workload.shipments:
+            intervals = engine.directory_intervals(key)
+            assert intervals, f"no directory for {key}"
+            # Directory intervals are disjoint and ordered.
+            for left, right in zip(intervals, intervals[1:]):
+                assert left.end <= right.start
+
+    def test_interior_bundles_hold_n_events(self, network, workload):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger, metrics=net.metrics)
+        key = workload.shipments[0]
+        oracle = [e for e in workload.events if e.key == key]
+        intervals = engine.directory_intervals(key)
+        for interval in intervals[:-1]:
+            count = sum(1 for e in oracle if interval.contains(e.time))
+            assert count == 4
+
+    def test_queries_match_oracle(self, network, workload):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger, metrics=net.metrics)
+        for window in (
+            TimeInterval(0, 300),
+            TimeInterval(250, 700),
+            TimeInterval(900, 1_200),
+            TimeInterval(0, 1_200),
+        ):
+            for key in workload.shipments + workload.containers:
+                expected = sorted(
+                    e for e in workload.events
+                    if e.key == key and window.contains(e.time)
+                )
+                assert engine.fetch_events(key, window) == expected, (key, str(window))
+
+    def test_one_block_per_bundle_still_holds(self, network, workload):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger, metrics=net.metrics)
+        key = workload.shipments[0]
+        window = TimeInterval(0, 600)
+        before = net.metrics.snapshot()
+        engine.fetch_events(key, window)
+        delta = net.metrics.snapshot().diff(before)
+        assert delta.counter(metric_names.BLOCKS_DESERIALIZED) <= delta.counter(
+            metric_names.GHFK_CALLS
+        )
+
+    def test_directory_key_hidden_from_entity_scans(self, network):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger)
+        assert all(not k.startswith("\x02") for k in engine.list_keys("S"))
+        assert directory_key("S00000").startswith("\x02")
+
+
+class TestMixedSchemes:
+    def test_fixed_then_equicount_runs_compose(self, tmp_path, workload):
+        """First half indexed fixed-length, second half equi-count: queries
+        spanning the boundary see everything exactly once."""
+        network = build_plain_network(tmp_path, workload)
+        indexer = M1Indexer(
+            ledger=network.ledger,
+            gateway=network.gateway("indexer"),
+            key_prefixes=["S", "C"],
+            metrics=network.metrics,
+        )
+        indexer.run(0, 600, u=100)
+        indexer.run_with_planner(600, 1_200, EquiCountPlanner(4))
+        engine = M1QueryEngine(network.ledger, metrics=network.metrics)
+        window = TimeInterval(400, 900)
+        for key in workload.shipments[:3]:
+            expected = sorted(
+                e for e in workload.events
+                if e.key == key and window.contains(e.time)
+            )
+            assert engine.fetch_events(key, window) == expected
+        network.close()
+
+    def test_geometric_planner_end_to_end(self, tmp_path, workload):
+        network = build_plain_network(tmp_path, workload)
+        indexer = M1Indexer(
+            ledger=network.ledger,
+            gateway=network.gateway("indexer"),
+            key_prefixes=["S", "C"],
+            metrics=network.metrics,
+        )
+        indexer.run_with_planner(0, 1_200, GeometricPlanner(base=50, ratio=2.0))
+        engine = M1QueryEngine(network.ledger, metrics=network.metrics)
+        window = TimeInterval(100, 1_000)
+        key = workload.containers[0]
+        expected = sorted(
+            e for e in workload.events
+            if e.key == key and window.contains(e.time)
+        )
+        assert engine.fetch_events(key, window) == expected
+        network.close()

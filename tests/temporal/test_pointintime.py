@@ -1,0 +1,111 @@
+"""Tests for as-of-timestamp state queries across all three models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.errors import TemporalQueryError
+from repro.temporal.pointintime import PointInTimeEngine
+
+
+@pytest.fixture(scope="module")
+def engines(plain_network, m2_network):
+    return (
+        PointInTimeEngine(plain_network.ledger, metrics=plain_network.metrics),
+        PointInTimeEngine(m2_network.ledger, metrics=m2_network.metrics),
+    )
+
+
+def oracle_state_at(workload, key, timestamp):
+    eligible = [
+        e for e in workload.events if e.key == key and e.time <= timestamp
+    ]
+    return max(eligible) if eligible else None
+
+
+TIMESTAMPS = [1, 50, 137, 500, 733, 999, 1_000]
+
+
+class TestStateAt:
+    def test_tqf_matches_oracle(self, engines, workload):
+        plain_engine, _ = engines
+        for key in workload.shipments[:3]:
+            for timestamp in TIMESTAMPS:
+                assert plain_engine.state_at("tqf", key, timestamp) == oracle_state_at(
+                    workload, key, timestamp
+                ), (key, timestamp)
+
+    def test_m1_matches_oracle(self, engines, workload):
+        plain_engine, _ = engines
+        for key in workload.shipments[:3] + workload.containers[:1]:
+            for timestamp in TIMESTAMPS:
+                assert plain_engine.state_at("m1", key, timestamp) == oracle_state_at(
+                    workload, key, timestamp
+                ), (key, timestamp)
+
+    def test_m2_matches_oracle(self, engines, workload):
+        _, m2_engine = engines
+        for key in workload.shipments[:3] + workload.containers[:1]:
+            for timestamp in TIMESTAMPS:
+                assert m2_engine.state_at("m2", key, timestamp) == oracle_state_at(
+                    workload, key, timestamp
+                ), (key, timestamp)
+
+    def test_before_first_event_is_none(self, engines, workload):
+        plain_engine, m2_engine = engines
+        key = workload.shipments[0]
+        first = min(e.time for e in workload.events if e.key == key)
+        if first > 1:
+            assert plain_engine.state_at("tqf", key, first - 1) is None
+            assert m2_engine.state_at("m2", key, first - 1) is None
+
+    def test_timestamp_zero_is_none(self, engines, workload):
+        plain_engine, _ = engines
+        assert plain_engine.state_at("tqf", workload.shipments[0], 0) is None
+
+    def test_unknown_key_is_none(self, engines):
+        plain_engine, m2_engine = engines
+        assert plain_engine.state_at("tqf", "S99999", 500) is None
+        assert plain_engine.state_at("m1", "S99999", 500) is None
+        assert m2_engine.state_at("m2", "S99999", 500) is None
+
+    def test_unknown_model_rejected(self, engines):
+        plain_engine, _ = engines
+        with pytest.raises(TemporalQueryError, match="unknown model"):
+            plain_engine.state_at("m9", "S00000", 10)
+
+    def test_m1_beyond_index_rejected(self, engines, workload):
+        plain_engine, _ = engines
+        with pytest.raises(TemporalQueryError, match="beyond the indexed"):
+            plain_engine.state_at("m1", workload.shipments[0], workload.config.t_max + 1)
+
+    def test_timeline_batch(self, engines, workload):
+        plain_engine, _ = engines
+        key = workload.containers[0]
+        results = plain_engine.timeline("tqf", key, [100, 500, 900])
+        assert results == [
+            oracle_state_at(workload, key, t) for t in (100, 500, 900)
+        ]
+
+
+class TestCosts:
+    def test_m1_cheaper_than_tqf_for_late_timestamps(
+        self, engines, workload, plain_network
+    ):
+        """As-of queries near the end of time: TQF scans everything, M1
+        probes a couple of bundles."""
+        plain_engine, _ = engines
+        key = workload.shipments[0]
+        metrics = plain_network.metrics
+        t = workload.config.t_max - 1
+
+        before = metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        plain_engine.state_at("tqf", key, t)
+        tqf_blocks = metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+
+        before = metrics.counter(metric_names.BLOCKS_DESERIALIZED)
+        plain_engine.state_at("m1", key, t)
+        m1_blocks = metrics.counter(metric_names.BLOCKS_DESERIALIZED) - before
+
+        assert m1_blocks < tqf_blocks

@@ -1,0 +1,35 @@
+"""Smoke tests: every example must run to completion.
+
+Examples are the first thing a new user executes; these tests keep them
+from rotting as the API evolves.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the repo promises at least three examples"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"

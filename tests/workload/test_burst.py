@@ -1,0 +1,73 @@
+"""Tests for the burst event-time distribution."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workload.distributions import BurstSampler, make_sampler
+from repro.workload.generator import WorkloadConfig, generate
+from tests.workload.test_generator import assert_key_invariants
+
+
+class TestBurstSampler:
+    def test_range(self):
+        sampler = BurstSampler(random.Random(1), t_max=1_000)
+        samples = [sampler.sample() for _ in range(2_000)]
+        assert all(1 <= s <= 1_000 for s in samples)
+
+    def test_mass_concentrates_in_bursts(self):
+        sampler = BurstSampler(
+            random.Random(2), t_max=8_000, periods=8, burst_fraction=0.2,
+            burst_weight=0.9,
+        )
+        samples = [sampler.sample() for _ in range(5_000)]
+        # Burst windows are the first 20% of each 1000-tick period.
+        in_burst = sum(1 for s in samples if ((s - 1) % 1_000) < 200)
+        assert in_burst / len(samples) > 0.7
+
+    def test_zero_burst_weight_is_uniform_ish(self):
+        sampler = BurstSampler(
+            random.Random(3), t_max=8_000, burst_weight=0.0
+        )
+        samples = [sampler.sample() for _ in range(5_000)]
+        in_burst = sum(1 for s in samples if ((s - 1) % 1_000) < 200)
+        assert 0.1 < in_burst / len(samples) < 0.3
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(WorkloadError):
+            BurstSampler(rng, t_max=100, periods=0)
+        with pytest.raises(WorkloadError):
+            BurstSampler(rng, t_max=100, burst_fraction=0)
+        with pytest.raises(WorkloadError):
+            BurstSampler(rng, t_max=100, burst_weight=1.5)
+
+    def test_tiny_timeline(self):
+        sampler = BurstSampler(random.Random(1), t_max=5, periods=8)
+        assert all(1 <= sampler.sample() <= 5 for _ in range(200))
+
+    def test_factory(self):
+        assert isinstance(
+            make_sampler("burst", random.Random(1), 100), BurstSampler
+        )
+
+
+class TestBurstWorkload:
+    def test_generator_invariants_hold(self):
+        config = WorkloadConfig(
+            name="burst",
+            n_shipments=4,
+            n_containers=2,
+            n_trucks=2,
+            events_per_key=20,
+            t_max=2_000,
+            distribution="burst",
+            seed=5,
+        )
+        data = generate(config)
+        assert len(data.events) == config.total_events
+        for events in data.events_by_key().values():
+            assert_key_invariants(events, config.t_max)

@@ -1,0 +1,89 @@
+"""Tests for the event-time samplers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workload.distributions import (
+    UniformSampler,
+    ZipfSampler,
+    make_sampler,
+)
+
+
+class TestUniformSampler:
+    def test_range(self):
+        sampler = UniformSampler(random.Random(1), t_max=100)
+        samples = [sampler.sample() for _ in range(1_000)]
+        assert all(1 <= s <= 100 for s in samples)
+
+    def test_covers_the_range(self):
+        sampler = UniformSampler(random.Random(1), t_max=10)
+        samples = {sampler.sample() for _ in range(500)}
+        assert samples == set(range(1, 11))
+
+    def test_roughly_uniform(self):
+        sampler = UniformSampler(random.Random(2), t_max=1_000)
+        samples = [sampler.sample() for _ in range(10_000)]
+        first_half = sum(1 for s in samples if s <= 500)
+        assert 0.45 < first_half / len(samples) < 0.55
+
+    def test_t_max_validation(self):
+        with pytest.raises(WorkloadError):
+            UniformSampler(random.Random(1), t_max=0)
+
+
+class TestZipfSampler:
+    def test_range(self):
+        sampler = ZipfSampler(random.Random(1), t_max=1_000, a=0.8)
+        samples = [sampler.sample() for _ in range(2_000)]
+        assert all(1 <= s <= 1_000 for s in samples)
+
+    def test_high_exponent_front_loads(self):
+        sampler = ZipfSampler(random.Random(3), t_max=10_000, a=1.0)
+        samples = [sampler.sample() for _ in range(5_000)]
+        first_tenth = sum(1 for s in samples if s <= 1_000)
+        assert first_tenth / len(samples) > 0.3
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        sampler = ZipfSampler(random.Random(3), t_max=10_000, a=0.0)
+        samples = [sampler.sample() for _ in range(5_000)]
+        first_half = sum(1 for s in samples if s <= 5_000)
+        assert 0.4 < first_half / len(samples) < 0.6
+
+    def test_more_skew_with_larger_exponent(self):
+        rng = random.Random(4)
+        low = ZipfSampler(rng, t_max=10_000, a=0.2)
+        high = ZipfSampler(rng, t_max=10_000, a=1.0)
+        low_early = sum(1 for _ in range(3_000) if low.sample() <= 1_000)
+        high_early = sum(1 for _ in range(3_000) if high.sample() <= 1_000)
+        assert high_early > low_early
+
+    def test_exponent_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(random.Random(1), t_max=100, a=1.5)
+
+    def test_tiny_timeline(self):
+        sampler = ZipfSampler(random.Random(1), t_max=3, a=0.5)
+        assert all(1 <= sampler.sample() <= 3 for _ in range(100))
+
+
+class TestFactory:
+    def test_uniform(self):
+        assert isinstance(
+            make_sampler("uniform", random.Random(1), 100), UniformSampler
+        )
+
+    def test_zipf_draws_random_exponent(self):
+        rng = random.Random(1)
+        samplers = [make_sampler("zipf", rng, 100) for _ in range(5)]
+        exponents = {sampler.a for sampler in samplers}
+        assert len(exponents) > 1
+        assert all(0 <= a <= 1 for a in exponents)
+
+    def test_unknown(self):
+        with pytest.raises(WorkloadError):
+            make_sampler("pareto", random.Random(1), 100)

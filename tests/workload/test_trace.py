@@ -1,0 +1,82 @@
+"""Tests for CSV trace export/import."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.temporal.events import LOAD, UNLOAD, Event
+from repro.workload.generator import WorkloadConfig, generate
+from repro.workload.trace import load_trace, save_trace
+
+
+def events():
+    return [
+        Event(time=1, key="S1", other="C1", kind=LOAD),
+        Event(time=5, key="S1", other="C1", kind=UNLOAD),
+        Event(time=5, key="S2", other="C2", kind=LOAD),
+    ]
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert save_trace(events(), path) == 3
+        assert load_trace(path) == events()
+
+    def test_generated_workload_round_trips(self, tmp_path):
+        data = generate(
+            WorkloadConfig(
+                name="t", n_shipments=3, n_containers=2, n_trucks=1,
+                events_per_key=10, t_max=500, seed=9,
+            )
+        )
+        path = tmp_path / "ds.csv"
+        save_trace(data.events, path)
+        assert load_trace(path) == data.events
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.csv"
+        save_trace(events(), path)
+        assert path.exists()
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="does not exist"):
+            load_trace(tmp_path / "nope.csv")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n1,S1,C1,l\n")
+        with pytest.raises(WorkloadError, match="bad trace header"):
+            load_trace(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,key,other,kind\n1,S1,C1\n")
+        with pytest.raises(WorkloadError, match="expected 4 columns"):
+            load_trace(path)
+
+    def test_non_integer_time(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,key,other,kind\nnoon,S1,C1,l\n")
+        with pytest.raises(WorkloadError, match="non-integer time"):
+            load_trace(path)
+
+    def test_bad_kind(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,key,other,kind\n1,S1,C1,loaded\n")
+        with pytest.raises(WorkloadError, match="bad.csv:2"):
+            load_trace(path)
+
+    def test_unsorted_trace_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,key,other,kind\n5,S1,C1,l\n1,S2,C1,l\n")
+        with pytest.raises(WorkloadError, match="not sorted"):
+            load_trace(path)

