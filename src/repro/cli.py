@@ -117,6 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("path", help="ledger directory (FabricNetwork path)")
 
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="check a (possibly crashed) ledger directory for damage: "
+        "WAL/SSTable checksums, hash chain, state replay, M1 indexes",
+    )
+    doctor.add_argument("path", help="ledger directory (FabricNetwork path)")
+    doctor.add_argument(
+        "--backend",
+        choices=["auto", "memory", "lsm"],
+        default="auto",
+        help="state-db backend of the ledger (default: detect from files)",
+    )
+    doctor.add_argument(
+        "--manifest",
+        default=None,
+        help="path of the M1 indexer's run manifest, if one is in use",
+    )
+
     return parser
 
 
@@ -205,6 +223,23 @@ def _run_audit(args: argparse.Namespace) -> str:
         ledger.close()
 
 
+def _run_doctor(args: argparse.Namespace) -> tuple[str, bool]:
+    import dataclasses
+
+    from repro.common.config import FabricConfig
+    from repro.faults.doctor import detect_backend, run_doctor
+
+    backend = args.backend
+    if backend == "auto":
+        backend = detect_backend(args.path)
+    config = FabricConfig()
+    config = dataclasses.replace(
+        config, state_db=dataclasses.replace(config.state_db, backend=backend)
+    )
+    report = run_doctor(args.path, config=config, manifest_path=args.manifest)
+    return report.render(), report.ok
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -230,6 +265,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         outputs.append(_run_inspect(args))
     elif args.command == "audit":
         outputs.append(_run_audit(args))
+    elif args.command == "doctor":
+        rendered, healthy = _run_doctor(args)
+        print(rendered)
+        return 0 if healthy else 1
     elif args.command == "all":
         for dataset in ("ds1", "ds2", "ds3"):
             args.dataset = dataset

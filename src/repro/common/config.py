@@ -44,6 +44,19 @@ class BlockCuttingConfig:
             )
 
 
+#: Valid values for the ``durability`` knobs: ``flush`` pushes writes to
+#: the OS at sync points (survives a process kill); ``fsync`` additionally
+#: calls ``os.fsync`` (survives power loss, slower).
+DURABILITY_LEVELS = ("flush", "fsync")
+
+
+def _require_durability(value: str) -> None:
+    if value not in DURABILITY_LEVELS:
+        raise ConfigError(
+            f"durability must be one of {DURABILITY_LEVELS}, got {value!r}"
+        )
+
+
 @dataclass(frozen=True)
 class StateDbConfig:
     """Backing store for the state database."""
@@ -56,6 +69,10 @@ class StateDbConfig:
     compaction_trigger: int = 6
     #: Compaction strategy for the LSM backend: ``full`` or ``tiered``.
     compaction: str = "full"
+    #: ``flush`` (default) or ``fsync``: whether WAL sync points and
+    #: SSTable finalization call ``os.fsync`` so acknowledged writes
+    #: survive power loss, not just a process kill.
+    durability: str = "flush"
 
     def __post_init__(self) -> None:
         if self.backend not in ("lsm", "memory"):
@@ -68,6 +85,7 @@ class StateDbConfig:
             raise ConfigError(
                 f"compaction must be 'full' or 'tiered', got {self.compaction!r}"
             )
+        _require_durability(self.durability)
 
 
 @dataclass(frozen=True)
@@ -82,6 +100,9 @@ class BlockStoreConfig:
     #: matching the paper's cost model where every GHFK call pays its own
     #: block deserializations.
     cache_blocks: int = 0
+    #: ``flush`` (default) or ``fsync``: whether the per-commit block file
+    #: and block index sync calls ``os.fsync``.
+    durability: str = "flush"
 
     def __post_init__(self) -> None:
         _require_positive(self.max_file_bytes, "max_file_bytes")
@@ -91,6 +112,7 @@ class BlockStoreConfig:
             raise ConfigError(
                 f"cache_blocks must be non-negative, got {self.cache_blocks}"
             )
+        _require_durability(self.durability)
 
 
 @dataclass(frozen=True)
@@ -102,10 +124,26 @@ class FabricConfig:
     block_store: BlockStoreConfig = field(default_factory=BlockStoreConfig)
     #: Channel name (cosmetic, appears in block headers).
     channel: str = "supply-chain"
+    #: How many times a gateway re-endorses and resubmits a transaction
+    #: that commits with ``MVCC_READ_CONFLICT``.  0 (the default) keeps
+    #: Fabric's raw behaviour: the conflicted transaction stays in the
+    #: block, invalidated, and the client sees it via the submit result.
+    max_retries: int = 0
+    #: Base delay (seconds) of the gateway's bounded exponential backoff
+    #: between retries: attempt ``n`` sleeps ``base * 2**(n-1)``, capped
+    #: at ``retry_backoff_cap``.
+    retry_backoff_base: float = 0.01
+    retry_backoff_cap: float = 0.5
 
     def __post_init__(self) -> None:
         if not self.channel:
             raise ConfigError("channel name must be non-empty")
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.retry_backoff_base < 0 or self.retry_backoff_cap < 0:
+            raise ConfigError("retry backoff values must be non-negative")
 
 
 def default_scale() -> float:

@@ -3,6 +3,36 @@
 Every exception raised by this library derives from :class:`ReproError`,
 so callers can catch a single base class at API boundaries.  Layer-specific
 subclasses keep the failure domain obvious from the type alone.
+
+The full hierarchy::
+
+    ReproError
+    ├── ConfigError              bad configuration value
+    ├── CodecError               payload (de)serialization failed
+    ├── StorageError             storage layer (KV store, block files)
+    │   ├── WalCorruptionError   WAL record fails its checksum
+    │   ├── SSTableError         malformed SSTable file
+    │   ├── BlockFileError       malformed block file / bad block location
+    │   ├── ClosedStoreError     operation on a closed store
+    │   └── RecoveryError        crash recovery could not restore consistency
+    ├── LedgerError              Fabric-simulator failures
+    │   ├── BlockNotFoundError
+    │   ├── TransactionValidationError
+    │   ├── EndorsementError
+    │   ├── ChaincodeError
+    │   └── HashChainError
+    ├── TemporalQueryError
+    │   └── IndexingError
+    ├── WorkloadError
+    └── FaultInjectionError      the fault-injection subsystem itself
+        └── SimulatedCrashError  a scheduled crash point fired
+
+:class:`SimulatedCrashError` is special: it is *not* a failure of the
+system under test but the fault harness's signal to "kill" the process at
+an instrumented crash point.  Production code must never catch it (the
+harness relies on it propagating to the top), which is why it derives
+from :class:`FaultInjectionError` rather than any layer error that
+library code legitimately handles.
 """
 
 from __future__ import annotations
@@ -40,6 +70,15 @@ class ClosedStoreError(StorageError):
     """An operation was attempted on a store that has been closed."""
 
 
+class RecoveryError(StorageError):
+    """Crash recovery found damage it could not repair.
+
+    Raised when reopening a store whose surviving files are mutually
+    inconsistent beyond what torn-tail truncation and index rebuilds can
+    fix -- e.g. a corrupt block record with intact records after it.
+    """
+
+
 class LedgerError(ReproError):
     """Base class for Fabric-simulator failures."""
 
@@ -74,3 +113,16 @@ class IndexingError(TemporalQueryError):
 
 class WorkloadError(ReproError):
     """The synthetic workload generator was given unsatisfiable parameters."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection subsystem was misused or hit a dead filesystem."""
+
+
+class SimulatedCrashError(FaultInjectionError):
+    """A scheduled crash point fired: the harness must treat the process
+    as killed (drop the network object, then reopen and recover)."""
+
+    def __init__(self, crash_point: str) -> None:
+        super().__init__(f"simulated crash at {crash_point!r}")
+        self.crash_point = crash_point

@@ -18,15 +18,24 @@ from typing import Iterator, Optional
 
 from repro.common import metrics as metric_names
 from repro.common.codec import Codec, get_codec
-from repro.common.errors import BlockNotFoundError
+from repro.common.errors import BlockFileError, BlockNotFoundError
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.fabric.block import Block
+from repro.faults.crashpoints import BLOCKSTORE_MID_ADD, crash_point
+from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.blockfile import BlockFileManager
 from repro.storage.blockindex import BlockIndex
 
 
 class BlockStore:
-    """Append-only block storage with an on-disk location index."""
+    """Append-only block storage with an on-disk location index.
+
+    On open the index is reconciled against the block files, which are
+    the source of truth: a torn blockfile tail truncates the index back
+    to the intact records, an index that lags the files (crash between
+    file append and index append) is extended by scanning the files, and
+    a corrupt index is rebuilt from scratch the same way.
+    """
 
     def __init__(
         self,
@@ -35,16 +44,75 @@ class BlockStore:
         max_file_bytes: int = 4 * 1024 * 1024,
         metrics: MetricsRegistry = NULL_REGISTRY,
         cache_blocks: int = 0,
+        durability: str = "flush",
+        fs: FileSystem = REAL_FS,
     ) -> None:
+        if durability not in ("flush", "fsync"):
+            raise ValueError(
+                f"durability must be 'flush' or 'fsync', got {durability!r}"
+            )
         path = Path(path)
-        self._files = BlockFileManager(path / "chains", max_file_bytes=max_file_bytes)
-        self._index = BlockIndex(path / "index" / "blocks.idx")
+        fsync = durability == "fsync"
+        self._fs = fs
+        self._files = BlockFileManager(
+            path / "chains", max_file_bytes=max_file_bytes, fsync=fsync, fs=fs
+        )
+        index_path = path / "index" / "blocks.idx"
+        index_path.with_name(index_path.name + ".tmp").unlink(missing_ok=True)
+        try:
+            self._index = BlockIndex(index_path, fsync=fsync, fs=fs)
+        except BlockFileError:
+            # Corrupt index: it is derived data, rebuild it from the files.
+            index_path.unlink(missing_ok=True)
+            self._index = BlockIndex(index_path, fsync=fsync, fs=fs)
         self._codec = codec if isinstance(codec, Codec) else get_codec(codec)
         self._metrics = metrics
         self._cache_blocks = cache_blocks
         self._cache: OrderedDict[int, Block] = OrderedDict()
         self._meta_path = path / "index" / "meta.json"
         self._base_height = self._load_base_height()
+        self._reconcile_index()
+
+    def _reconcile_index(self) -> None:
+        """Make the index agree with the block files after a crash."""
+        if self._index.height:
+            last = self._index.lookup(self._index.height - 1)
+            assert last is not None
+            scan = self._files.scan_records(last.file_num, last.offset)
+            base = self._index.height - 1
+        else:
+            scan = self._files.scan_records(0, 0)
+            base = 0
+        count = 0
+        try:
+            for location, _payload in scan:
+                position = base + count
+                if position < self._index.height:
+                    if self._index.lookup(position) != location:
+                        self._rebuild_index()
+                        return
+                else:
+                    self._index.append(location)
+                count += 1
+        except BlockFileError:
+            # Mid-chain damage the scan cannot step over; reads of the
+            # affected blocks will raise, but everything indexed before
+            # the damage stays servable.
+            return
+        intact_height = base + count
+        if intact_height < self._index.height:
+            # Index got ahead of the files (torn blockfile tail).  Rebuild
+            # from a full scan so every surviving entry is re-verified.
+            self._rebuild_index()
+            return
+        self._index.sync()
+
+    def _rebuild_index(self) -> None:
+        """Rebuild the whole index from a full block-file scan."""
+        self._index.truncate_to(0)
+        for location, _payload in self._files.scan_records(0, 0):
+            self._index.append(location)
+        self._index.sync()
 
     def _load_base_height(self) -> int:
         self._base_hash = b""
@@ -75,14 +143,19 @@ class BlockStore:
         self._base_height = base_height
         self._base_hash = base_hash
         self._meta_path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self._meta_path, "w") as handle:
-            json.dump(
-                {
-                    "base_height": base_height,
-                    "base_hash": base64.b64encode(base_hash).decode("ascii"),
-                },
-                handle,
-            )
+        payload = json.dumps(
+            {
+                "base_height": base_height,
+                "base_hash": base64.b64encode(base_hash).decode("ascii"),
+            }
+        ).encode("ascii")
+        tmp_path = self._meta_path.with_name(self._meta_path.name + ".tmp")
+        handle = self._fs.open(tmp_path, "wb")
+        try:
+            handle.write(payload)
+        finally:
+            handle.close()
+        self._fs.replace(tmp_path, self._meta_path)
 
     @property
     def base_height(self) -> int:
@@ -109,6 +182,7 @@ class BlockStore:
             )
         payload = self._codec.encode(block.to_dict())
         location = self._files.append(payload)
+        crash_point(BLOCKSTORE_MID_ADD)
         self._index.append(location)
 
     def get_block(self, block_number: int) -> Block:

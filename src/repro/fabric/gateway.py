@@ -7,8 +7,10 @@ peer without submitting anything (Fabric's query path).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+import time
+from typing import Any, Callable, List, Optional
 
+from repro.fabric.block import MVCC_READ_CONFLICT
 from repro.fabric.identity import Identity
 from repro.fabric.orderer import SoloOrderer
 from repro.fabric.peer import Peer
@@ -28,12 +30,35 @@ class SubmitResult:
 
 
 class Gateway:
-    """A client connection bound to one identity."""
+    """A client connection bound to one identity.
 
-    def __init__(self, peer: Peer, orderer: SoloOrderer, identity: Identity) -> None:
+    With ``max_retries > 0`` the gateway resubmits a transaction whose
+    commit was invalidated by an MVCC read conflict -- Fabric's standard
+    client-side answer to concurrent writers -- re-endorsing against the
+    fresh state each attempt, with bounded exponential backoff between
+    attempts.  A conflict is only observable when the submission itself
+    cut (and therefore committed) a block; a transaction still queued at
+    the orderer has no verdict yet and is never retried.
+    """
+
+    def __init__(
+        self,
+        peer: Peer,
+        orderer: SoloOrderer,
+        identity: Identity,
+        max_retries: int = 0,
+        backoff_base: float = 0.01,
+        backoff_cap: float = 0.5,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self._peer = peer
         self._orderer = orderer
         self._identity = identity
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._sleep = sleep
+        self.retries_attempted = 0
 
     def submit_transaction(
         self,
@@ -47,12 +72,25 @@ class Gateway:
         The block containing the transaction commits when the orderer cuts
         it (batch full) or on :meth:`flush`.
         """
-        tx, response = self._peer.endorse(
-            chaincode, fn, list(args or []), creator=self._identity.name,
-            timestamp=timestamp,
-        )
-        self._orderer.submit(tx)
-        return SubmitResult(tx_id=tx.tx_id, response=response)
+        attempt = 0
+        while True:
+            tx, response = self._peer.endorse(
+                chaincode, fn, list(args or []), creator=self._identity.name,
+                timestamp=timestamp,
+            )
+            self._orderer.submit(tx)
+            # The validator stamps the verdict onto this same object when
+            # the block containing it commits.
+            if (
+                tx.validation_code != MVCC_READ_CONFLICT
+                or attempt >= self._max_retries
+            ):
+                return SubmitResult(tx_id=tx.tx_id, response=response)
+            delay = min(self._backoff_cap, self._backoff_base * (2 ** attempt))
+            attempt += 1
+            self.retries_attempted += 1
+            if delay > 0:
+                self._sleep(delay)
 
     def evaluate_transaction(
         self,

@@ -21,6 +21,16 @@ from repro.fabric.blockstore import BlockStore
 from repro.fabric.historydb import HistoryDB, HistoryEntry
 from repro.fabric.statedb import StateDB, StateValue
 from repro.fabric.validator import Validator
+from repro.faults.crashpoints import (
+    LEDGER_MID_STATE,
+    LEDGER_POST_COMMIT,
+    LEDGER_PRE_APPEND,
+    LEDGER_PRE_HISTORY,
+    LEDGER_PRE_SAVEPOINT,
+    LEDGER_PRE_STATE,
+    crash_point,
+)
+from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.kv import open_kv_store
 
 __all__ = ["Ledger", "HistoryEntry"]
@@ -34,6 +44,7 @@ class Ledger:
         path: str | Path,
         config: Optional[FabricConfig] = None,
         metrics: MetricsRegistry = NULL_REGISTRY,
+        fs: FileSystem = REAL_FS,
     ) -> None:
         self._config = config or FabricConfig()
         self._metrics = metrics
@@ -44,6 +55,8 @@ class Ledger:
             max_file_bytes=self._config.block_store.max_file_bytes,
             metrics=metrics,
             cache_blocks=self._config.block_store.cache_blocks,
+            durability=self._config.block_store.durability,
+            fs=fs,
         )
         state_config = self._config.state_db
         kv_kwargs = {}
@@ -52,6 +65,8 @@ class Ledger:
                 "memtable_limit": state_config.memtable_limit,
                 "compaction_trigger": state_config.compaction_trigger,
                 "compaction": state_config.compaction,
+                "durability": state_config.durability,
+                "fs": fs,
             }
         self.state_db = StateDB(
             open_kv_store(state_config.backend, path=path / "statedb", **kv_kwargs),
@@ -96,10 +111,19 @@ class Ledger:
                 )
             block.verify_data_hash()
             valid_count = self._validator.validate_block(block)
+            crash_point(LEDGER_PRE_APPEND)
             self.block_store.add_block(block)
+            # Make the block durable before anything derived from it: the
+            # state-db and history-db are rebuilt from the chain on
+            # recovery, so the chain must never lag them.
+            self.block_store.sync()
+            crash_point(LEDGER_PRE_HISTORY)
             self.history_db.index_block(block)
+            crash_point(LEDGER_PRE_STATE)
             self._apply_state_writes(block)
+            crash_point(LEDGER_PRE_SAVEPOINT)
             self.state_db.record_savepoint(block.number)
+            crash_point(LEDGER_POST_COMMIT)
             self._last_header_hash = block.header.hash()
             self._metrics.increment(metric_names.BLOCKS_COMMITTED)
             self._metrics.increment(metric_names.TXS_COMMITTED, valid_count)
@@ -109,12 +133,16 @@ class Ledger:
         return valid_count
 
     def _apply_state_writes(self, block: Block) -> None:
+        applied_one = False
         for tx_num, tx in enumerate(block.transactions):
             if tx.validation_code != VALID:
                 continue
             version: Version = (block.number, tx_num)
             for write in tx.rw_set.writes.values():
                 self.state_db.apply_write(write, version)
+            if not applied_one:
+                applied_one = True
+                crash_point(LEDGER_MID_STATE)
 
     # -- queries --------------------------------------------------------------
 

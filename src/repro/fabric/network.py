@@ -17,6 +17,7 @@ from repro.fabric.gateway import Gateway
 from repro.fabric.identity import MSP
 from repro.fabric.orderer import SoloOrderer
 from repro.fabric.peer import Peer
+from repro.faults.fs import REAL_FS, FileSystem
 
 
 class FabricNetwork:
@@ -38,11 +39,13 @@ class FabricNetwork:
         config: Optional[FabricConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         verify_signatures: bool = True,
+        fs: FileSystem = REAL_FS,
     ) -> None:
         self.config = config or FabricConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._path = Path(path)
         self._verify_signatures = verify_signatures
+        self._fs = fs
         from repro.fabric.privatedata import CollectionPolicy
 
         self.msp = MSP()
@@ -55,9 +58,16 @@ class FabricNetwork:
             metrics=self.metrics,
             verify_signatures=verify_signatures,
             collection_policy=self.collection_policy,
+            fs=fs,
         )
         self.peers = {"peer0": self.peer}
-        self.orderer = SoloOrderer(self.config.block_cutting)
+        # Resume the chain where the (possibly reopened) ledger left off:
+        # on a fresh directory this is block 0 with the genesis hash.
+        self.orderer = SoloOrderer(
+            self.config.block_cutting,
+            next_block_number=self.peer.ledger.height,
+            previous_hash=self.peer.ledger.last_header_hash,
+        )
         self.orderer.register_consumer(self.peer.commit)
 
     def add_peer(self, name: str) -> Peer:
@@ -80,6 +90,7 @@ class FabricNetwork:
             verify_signatures=self._verify_signatures,
             signature_check=self.peer.endorser.verify_endorsement,
             collection_policy=self.collection_policy,
+            fs=self._fs,
         )
         peer.sync_from(self.peer.ledger)
         self.orderer.register_consumer(peer.commit)
@@ -125,10 +136,26 @@ class FabricNetwork:
 
         self.orderer.register_consumer(deliver)
 
-    def gateway(self, client_name: str = "client") -> Gateway:
-        """Open a gateway for ``client_name`` (enrolled on first use)."""
+    def gateway(self, client_name: str = "client", **overrides) -> Gateway:
+        """Open a gateway for ``client_name`` (enrolled on first use).
+
+        Keyword ``overrides`` replace the config-derived retry settings
+        for this one gateway -- e.g. ``max_retries`` or an injectable
+        ``sleep`` so tests can observe backoff without waiting.
+        """
         identity = self.msp.enroll(client_name)
-        return Gateway(peer=self.peer, orderer=self.orderer, identity=identity)
+        kwargs = {
+            "max_retries": self.config.max_retries,
+            "backoff_base": self.config.retry_backoff_base,
+            "backoff_cap": self.config.retry_backoff_cap,
+        }
+        kwargs.update(overrides)
+        return Gateway(
+            peer=self.peer,
+            orderer=self.orderer,
+            identity=identity,
+            **kwargs,
+        )
 
     @property
     def ledger(self):

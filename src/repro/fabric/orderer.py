@@ -20,6 +20,7 @@ from repro.fabric.block import (
     BlockHeader,
     Transaction,
 )
+from repro.faults.crashpoints import ORDERER_BLOCK_CUT, crash_point
 
 #: Callback invoked with every cut block (the committing peer).
 BlockConsumer = Callable[[Block], None]
@@ -93,6 +94,7 @@ class SoloOrderer:
         self._next_number += 1
         self._previous_hash = header.hash()
         self.blocks_cut += 1
+        crash_point(ORDERER_BLOCK_CUT)
         for consumer in self._consumers:
             consumer(block)
         return block

@@ -18,6 +18,7 @@ from repro.fabric.endorser import Endorser
 from repro.fabric.identity import Identity
 from repro.fabric.ledger import Ledger
 from repro.fabric.validator import Validator
+from repro.faults.fs import REAL_FS, FileSystem
 
 
 class Peer:
@@ -32,6 +33,7 @@ class Peer:
         verify_signatures: bool = True,
         signature_check: Optional[Callable[[Transaction], bool]] = None,
         collection_policy=None,
+        fs: FileSystem = REAL_FS,
     ) -> None:
         """``signature_check`` overrides the endorsement verification used
         at commit; a secondary peer passes the *endorsing* peer's check
@@ -39,7 +41,7 @@ class Peer:
         from repro.fabric.privatedata import SideDatabase
 
         self.identity = identity
-        self.ledger = Ledger(path, config=config, metrics=metrics)
+        self.ledger = Ledger(path, config=config, metrics=metrics, fs=fs)
         self.side_db = SideDatabase()
         self.collection_policy = collection_policy
         self.endorser = Endorser(

@@ -1,0 +1,214 @@
+"""The filesystem seam: real pass-through and the fault-injecting wrapper.
+
+Every durable write the simulator performs (WAL, SSTable, block files,
+block index, M1 run manifests) goes through a :class:`FileSystem` object
+instead of the ``open``/``os.replace`` builtins.  The default
+:data:`REAL_FS` singleton delegates straight to the builtins -- the hot
+path pays one attribute lookup per *file open*, nothing per write -- while
+:class:`FaultyFS` buffers writes in userspace so a test harness can
+simulate a process kill (buffered-but-unflushed bytes vanish) or a power
+loss (flushed-but-unfsynced bytes vanish too), and can inject torn writes
+and bit flips on the :class:`~repro.faults.plan.FaultPlan`'s seeded
+schedule.
+
+The write model mirrors what the OS actually guarantees:
+
+* ``write()``   -> bytes sit in the process's buffer; a kill loses them;
+* ``flush()``   -> bytes reach the OS page cache; a kill preserves them,
+  a power loss does not;
+* ``fsync()``   -> bytes reach the device; nothing short of media failure
+  loses them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO, Dict, List, Union
+
+from repro.common.errors import FaultInjectionError
+
+__all__ = ["FileSystem", "FaultyFS", "FaultyFile", "REAL_FS"]
+
+
+class FileSystem:
+    """Real filesystem: the zero-overhead default seam."""
+
+    def open(self, path: Union[str, Path], mode: str) -> IO[bytes]:
+        """Open ``path`` exactly like the builtin ``open``."""
+        return open(path, mode)
+
+    def replace(self, src: Union[str, Path], dst: Union[str, Path]) -> None:
+        """Atomically rename ``src`` over ``dst`` (``os.replace``)."""
+        os.replace(src, dst)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        """Flush ``handle`` and force its bytes to the device."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def remove(self, path: Union[str, Path]) -> None:
+        """Delete ``path``; missing files are ignored."""
+        Path(path).unlink(missing_ok=True)
+
+
+#: Shared real-filesystem singleton used whenever no fault plan is active.
+REAL_FS = FileSystem()
+
+
+class FaultyFile:
+    """A write handle whose buffer the harness can destroy.
+
+    Writes accumulate in an in-memory buffer; ``flush`` moves them to the
+    real file (the simulated OS page cache) and ``fsync`` (via the owning
+    :class:`FaultyFS`) records the power-loss-safe watermark.  The owning
+    filesystem's fault plan sees every write and may mutate the payload
+    (bit flip), cut it short (torn write) or raise
+    :class:`~repro.common.errors.SimulatedCrashError` mid-operation.
+    """
+
+    def __init__(self, fs: "FaultyFS", path: Path, mode: str) -> None:
+        self._fs = fs
+        self.path = path
+        # Raw (unbuffered) handle: what *we* flush is exactly what the
+        # simulated OS has; Python adds no hidden second buffer.
+        self._real = open(path, mode, buffering=0)
+        self._buffer = bytearray()
+        self._flushed_size = self._real.seek(0, os.SEEK_END)
+        self.synced_size = self._flushed_size
+        self.closed = False
+
+    # -- file protocol (the subset the storage layer uses) ---------------
+
+    def write(self, data: bytes) -> int:
+        """Buffer ``data`` (after the fault plan's mutations, if any)."""
+        self._check_alive()
+        data = self._fs.plan.on_write(self, bytes(data))
+        self._buffer.extend(data)
+        return len(data)
+
+    def tell(self) -> int:
+        """Logical end-of-file position (flushed bytes + buffered bytes)."""
+        self._check_alive()
+        return self._flushed_size + len(self._buffer)
+
+    def flush(self) -> None:
+        self._check_alive()
+        self._fs.plan.on_flush(self)
+        self._drain_buffer()
+
+    def fileno(self) -> int:
+        """The underlying OS file descriptor."""
+        return self._real.fileno()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self._drain_buffer()
+        self._real.close()
+        self.closed = True
+        self._fs.forget(self)
+
+    # -- harness hooks ----------------------------------------------------
+
+    def _drain_buffer(self) -> None:
+        if self._buffer:
+            self._real.write(bytes(self._buffer))
+            self._flushed_size += len(self._buffer)
+            self._buffer.clear()
+
+    def force_partial_flush(self, keep: int) -> None:
+        """Flush only the first ``keep`` buffered bytes (a torn write)."""
+        torn = bytes(self._buffer[:keep])
+        if torn:
+            self._real.write(torn)
+            self._flushed_size += len(torn)
+        self._buffer.clear()
+
+    def mark_synced(self) -> None:
+        """Record the current flushed size as the power-loss-safe mark."""
+        self.synced_size = self._flushed_size
+
+    def kill(self, power_loss: bool) -> None:
+        """Simulate the process dying: buffered bytes vanish; on power
+        loss the file is also truncated back to its fsync watermark."""
+        if self.closed:
+            return
+        self._buffer.clear()
+        if power_loss and self._flushed_size > self.synced_size:
+            self._real.truncate(self.synced_size)
+        self._real.close()
+        self.closed = True
+
+    def _check_alive(self) -> None:
+        if self.closed:
+            raise FaultInjectionError(
+                f"I/O on {self.path.name} after the simulated crash"
+            )
+
+
+class FaultyFS(FileSystem):
+    """Filesystem wrapper that owns every write handle it hands out.
+
+    Binary write/append handles become :class:`FaultyFile`; reads stay
+    real (read-side corruption is injected by mutating files directly,
+    see :meth:`FaultPlan.corrupt_file`).  After :meth:`kill` the
+    filesystem is dead: any further I/O raises
+    :class:`FaultInjectionError`, catching code that incorrectly keeps
+    running after a simulated crash.
+    """
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self._files: List[FaultyFile] = []
+        self._dead = False
+
+    def open(self, path: Union[str, Path], mode: str) -> IO[bytes]:
+        self._check_alive()
+        if "b" in mode and ("w" in mode or "a" in mode):
+            handle = FaultyFile(self, Path(path), mode)
+            self._files.append(handle)
+            return handle  # type: ignore[return-value]
+        return open(path, mode)
+
+    def replace(self, src: Union[str, Path], dst: Union[str, Path]) -> None:
+        self._check_alive()
+        self.plan.on_replace(Path(src), Path(dst))
+        os.replace(src, dst)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        self._check_alive()
+        if isinstance(handle, FaultyFile):
+            handle.flush()
+            handle.mark_synced()
+        else:  # a real handle that slipped through (read-mode open)
+            super().fsync(handle)
+
+    def remove(self, path: Union[str, Path]) -> None:
+        self._check_alive()
+        Path(path).unlink(missing_ok=True)
+
+    def forget(self, handle: FaultyFile) -> None:
+        """Drop a cleanly closed handle from the kill list."""
+        if handle in self._files:
+            self._files.remove(handle)
+
+    def kill(self, power_loss: bool = False) -> None:
+        """Kill the simulated process: destroy every live write handle.
+
+        With ``power_loss=True``, data that was flushed but never fsynced
+        is lost as well -- the difference between the ``flush`` and
+        ``fsync`` durability levels.
+        """
+        for handle in list(self._files):
+            handle.kill(power_loss)
+        self._files.clear()
+        self._dead = True
+
+    @property
+    def open_file_count(self) -> int:
+        return len(self._files)
+
+    def _check_alive(self) -> None:
+        if self._dead:
+            raise FaultInjectionError("filesystem used after the simulated crash")

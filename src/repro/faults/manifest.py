@@ -1,0 +1,64 @@
+"""Atomic JSON run manifests for resumable batch processes.
+
+A manifest records the progress of a long-running job (the M1 indexing
+process) so a crashed run can be resumed instead of restarted.  Saves are
+atomic -- staged to a temp file and ``os.replace``d into place -- so the
+manifest on disk is always one complete, parseable snapshot: either the
+old progress or the new, never a torn mix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.common.errors import RecoveryError
+from repro.faults.fs import REAL_FS, FileSystem
+
+
+class RunManifest:
+    """One JSON progress file with atomic save / load / clear."""
+
+    def __init__(self, path: str | Path, fs: FileSystem = REAL_FS) -> None:
+        self.path = Path(path)
+        self._fs = fs
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The last saved snapshot, or ``None`` if no run is in progress.
+
+        A manifest that exists but does not parse is damage the caller
+        cannot safely interpret as either "fresh run" or "resume here",
+        so it raises :class:`RecoveryError` instead of guessing.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            raw = json.loads(self.path.read_text("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RecoveryError(
+                f"run manifest {self.path} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(raw, dict):
+            raise RecoveryError(
+                f"run manifest {self.path} is corrupt: not a JSON object"
+            )
+        return raw
+
+    def save(self, state: Dict[str, Any]) -> None:
+        """Atomically replace the manifest with ``state``."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(state, sort_keys=True).encode("utf-8")
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        handle = self._fs.open(tmp_path, "wb")
+        try:
+            handle.write(payload)
+        finally:
+            handle.close()
+        self._fs.replace(tmp_path, self.path)
+
+    def clear(self) -> None:
+        """Remove the manifest (the run finished)."""
+        self.path.with_name(self.path.name + ".tmp").unlink(missing_ok=True)
+        if self.path.exists():
+            self._fs.remove(self.path)

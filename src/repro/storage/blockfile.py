@@ -6,33 +6,47 @@ when the current one passes a size threshold.  Reading a block means
 seeking to its recorded offset and reading its payload -- the actual disk
 IO whose cost the paper's query models are designed to avoid.
 
-Each stored record is ``length:u32`` followed by the payload, so torn
-tails can be detected independently of the index.
+Each stored record is ``length:u32  crc32:u32`` followed by the payload,
+so torn tails *and* silent payload corruption are detected independently
+of the index.  :meth:`BlockFileManager.scan_records` walks records
+forward from any offset, which is how the block store rebuilds a missing
+or torn block index straight from the files.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from pathlib import Path
+from typing import Iterator, Tuple
 
 from repro.common.errors import BlockFileError
+from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.blockindex import BlockLocation
 
-_LEN = struct.Struct("<I")
+_HEADER = struct.Struct("<II")
 _FILE_PREFIX = "blockfile_"
 
 
 class BlockFileManager:
     """Manages the directory of append-only block files."""
 
-    def __init__(self, path: str | Path, max_file_bytes: int = 4 * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        max_file_bytes: int = 4 * 1024 * 1024,
+        fsync: bool = False,
+        fs: FileSystem = REAL_FS,
+    ) -> None:
         if max_file_bytes <= 0:
             raise ValueError(f"max_file_bytes must be positive, got {max_file_bytes}")
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self._max_file_bytes = max_file_bytes
+        self._fs = fs
+        self._fsync = fsync
         self._current_num = self._latest_file_num()
-        self._writer = open(self._file_path(self._current_num), "ab")
+        self._writer = fs.open(self._file_path(self._current_num), "ab")
 
     def _latest_file_num(self) -> int:
         existing = sorted(self.path.glob(f"{_FILE_PREFIX}*"))
@@ -50,7 +64,8 @@ class BlockFileManager:
         if self._writer.tell() >= self._max_file_bytes:
             self._roll_over()
         offset = self._writer.tell()
-        self._writer.write(_LEN.pack(len(payload)))
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        self._writer.write(_HEADER.pack(len(payload), crc))
         self._writer.write(payload)
         return BlockLocation(
             file_num=self._current_num, offset=offset, length=len(payload)
@@ -60,13 +75,15 @@ class BlockFileManager:
         self._writer.flush()
         self._writer.close()
         self._current_num += 1
-        self._writer = open(self._file_path(self._current_num), "ab")
+        self._writer = self._fs.open(self._file_path(self._current_num), "ab")
 
     def read(self, location: BlockLocation) -> bytes:
         """Read the serialized block payload at ``location``.
 
         This is a real file open/seek/read so block retrieval has genuine
-        IO cost, as on a Fabric peer.
+        IO cost, as on a Fabric peer.  The payload is verified against the
+        record's CRC32 so a flipped byte surfaces as
+        :class:`BlockFileError`, never a silently wrong block.
         """
         file_path = self._file_path(location.file_num)
         if not file_path.exists():
@@ -76,12 +93,12 @@ class BlockFileManager:
             self._writer.flush()
         with open(file_path, "rb") as handle:
             handle.seek(location.offset)
-            header = handle.read(_LEN.size)
-            if len(header) != _LEN.size:
+            header = handle.read(_HEADER.size)
+            if len(header) != _HEADER.size:
                 raise BlockFileError(
                     f"truncated block header at {file_path.name}:{location.offset}"
                 )
-            (length,) = _LEN.unpack(header)
+            length, crc = _HEADER.unpack(header)
             if length != location.length:
                 raise BlockFileError(
                     f"length mismatch at {file_path.name}:{location.offset}: "
@@ -92,10 +109,94 @@ class BlockFileManager:
             raise BlockFileError(
                 f"truncated block payload at {file_path.name}:{location.offset}"
             )
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise BlockFileError(
+                f"block payload checksum mismatch at "
+                f"{file_path.name}:{location.offset}"
+            )
         return payload
 
-    def sync(self) -> None:
+    # -- recovery ---------------------------------------------------------
+
+    def scan_records(
+        self, file_num: int = 0, offset: int = 0
+    ) -> Iterator[Tuple[BlockLocation, bytes]]:
+        """Walk intact records forward from ``(file_num, offset)``.
+
+        Yields ``(location, payload)`` for every record whose header and
+        checksum verify.  A torn or corrupt record *at the tail of the
+        last file* ends the scan cleanly (crash-truncation semantics);
+        the same damage with data after it raises :class:`BlockFileError`
+        because bytes beyond the corruption cannot be trusted.
+        """
         self._writer.flush()
+        while True:
+            file_path = self._file_path(file_num)
+            if not file_path.exists():
+                return
+            data = file_path.read_bytes()
+            is_last_file = file_num == self._current_num
+            while offset < len(data):
+                tail_ok = is_last_file  # only the live tail may be torn
+                if offset + _HEADER.size > len(data):
+                    if tail_ok:
+                        return
+                    raise BlockFileError(
+                        f"torn record header mid-chain at "
+                        f"{file_path.name}:{offset}"
+                    )
+                length, crc = _HEADER.unpack_from(data, offset)
+                end = offset + _HEADER.size + length
+                if end > len(data):
+                    if tail_ok:
+                        return
+                    raise BlockFileError(
+                        f"torn record payload mid-chain at "
+                        f"{file_path.name}:{offset}"
+                    )
+                payload = data[offset + _HEADER.size : end]
+                if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                    if tail_ok and end == len(data):
+                        return  # corrupt final record: crash-torn tail
+                    raise BlockFileError(
+                        f"record checksum mismatch at {file_path.name}:{offset}"
+                    )
+                yield (
+                    BlockLocation(file_num=file_num, offset=offset, length=length),
+                    payload,
+                )
+                offset = end
+            if is_last_file:
+                return
+            file_num += 1
+            offset = 0
+
+    def truncate_tail(self, location: BlockLocation) -> None:
+        """Cut the *last* block file back so ``location`` is its next
+        append position (drops a torn record left by a crash)."""
+        if location.file_num != self._current_num:
+            raise BlockFileError(
+                f"refusing to truncate non-tail file {location.file_num}"
+            )
+        self._writer.flush()
+        self._writer.close()
+        file_path = self._file_path(location.file_num)
+        with open(file_path, "r+b") as handle:
+            handle.truncate(location.offset)
+        self._writer = self._fs.open(file_path, "ab")
+
+    def file_size(self, file_num: int) -> int:
+        """Current byte size of one block file (0 when absent)."""
+        if file_num == self._current_num:
+            self._writer.flush()
+        file_path = self._file_path(file_num)
+        return file_path.stat().st_size if file_path.exists() else 0
+
+    def sync(self) -> None:
+        if self._fsync:
+            self._fs.fsync(self._writer)
+        else:
+            self._writer.flush()
 
     def close(self) -> None:
         if not self._writer.closed:

@@ -8,7 +8,10 @@ suppression.  When the number of SSTables reaches ``compaction_trigger``,
 a full compaction merges them into one table and drops dead entries.
 
 On reopen, surviving WAL records are replayed into a fresh memtable, so a
-process crash between flushes loses no acknowledged writes.
+process crash between flushes loses no acknowledged writes.  Crash
+recovery also sweeps leftover ``.tmp`` table files (a crash mid-flush)
+-- the atomic rename in :func:`~repro.storage.kv.sstable.write_sstable`
+guarantees they were never visible as live tables.
 """
 
 from __future__ import annotations
@@ -20,9 +23,11 @@ from typing import Iterator, List, Optional, Tuple
 from repro.common import metrics as metric_names
 from repro.common.errors import StorageError
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.faults.crashpoints import LSM_POST_SSTABLE, LSM_PRE_SSTABLE, crash_point
+from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.kv.api import KVStore
 from repro.storage.kv.memtable import Memtable
-from repro.storage.kv.sstable import SSTableReader, write_sstable
+from repro.storage.kv.sstable import TMP_SUFFIX, SSTableReader, write_sstable
 from repro.storage.kv.wal import WriteAheadLog, replay
 from repro.storage.kv.api import OP_PUT
 
@@ -41,6 +46,8 @@ class LSMStore(KVStore):
         compaction_trigger: int = 6,
         compaction: str = "full",
         metrics: MetricsRegistry = NULL_REGISTRY,
+        durability: str = "flush",
+        fs: FileSystem = REAL_FS,
     ) -> None:
         """``compaction`` picks the strategy once ``compaction_trigger``
         SSTables accumulate:
@@ -62,22 +69,32 @@ class LSMStore(KVStore):
             raise ValueError(
                 f"compaction must be 'full' or 'tiered', got {compaction!r}"
             )
+        if durability not in ("flush", "fsync"):
+            raise ValueError(
+                f"durability must be 'flush' or 'fsync', got {durability!r}"
+            )
         self._compaction = compaction
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self._memtable_limit = memtable_limit
         self._compaction_trigger = compaction_trigger
         self._metrics = metrics
+        self._fs = fs
+        self._fsync = durability == "fsync"
         self._memtable = Memtable()
         self._tables: List[Tuple[int, SSTableReader]] = []  # newest last
         self._next_sequence = 0
         self._load_tables()
-        self._wal = WriteAheadLog(self.path / _WAL_NAME)
+        self._wal = WriteAheadLog(self.path / _WAL_NAME, fsync=self._fsync, fs=fs)
         self._replay_wal()
 
     # -- startup ---------------------------------------------------------
 
     def _load_tables(self) -> None:
+        for stray in self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}{TMP_SUFFIX}"):
+            # A crash mid-flush left a staged table that was never renamed
+            # live; its records are still in the WAL, so drop it.
+            stray.unlink()
         for file in sorted(self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}")):
             sequence = int(file.name[len(_SST_PREFIX) : -len(_SST_SUFFIX)])
             self._tables.append((sequence, SSTableReader(file)))
@@ -120,13 +137,26 @@ class LSMStore(KVStore):
             self.flush()
 
     def flush(self) -> None:
-        """Flush the memtable to a new SSTable and truncate the WAL."""
+        """Flush the memtable to a new SSTable and truncate the WAL.
+
+        Ordering is the recovery invariant: the WAL is synced first (so a
+        crash before the table lands replays everything), the table is
+        atomically finalized, and only then is the WAL truncated.  A
+        crash between the last two steps leaves the same records in both
+        places -- replay is idempotent, so reopen converges.
+        """
         if not len(self._memtable):
             return
+        self._wal.sync()
         sequence = self._next_sequence
         self._next_sequence += 1
         table_path = self._table_path(sequence)
-        write_sstable(table_path, self._memtable.entries_sorted())
+        crash_point(LSM_PRE_SSTABLE)
+        write_sstable(
+            table_path, self._memtable.entries_sorted(),
+            fs=self._fs, fsync=self._fsync,
+        )
+        crash_point(LSM_POST_SSTABLE)
         self._tables.append((sequence, SSTableReader(table_path)))
         self._memtable.clear()
         self._wal.truncate()
@@ -163,7 +193,7 @@ class LSMStore(KVStore):
         sequence = self._next_sequence
         self._next_sequence += 1
         table_path = self._table_path(sequence)
-        write_sstable(table_path, merged)
+        write_sstable(table_path, merged, fs=self._fs, fsync=self._fsync)
         old_paths = [reader.path for _, reader in victims]
         self._tables = survivors + [(sequence, SSTableReader(table_path))]
         for old in old_paths:

@@ -12,7 +12,7 @@ a memtable (or produced by compaction).  The file layout is:
 +-------------------+
 |   bloom filter    |      (hash_count:u32  bit_count:u32  bits)
 +-------------------+      footer := index_offset:u64  bloom_offset:u64
-|   footer (32 B)   |                entry_count:u64  magic:u64
+|   footer (36 B)   |                entry_count:u64  crc32:u32  magic:u64
 +-------------------+
 ```
 
@@ -22,33 +22,51 @@ filter in memory; a point lookup consults the Bloom filter first
 ("definitely absent" answers never touch the data section), then
 binary-searches the index and scans forward at most one stride.
 Tombstones are stored so newer tables can shadow older ones.
+
+Durability: tables are written to a ``.tmp`` sibling and atomically
+renamed into place, so a crash mid-write can never leave a torn ``.sst``
+visible -- only a stray temp file the LSM store deletes on open.  The
+footer's CRC32 covers every byte before it, so any surviving corruption
+(bit rot, tampering) is caught at open as a typed
+:class:`~repro.common.errors.SSTableError`.
 """
 
 from __future__ import annotations
 
 import bisect
 import struct
+import zlib
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
 from repro.common.codec import read_uvarint, write_uvarint
 from repro.common.errors import SSTableError
+from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.kv.api import OP_DELETE, OP_PUT
 from repro.storage.kv.bloom import BloomFilter
 
-MAGIC = 0x53535442_52455053  # "SSTB" "REPS" (v2: bloom section)
+MAGIC = 0x53535442_52455054  # "SSTB" "REPT" (v3: content CRC in footer)
 INDEX_STRIDE = 16
 BLOOM_BITS_PER_KEY = 10
-_FOOTER = struct.Struct("<QQQQ")
+_FOOTER = struct.Struct("<QQQIQ")
+
+#: Suffix of in-progress table writes; never loaded, deleted on open.
+TMP_SUFFIX = ".tmp"
 
 
 def write_sstable(
-    path: str | Path, entries: Iterator[Tuple[bytes, Optional[bytes]]]
+    path: str | Path,
+    entries: Iterator[Tuple[bytes, Optional[bytes]]],
+    fs: FileSystem = REAL_FS,
+    fsync: bool = False,
 ) -> int:
     """Write sorted ``(key, value-or-None)`` entries to ``path``.
 
     ``None`` values become tombstones.  Returns the number of entries
-    written.  Keys must arrive in strictly increasing order.
+    written.  Keys must arrive in strictly increasing order.  The table
+    is staged as ``path + ".tmp"`` and renamed into place, optionally
+    fsynced first, so ``path`` either has the complete old content or the
+    complete new content -- never a torn mix.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -84,9 +102,17 @@ def write_sstable(
         write_uvarint(offset, data)
     bloom_offset = len(data)
     data.extend(BloomFilter.build(all_keys, bits_per_key=BLOOM_BITS_PER_KEY).to_bytes())
-    data.extend(_FOOTER.pack(index_offset, bloom_offset, count, MAGIC))
-    with open(path, "wb") as handle:
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    data.extend(_FOOTER.pack(index_offset, bloom_offset, count, crc, MAGIC))
+    tmp_path = path.with_name(path.name + TMP_SUFFIX)
+    handle = fs.open(tmp_path, "wb")
+    try:
         handle.write(data)
+        if fsync:
+            fs.fsync(handle)
+    finally:
+        handle.close()
+    fs.replace(tmp_path, path)
     return count
 
 
@@ -104,11 +130,16 @@ class SSTableReader:
             self._raw = handle.read()
         if len(self._raw) < _FOOTER.size:
             raise SSTableError(f"{self.path.name}: file too small for footer")
-        index_offset, bloom_offset, count, magic = _FOOTER.unpack_from(
+        index_offset, bloom_offset, count, crc, magic = _FOOTER.unpack_from(
             self._raw, len(self._raw) - _FOOTER.size
         )
         if magic != MAGIC:
             raise SSTableError(f"{self.path.name}: bad magic {magic:#x}")
+        body = self._raw[: len(self._raw) - _FOOTER.size]
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            raise SSTableError(
+                f"{self.path.name}: content checksum mismatch (corrupt table)"
+            )
         if not index_offset <= bloom_offset <= len(self._raw) - _FOOTER.size:
             raise SSTableError(f"{self.path.name}: section offsets out of range")
         self.entry_count = count

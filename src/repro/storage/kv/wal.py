@@ -28,6 +28,7 @@ from typing import Iterator, Optional, Tuple
 
 from repro.common.codec import read_uvarint, write_uvarint
 from repro.common.errors import WalCorruptionError
+from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.kv.api import OP_DELETE, OP_PUT
 
 _HEADER = struct.Struct("<II")
@@ -66,12 +67,24 @@ def _decode_payload(payload: bytes) -> Tuple[int, bytes, Optional[bytes]]:
 
 
 class WriteAheadLog:
-    """Append-only durability log with per-record CRC32 checksums."""
+    """Append-only durability log with per-record CRC32 checksums.
 
-    def __init__(self, path: str | Path) -> None:
+    ``fsync=True`` (the ``fsync`` durability level) makes :meth:`sync`
+    force records to the device; the default only flushes to the OS,
+    which survives a process kill but not power loss.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = False,
+        fs: FileSystem = REAL_FS,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(self.path, "ab")
+        self._fs = fs
+        self._fsync = fsync
+        self._file = fs.open(self.path, "ab")
         self.record_count = 0
 
     def append_put(self, key: bytes, value: bytes) -> None:
@@ -89,14 +102,21 @@ class WriteAheadLog:
         self.record_count += 1
 
     def sync(self) -> None:
-        """Flush buffered records to the OS (no fsync: simulator fidelity
-        does not require surviving power loss, only process restarts)."""
-        self._file.flush()
+        """Make appended records durable.
+
+        Always flushes to the OS (survives a process kill); with the
+        ``fsync`` durability level additionally calls ``os.fsync`` so the
+        records survive power loss.
+        """
+        if self._fsync:
+            self._fs.fsync(self._file)
+        else:
+            self._file.flush()
 
     def truncate(self) -> None:
         """Discard all records (called after a successful memtable flush)."""
         self._file.close()
-        self._file = open(self.path, "wb")
+        self._file = self._fs.open(self.path, "wb")
         self.record_count = 0
 
     def close(self) -> None:

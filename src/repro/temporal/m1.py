@@ -22,7 +22,8 @@ each -- the bundle -- leaving the deletion marker's block untouched
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
 
 from repro.common import metrics as metric_names
 from repro.common.errors import IndexingError, TemporalQueryError
@@ -30,6 +31,15 @@ from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.common.timeutils import Stopwatch
 from repro.fabric.gateway import Gateway
 from repro.fabric.ledger import Ledger
+from repro.faults.crashpoints import (
+    M1_MID_BUNDLE,
+    M1_POST_KEY,
+    M1_POST_RECORD_RUN,
+    M1_PRE_BUNDLE,
+    M1_PRE_RECORD_RUN,
+    crash_point,
+)
+from repro.faults.manifest import RunManifest
 from repro.temporal.chaincodes import M1IndexChaincode
 from repro.temporal.events import Event, events_to_values
 from repro.temporal.intervals import FixedIntervalScheme, TimeInterval
@@ -109,12 +119,22 @@ class M1Indexer:
         gateway: Gateway,
         key_prefixes: List[str],
         metrics: MetricsRegistry = NULL_REGISTRY,
+        manifest_path: Optional[str | Path] = None,
     ) -> None:
+        """``manifest_path`` enables crash-safe indexing: progress is
+        checkpointed to an atomic JSON manifest after each key (the
+        pending batch is flushed first, so "checkpointed" always means
+        "committed"), and a rerun of the same range resumes -- skipping
+        completed keys and re-verifying partially indexed ones against
+        the ledger instead of double-writing their bundles."""
         self._ledger = ledger
         self._gateway = gateway
         self._prefixes = list(key_prefixes)
         self._metrics = metrics
         self._scanner = TQFEngine(ledger, metrics=metrics)
+        self._manifest = (
+            RunManifest(manifest_path) if manifest_path is not None else None
+        )
 
     def run(self, t1: int, t2: int, u: int) -> IndexingReport:
         """Index ``(t1, t2]`` with the paper's fixed-length-``u`` strategy.
@@ -139,45 +159,91 @@ class M1Indexer:
         if t2 <= t1:
             raise IndexingError(f"indexing range ({t1}, {t2}] is empty")
         window = TimeInterval(t1, t2)
+        watch = Stopwatch().start()
+
+        manifest_state = None
+        if self._manifest is not None:
+            manifest_state = self._manifest.load()
+            if manifest_state is not None and (
+                manifest_state.get("t1") != t1
+                or manifest_state.get("t2") != t2
+                or manifest_state.get("planner") != planner.name
+            ):
+                raise IndexingError(
+                    f"run manifest {self._manifest.path} records an unfinished "
+                    f"({manifest_state.get('t1')}, {manifest_state.get('t2')}] "
+                    f"{manifest_state.get('planner')} run; resume or clear it "
+                    "before indexing a different range"
+                )
+        resuming = manifest_state is not None
+        completed_keys = set(manifest_state["completed_keys"]) if resuming else set()
+
         for previous in M1QueryEngine(self._ledger).indexing_runs():
+            if resuming and previous.t1 == t1 and previous.t2 == t2:
+                # The crashed run got as far as committing record_run;
+                # only the manifest cleanup is left.
+                assert self._manifest is not None
+                self._manifest.clear()
+                return IndexingReport(
+                    run=previous,
+                    planner=planner.name,
+                    keys_scanned=0,
+                    indexes_written=0,
+                    events_bundled=0,
+                    seconds=watch.stop(),
+                )
             if previous.window.overlaps(window):
                 raise IndexingError(
                     f"range {window} overlaps already-indexed run "
                     f"{previous.window}; events would be double-indexed"
                 )
 
-        watch = Stopwatch().start()
+        if self._manifest is not None:
+            # Persist the run's identity up front so a crash at any later
+            # point is recognizably *this* run when it resumes.
+            self._save_manifest(t1, t2, planner.name, completed_keys)
+
         keys_scanned = 0
         indexes_written = 0
         events_bundled = 0
         for prefix in self._prefixes:
             for key in self._scanner.list_keys(prefix):
+                if key in completed_keys:
+                    continue
                 keys_scanned += 1
                 events = self._scanner.fetch_events(key, window)
                 intervals = planner.plan(events, window)
                 self._check_plan(key, intervals, window)
-                written, bundled = self._write_bundles(key, events, intervals)
+                written, bundled = self._write_bundles(
+                    key, events, intervals,
+                    verify_existing=self._manifest is not None,
+                )
                 indexes_written += len(written)
                 events_bundled += bundled
                 if written and not planner.deterministic:
-                    self._gateway.submit_transaction(
-                        M1IndexChaincode.name,
-                        "extend_directory",
-                        [
-                            directory_key(key),
-                            [[iv.start, iv.end] for iv in written],
-                        ],
-                        timestamp=t2,
-                    )
+                    self._extend_directory(key, written, t2)
+                if self._manifest is not None:
+                    # Flush first: a manifest checkpoint must never claim
+                    # transactions that were still pending (and would be
+                    # lost) at a kill.
+                    self._gateway.flush()
+                crash_point(M1_POST_KEY)
+                if self._manifest is not None:
+                    completed_keys.add(key)
+                    self._save_manifest(t1, t2, planner.name, completed_keys)
 
         if planner.deterministic:
             run = IndexingRun(t1=t1, t2=t2, u=planner.u, scheme=SCHEME_FIXED)  # type: ignore[attr-defined]
         else:
             run = IndexingRun(t1=t1, t2=t2, scheme=SCHEME_DIRECTORY)
+        crash_point(M1_PRE_RECORD_RUN)
         self._gateway.submit_transaction(
             M1IndexChaincode.name, "record_run", [run.to_value()]
         )
         self._gateway.flush()
+        crash_point(M1_POST_RECORD_RUN)
+        if self._manifest is not None:
+            self._manifest.clear()
         return IndexingReport(
             run=run,
             planner=planner.name,
@@ -185,6 +251,42 @@ class M1Indexer:
             indexes_written=indexes_written,
             events_bundled=events_bundled,
             seconds=watch.stop(),
+        )
+
+    def _save_manifest(
+        self, t1: int, t2: int, planner_name: str, completed_keys: set
+    ) -> None:
+        assert self._manifest is not None
+        self._manifest.save(
+            {
+                "t1": t1,
+                "t2": t2,
+                "planner": planner_name,
+                "completed_keys": sorted(completed_keys),
+            }
+        )
+
+    def _extend_directory(
+        self, key: str, written: List[TimeInterval], t2: int
+    ) -> None:
+        """Submit the per-key directory extension, skipping intervals a
+        crashed run already recorded."""
+        pending = written
+        if self._manifest is not None:
+            existing = {
+                (iv.start, iv.end)
+                for iv in M1QueryEngine(self._ledger).directory_intervals(key)
+            }
+            pending = [
+                iv for iv in written if (iv.start, iv.end) not in existing
+            ]
+        if not pending:
+            return
+        self._gateway.submit_transaction(
+            M1IndexChaincode.name,
+            "extend_directory",
+            [directory_key(key), [[iv.start, iv.end] for iv in pending]],
+            timestamp=t2,
         )
 
     @staticmethod
@@ -205,12 +307,20 @@ class M1Indexer:
                 )
 
     def _write_bundles(
-        self, key: str, events: List[Event], intervals: List[TimeInterval]
+        self,
+        key: str,
+        events: List[Event],
+        intervals: List[TimeInterval],
+        verify_existing: bool = False,
     ) -> tuple[List[TimeInterval], int]:
         """Submit the two indexing transactions per non-empty interval.
 
-        Returns the intervals that actually received bundles and the
-        total number of events bundled.
+        With ``verify_existing`` (manifest mode) each interval is first
+        checked against the ledger: a bundle a crashed run already
+        committed is not rewritten, and a committed bundle whose
+        ``clear_index`` went missing in the crash gets just the clear.
+        Returns the intervals holding bundles (pre-existing included) and
+        the number of events newly bundled.
         """
         written: List[TimeInterval] = []
         bundled = 0
@@ -224,18 +334,31 @@ class M1Indexer:
             if not bundle:
                 continue  # pairs are ingested only if EV(k, θ) is non-empty
             index_key = encode_interval_key(key, interval)
-            self._gateway.submit_transaction(
-                M1IndexChaincode.name,
-                "write_index",
-                [index_key, events_to_values(bundle)],
-                timestamp=interval.end,
-            )
-            self._gateway.submit_transaction(
-                M1IndexChaincode.name, "clear_index", [index_key],
-                timestamp=interval.end,
-            )
+            have_bundle = have_clear = False
+            if verify_existing:
+                have_bundle = bool(
+                    self._ledger.history_db.locations_for_key(index_key)
+                )
+                if have_bundle:
+                    have_clear = (
+                        self._ledger.get_state_entry(index_key) is None
+                    )
+            if not have_bundle:
+                crash_point(M1_PRE_BUNDLE)
+                self._gateway.submit_transaction(
+                    M1IndexChaincode.name,
+                    "write_index",
+                    [index_key, events_to_values(bundle)],
+                    timestamp=interval.end,
+                )
+                bundled += len(bundle)
+            if not have_clear:
+                crash_point(M1_MID_BUNDLE)
+                self._gateway.submit_transaction(
+                    M1IndexChaincode.name, "clear_index", [index_key],
+                    timestamp=interval.end,
+                )
             written.append(interval)
-            bundled += len(bundle)
         return written, bundled
 
 

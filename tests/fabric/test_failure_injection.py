@@ -114,9 +114,9 @@ class TestTampering:
 
 
 class TestRecoveryAfterDamage:
-    def test_reopen_with_torn_index_tail_recovers_prefix(self, populated):
-        """A torn block-index tail (crash during append) drops the last
-        record; the reopened ledger exposes a consistent prefix."""
+    def test_reopen_with_torn_index_tail_recovers_fully(self, populated):
+        """A torn block-index tail (crash during append) is repaired on
+        reopen by re-indexing the block files -- no committed block lost."""
         network, path = populated
         height = network.ledger.height
         network.close()
@@ -124,7 +124,20 @@ class TestRecoveryAfterDamage:
         data = index_file.read_bytes()
         index_file.write_bytes(data[:-10])
         reopened = Ledger(path)
-        assert reopened.height == height - 1
+        assert reopened.height == height
+        reopened.verify_chain()
+        reopened.close()
+
+    def test_reopen_with_missing_index_rebuilds(self, populated):
+        """Deleting the whole index is survivable: it is derived data."""
+        network, path = populated
+        height = network.ledger.height
+        fingerprint = network.ledger.state_fingerprint()
+        network.close()
+        (path / "ledger" / "index" / "blocks.idx").unlink()
+        reopened = Ledger(path)
+        assert reopened.height == height
+        assert reopened.state_fingerprint() == fingerprint
         reopened.verify_chain()
         reopened.close()
 

@@ -1,0 +1,133 @@
+"""Gateway retry-on-MVCC-conflict behaviour.
+
+Two clients incrementing the same counter inside one block is Fabric's
+canonical MVCC conflict: both endorse against the same committed version
+and only the first survives validation.  ``max_retries`` makes the
+gateway re-endorse the loser against the fresh state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import BlockCuttingConfig, FabricConfig
+from repro.fabric.block import MVCC_READ_CONFLICT, VALID
+from repro.fabric.chaincode import Chaincode, ChaincodeError, ChaincodeStub
+from repro.fabric.network import FabricNetwork
+
+
+class CounterChaincode(Chaincode):
+    """Read-modify-write: the shape that actually conflicts under MVCC."""
+
+    name = "counter"
+
+    def invoke(self, stub: ChaincodeStub, fn: str, args: List) -> object:
+        if fn == "incr":
+            (key,) = args
+            current = stub.get_state(key) or 0
+            stub.put_state(key, current + 1)
+            return current + 1
+        if fn == "get":
+            (key,) = args
+            return stub.get_state(key)
+        raise ChaincodeError(f"unknown function {fn!r}")
+
+
+def two_tx_blocks_network(path) -> FabricNetwork:
+    config = FabricConfig(
+        block_cutting=BlockCuttingConfig(max_message_count=2)
+    )
+    network = FabricNetwork(path, config=config)
+    network.install(CounterChaincode())
+    return network
+
+
+def test_conflict_without_retries_stays_invalid(tmp_path):
+    network = two_tx_blocks_network(tmp_path / "net")
+    writer_a = network.gateway("alice")
+    writer_b = network.gateway("bob")
+    writer_a.submit_transaction("counter", "incr", ["c"], timestamp=1)
+    # Both endorsed against version None; this submit cuts the block.
+    result = writer_b.submit_transaction("counter", "incr", ["c"], timestamp=2)
+    codes = {
+        tx.tx_id: tx.validation_code
+        for block in network.ledger.block_store.iter_blocks()
+        for tx in block.transactions
+    }
+    assert codes[result.tx_id] == MVCC_READ_CONFLICT
+    assert writer_b.retries_attempted == 0
+    assert writer_b.evaluate_transaction("counter", "get", ["c"]) == 1
+    network.close()
+
+
+def test_retry_resolves_conflict(tmp_path):
+    network = two_tx_blocks_network(tmp_path / "net")
+    delays: List[float] = []
+    writer_a = network.gateway("alice")
+    writer_b = network.gateway("bob", max_retries=3, sleep=delays.append)
+    writer_a.submit_transaction("counter", "incr", ["c"], timestamp=1)
+    result = writer_b.submit_transaction("counter", "incr", ["c"], timestamp=2)
+    writer_b.flush()  # commit the retried (re-endorsed) transaction
+    assert writer_b.retries_attempted == 1
+    assert delays == [0.01]  # backoff_base * 2**0
+    codes = {
+        tx.tx_id: tx.validation_code
+        for block in network.ledger.block_store.iter_blocks()
+        for tx in block.transactions
+    }
+    assert codes[result.tx_id] == VALID
+    assert writer_b.evaluate_transaction("counter", "get", ["c"]) == 2
+    network.close()
+
+
+def test_backoff_grows_and_caps_under_sustained_contention(tmp_path):
+    """A contender who sneaks a write in during every backoff sleep keeps
+    the victim's endorsement stale; the delays must follow the bounded
+    exponential schedule and the gateway must give up after max_retries."""
+    network = two_tx_blocks_network(tmp_path / "net")
+    contender = network.gateway("contender")
+    delays: List[float] = []
+
+    def contend(delay: float) -> None:
+        delays.append(delay)
+        contender.submit_transaction("counter", "incr", ["c"], timestamp=50)
+
+    victim = network.gateway(
+        "victim",
+        max_retries=3,
+        backoff_base=0.1,
+        backoff_cap=0.25,
+        sleep=contend,
+    )
+    contender.submit_transaction("counter", "incr", ["c"], timestamp=1)
+    result = victim.submit_transaction("counter", "incr", ["c"], timestamp=2)
+    assert victim.retries_attempted == 3
+    assert delays == [0.1, 0.2, 0.25]  # doubled, then clipped at the cap
+    codes = {
+        tx.tx_id: tx.validation_code
+        for block in network.ledger.block_store.iter_blocks()
+        for tx in block.transactions
+    }
+    assert codes[result.tx_id] == MVCC_READ_CONFLICT  # retries exhausted
+    network.close()
+
+
+def test_config_threads_retry_settings_to_gateway(tmp_path):
+    import dataclasses
+
+    config = FabricConfig(
+        block_cutting=BlockCuttingConfig(max_message_count=2)
+    )
+    config = dataclasses.replace(
+        config, max_retries=2, retry_backoff_base=0.02, retry_backoff_cap=0.1
+    )
+    network = FabricNetwork(tmp_path / "net", config=config)
+    network.install(CounterChaincode())
+    writer_a = network.gateway("alice")
+    writer_b = network.gateway("bob")
+    writer_a.submit_transaction("counter", "incr", ["c"], timestamp=1)
+    writer_b.submit_transaction("counter", "incr", ["c"], timestamp=2)
+    writer_b.flush()
+    assert writer_b.retries_attempted == 1
+    assert writer_b.evaluate_transaction("counter", "get", ["c"]) == 2
+    network.close()

@@ -1,0 +1,87 @@
+"""The kill-point sweep: crash at every named point, recover, verify.
+
+This is the subsystem's headline guarantee: no matter where in the write
+path the process dies, reopening the directory yields a consistent
+ledger that lost no acknowledged transaction and keeps working.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.crashpoints import COMMIT_CRASH_POINTS, LEDGER_POST_COMMIT
+from tests.faults.harness import (
+    continue_workload,
+    lsm_config,
+    reopen_and_verify,
+    run_kv_workload_until_crash,
+)
+
+
+@pytest.mark.parametrize("point", COMMIT_CRASH_POINTS)
+def test_kill_at_every_commit_point(tmp_path, point):
+    config = lsm_config()
+    plan = FaultPlan(seed=3).crash_at(point)
+    outcome = run_kv_workload_until_crash(tmp_path / "net", config, plan)
+    assert outcome.fired == point, f"workload never reached {point}"
+    reopen_and_verify(tmp_path / "net", config, outcome.acked_tx_ids)
+    continue_workload(tmp_path / "net", config)
+
+
+@pytest.mark.parametrize("point", COMMIT_CRASH_POINTS)
+def test_kill_later_occurrence(tmp_path, point):
+    """Crashing on a later arrival exercises recovery of a longer chain
+    (compactions done, WAL truncated at least once)."""
+    config = lsm_config()
+    plan = FaultPlan(seed=11).crash_at(point, occurrence=5)
+    outcome = run_kv_workload_until_crash(tmp_path / "net", config, plan)
+    assert outcome.fired == point, f"workload reached {point} fewer than 5 times"
+    reopen_and_verify(tmp_path / "net", config, outcome.acked_tx_ids)
+    continue_workload(tmp_path / "net", config)
+
+
+def test_power_loss_with_fsync_durability(tmp_path):
+    """With ``durability='fsync'`` even a power loss (everything past the
+    last fsync gone) preserves acknowledged transactions."""
+    config = lsm_config(durability="fsync")
+    plan = FaultPlan(seed=5).crash_at(LEDGER_POST_COMMIT, occurrence=20)
+    outcome = run_kv_workload_until_crash(
+        tmp_path / "net", config, plan, power_loss=True
+    )
+    assert outcome.fired == LEDGER_POST_COMMIT
+    assert outcome.acked_tx_ids
+    reopen_and_verify(tmp_path / "net", config, outcome.acked_tx_ids)
+    continue_workload(tmp_path / "net", config)
+
+
+def test_torn_blockfile_write_recovers(tmp_path):
+    """A kill mid-write to a block file leaves a torn record; recovery
+    truncates it and the chain stays consistent."""
+    config = lsm_config()
+    plan = FaultPlan(seed=7).crash_on_write("blockfile_*", nth=30, torn=True)
+    outcome = run_kv_workload_until_crash(tmp_path / "net", config, plan)
+    assert outcome.fired is not None and outcome.fired.startswith("write:")
+    reopen_and_verify(tmp_path / "net", config, outcome.acked_tx_ids)
+    continue_workload(tmp_path / "net", config)
+
+
+def test_crash_before_sstable_rename_recovers(tmp_path):
+    """A kill just before the SSTable's atomic rename leaves only a stray
+    ``.tmp``; the WAL still holds every record."""
+    config = lsm_config()
+    plan = FaultPlan(seed=9).crash_on_replace("sst-*.sst")
+    outcome = run_kv_workload_until_crash(tmp_path / "net", config, plan)
+    assert outcome.fired is not None and outcome.fired.startswith("replace:")
+    reopen_and_verify(tmp_path / "net", config, outcome.acked_tx_ids)
+    continue_workload(tmp_path / "net", config)
+
+
+def test_torn_wal_write_recovers(tmp_path):
+    """A kill mid-WAL-append leaves a torn record that replay drops."""
+    config = lsm_config()
+    plan = FaultPlan(seed=13).crash_on_write("wal.log", nth=40, torn=True)
+    outcome = run_kv_workload_until_crash(tmp_path / "net", config, plan)
+    assert outcome.fired is not None and outcome.fired.startswith("write:")
+    reopen_and_verify(tmp_path / "net", config, outcome.acked_tx_ids)
+    continue_workload(tmp_path / "net", config)

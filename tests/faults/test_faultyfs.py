@@ -1,0 +1,186 @@
+"""Unit tests for the fault-injection primitives themselves.
+
+The crash sweeps only prove anything if :class:`FaultyFS` faithfully
+models what a kill or power loss does to in-flight writes, so the model
+is pinned down here byte by byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import FaultInjectionError, SimulatedCrashError
+from repro.faults import FaultPlan, FaultyFS, active_plan, crash_point
+
+
+def read_bytes(path) -> bytes:
+    return path.read_bytes() if path.exists() else b""
+
+
+# -- write / flush / fsync semantics --------------------------------------
+
+
+def test_unflushed_bytes_vanish_on_kill(tmp_path):
+    fs = FaultyFS(FaultPlan())
+    handle = fs.open(tmp_path / "f.bin", "wb")
+    handle.write(b"buffered")
+    fs.kill()
+    assert read_bytes(tmp_path / "f.bin") == b""
+
+
+def test_flushed_bytes_survive_kill_but_not_power_loss(tmp_path):
+    for power_loss, expected in [(False, b"flushed"), (True, b"")]:
+        fs = FaultyFS(FaultPlan())
+        path = tmp_path / f"f{power_loss}.bin"
+        handle = fs.open(path, "wb")
+        handle.write(b"flushed")
+        handle.flush()
+        handle.write(b"still-buffered")
+        fs.kill(power_loss=power_loss)
+        assert read_bytes(path) == expected
+
+
+def test_fsynced_bytes_survive_power_loss(tmp_path):
+    fs = FaultyFS(FaultPlan())
+    path = tmp_path / "f.bin"
+    handle = fs.open(path, "wb")
+    handle.write(b"durable")
+    fs.fsync(handle)
+    handle.write(b"flushed-only")
+    handle.flush()
+    fs.kill(power_loss=True)
+    assert read_bytes(path) == b"durable"
+
+
+def test_tell_counts_buffered_bytes_and_append_resumes(tmp_path):
+    path = tmp_path / "f.bin"
+    path.write_bytes(b"12345")
+    fs = FaultyFS(FaultPlan())
+    handle = fs.open(path, "ab")
+    assert handle.tell() == 5
+    handle.write(b"678")
+    assert handle.tell() == 8  # buffered bytes count toward the logical size
+    handle.close()
+    assert read_bytes(path) == b"12345678"
+
+
+def test_close_drains_and_unregisters(tmp_path):
+    fs = FaultyFS(FaultPlan())
+    handle = fs.open(tmp_path / "f.bin", "wb")
+    handle.write(b"data")
+    assert fs.open_file_count == 1
+    handle.close()
+    assert fs.open_file_count == 0
+    assert read_bytes(tmp_path / "f.bin") == b"data"
+    # A kill after clean close must not disturb the file.
+    fs.kill(power_loss=True)
+    assert read_bytes(tmp_path / "f.bin") == b"data"
+
+
+def test_io_after_kill_raises(tmp_path):
+    fs = FaultyFS(FaultPlan())
+    handle = fs.open(tmp_path / "f.bin", "wb")
+    fs.kill()
+    with pytest.raises(FaultInjectionError):
+        handle.write(b"zombie")
+    with pytest.raises(FaultInjectionError):
+        fs.open(tmp_path / "g.bin", "wb")
+    with pytest.raises(FaultInjectionError):
+        fs.replace(tmp_path / "a", tmp_path / "b")
+
+
+def test_read_handles_stay_real(tmp_path):
+    path = tmp_path / "f.bin"
+    path.write_bytes(b"payload")
+    fs = FaultyFS(FaultPlan())
+    with fs.open(path, "rb") as handle:
+        assert handle.read() == b"payload"
+    assert fs.open_file_count == 0  # read handles are not tracked
+
+
+# -- scheduled faults ------------------------------------------------------
+
+
+def test_torn_write_leaves_strict_prefix(tmp_path):
+    plan = FaultPlan(seed=17).crash_on_write("f.bin", nth=2, torn=True)
+    fs = FaultyFS(plan)
+    handle = fs.open(tmp_path / "f.bin", "wb")
+    handle.write(b"AAAA")
+    handle.flush()
+    with pytest.raises(SimulatedCrashError):
+        handle.write(b"BBBBBBBB")
+    fs.kill()
+    on_disk = read_bytes(tmp_path / "f.bin")
+    assert on_disk.startswith(b"AAAA")
+    torn_tail = on_disk[4:]
+    assert 0 < len(torn_tail) < 8  # strict prefix of the torn payload
+    assert torn_tail == b"B" * len(torn_tail)
+    assert plan.fired == "write:f.bin"
+
+
+def test_flip_bit_flips_exactly_one_bit(tmp_path):
+    plan = FaultPlan(seed=19).flip_bit("f.bin", nth_write=1)
+    fs = FaultyFS(plan)
+    original = b"\x00" * 32
+    handle = fs.open(tmp_path / "f.bin", "wb")
+    handle.write(original)
+    handle.close()
+    corrupted = read_bytes(tmp_path / "f.bin")
+    assert len(corrupted) == len(original)
+    diff_bits = sum(
+        bin(a ^ b).count("1") for a, b in zip(original, corrupted)
+    )
+    assert diff_bits == 1
+
+
+def test_crash_on_replace_preserves_src_and_dst(tmp_path):
+    src = tmp_path / "table.tmp"
+    dst = tmp_path / "table.sst"
+    src.write_bytes(b"new")
+    dst.write_bytes(b"old")
+    plan = FaultPlan().crash_on_replace("*.sst")
+    fs = FaultyFS(plan)
+    with pytest.raises(SimulatedCrashError):
+        fs.replace(src, dst)
+    assert src.read_bytes() == b"new"  # temp file survives for the sweep
+    assert dst.read_bytes() == b"old"  # target untouched: rename is atomic
+    assert plan.fired == "replace:table.sst"
+
+
+def test_crash_at_counts_occurrences():
+    plan = FaultPlan().crash_at("demo.point", occurrence=3)
+    with active_plan(plan):
+        crash_point("demo.point")
+        crash_point("other.point")
+        crash_point("demo.point")
+        with pytest.raises(SimulatedCrashError):
+            crash_point("demo.point")
+    assert plan.fired == "demo.point"
+    assert plan.point_counts["demo.point"] == 3
+    assert plan.point_counts["other.point"] == 1
+
+
+def test_crash_point_is_free_when_disarmed():
+    crash_point("never.registered")  # must be a no-op, not an error
+
+
+def test_active_plan_is_not_reentrant():
+    with active_plan(FaultPlan()):
+        with pytest.raises(RuntimeError, match="already active"):
+            with active_plan(FaultPlan()):
+                pass
+    # ...and disarms cleanly on exit.
+    with active_plan(FaultPlan()):
+        pass
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_schedules_reject_nonpositive_counts(bad):
+    with pytest.raises(ValueError):
+        FaultPlan().crash_at("p", occurrence=bad)
+    with pytest.raises(ValueError):
+        FaultPlan().crash_on_write("f", nth=bad)
+    with pytest.raises(ValueError):
+        FaultPlan().crash_on_replace("f", nth=bad)
+    with pytest.raises(ValueError):
+        FaultPlan().flip_bit("f", nth_write=bad)
