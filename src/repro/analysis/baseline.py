@@ -1,0 +1,82 @@
+"""The baseline file: grandfathered findings that do not fail the run.
+
+Workflow: when a new rule lands (or an old one gets stricter) and some
+existing findings are judged acceptable-for-now, run::
+
+    repro lint src --write-baseline
+
+and commit the resulting ``lint-baseline.json``.  Subsequent runs
+subtract baselined findings and fail only on *new* ones, so the rule can
+start gating CI immediately without a flag-day cleanup.  Entries match
+on ``(rule, path, message)`` -- not the line number -- so unrelated
+edits that shift code do not resurrect them; the stored line is purely
+for humans reading the file.  Fixing a baselined finding leaves a stale
+entry behind, which the runner reports so the baseline only ever
+shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.analysis.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[Finding]:
+    """Parse a baseline file; raises ``ValueError`` on a malformed one."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"baseline {path} has unsupported format {raw.get('version')!r}"
+            if isinstance(raw, dict)
+            else f"baseline {path} is not a JSON object"
+        )
+    entries = raw.get("findings", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path}: 'findings' must be a list")
+    return [Finding.from_json(entry) for entry in entries]
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, one entry per line
+    of JSON so diffs review well)."""
+    document = {
+        "version": FORMAT_VERSION,
+        "findings": [finding.to_json() for finding in sorted(findings)],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: List[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (new, stale-baseline-entries).
+
+    Matching is multiset-style on :meth:`Finding.baseline_key`: a
+    baseline entry absorbs at most one finding, so two new instances of
+    a baselined pattern still surface one new finding.
+    """
+    budget = Counter(entry.baseline_key() for entry in baseline)
+    new: List[Finding] = []
+    for finding in sorted(findings):
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            new.append(finding)
+    remaining = Counter({key: count for key, count in budget.items() if count > 0})
+    stale: List[Finding] = []
+    for entry in baseline:
+        key = entry.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            stale.append(entry)
+    return new, stale

@@ -1,0 +1,7 @@
+"""Built-in rule families.  Importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import crashpoints, determinism, durability, exceptions
+
+__all__ = ["crashpoints", "determinism", "durability", "exceptions"]

@@ -1,0 +1,228 @@
+"""CRASH001: the crash-point registry must match reality.
+
+The kill-point sweep (``tests/faults/test_crash_sweep.py`` /
+``test_m1_resume.py``) iterates the registry tuples in
+``repro/faults/crashpoints.py`` and kills the process at every named
+point.  That guarantee decays in three silent ways:
+
+* a point is registered but its ``crash_point(NAME)`` call was removed
+  (or never added) -- the sweep "passes" by never firing it;
+* code fires ``crash_point`` with a name the registry does not know --
+  the new point is never swept, so crashes there are untested;
+* a constant exists but is missing from ``COMMIT_CRASH_POINTS`` /
+  ``M1_CRASH_POINTS`` (the tuples the sweep parametrizes over), or a
+  swept tuple is no longer referenced by any test under
+  ``tests/faults/``.
+
+This rule cross-checks all three.  It keys off the analyzed file whose
+path ends in ``repro/faults/crashpoints.py``; when that file is not part
+of the run (linting an unrelated subtree) the rule is silent.  The
+test-reference check reads ``tests/faults/*.py`` relative to the project
+root and is skipped when no such directory exists (e.g. an installed
+tree).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.registry import Rule, register
+
+_REGISTRY_SUFFIX = "repro/faults/crashpoints.py"
+_SWEEP_TUPLES = ("COMMIT_CRASH_POINTS", "M1_CRASH_POINTS")
+
+
+class _RegistryModel:
+    """Parsed view of the crashpoints module."""
+
+    def __init__(self, source: SourceFile) -> None:
+        #: constant name -> (string value, definition line)
+        self.constants: Dict[str, Tuple[str, int]] = {}
+        #: tuple name -> (member constant names, definition line)
+        self.tuples: Dict[str, Tuple[List[str], int]] = {}
+        assert source.tree is not None
+        for node in source.tree.body:  # type: ignore[attr-defined]
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+                if target.id.isupper():
+                    self.constants[target.id] = (node.value.value, node.lineno)
+            else:
+                members = self._tuple_members(node.value)
+                if members is not None:
+                    self.tuples[target.id] = (members, node.lineno)
+
+    def _tuple_members(self, node: ast.expr) -> Optional[List[str]]:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            members: List[str] = []
+            for element in node.elts:
+                if not isinstance(element, ast.Name):
+                    return None
+                members.append(element.id)
+            return members
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = self._resolved(node.left)
+            right = self._resolved(node.right)
+            if left is not None and right is not None:
+                return left + right
+        return None
+
+    def _resolved(self, node: ast.expr) -> Optional[List[str]]:
+        if isinstance(node, ast.Name) and node.id in self.tuples:
+            return self.tuples[node.id][0]
+        return self._tuple_members(node)
+
+    def swept_constants(self) -> Set[str]:
+        """Constant names reachable from the sweep tuples."""
+        swept: Set[str] = set()
+        for tuple_name in _SWEEP_TUPLES:
+            members, _ = self.tuples.get(tuple_name, ([], 0))
+            swept.update(members)
+        return swept
+
+
+def _fire_sites(
+    source: SourceFile, registry_values: Dict[str, str]
+) -> List[Tuple[str, Optional[str], int]]:
+    """Every ``crash_point(...)`` call in ``source``.
+
+    Returns ``(display, resolved_value, line)`` where ``resolved_value``
+    is the point's string name when resolvable (a registry constant or a
+    string literal) and ``None`` for dynamic arguments.
+    """
+    if source.tree is None:
+        return []
+    sites: List[Tuple[str, Optional[str], int]] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "crash_point" or not node.args:
+            continue
+        argument = node.args[0]
+        if isinstance(argument, ast.Name):
+            sites.append(
+                (argument.id, registry_values.get(argument.id), node.lineno)
+            )
+        elif isinstance(argument, ast.Constant) and isinstance(argument.value, str):
+            value = argument.value
+            resolved = value if value in registry_values.values() else None
+            sites.append((repr(value), resolved, node.lineno))
+        else:
+            sites.append((ast.dump(argument)[:40], None, node.lineno))
+    return sites
+
+
+@register
+class CrashPointCoverageRule(Rule):
+    """CRASH001: registered, fired and swept crash points must agree."""
+
+    rule_id = "CRASH001"
+
+    def check_project(self, project: Project) -> List[Finding]:
+        registry_file = project.find(_REGISTRY_SUFFIX)
+        if registry_file is None or registry_file.tree is None:
+            return []
+        model = _RegistryModel(registry_file)
+        registry_values = {
+            name: value for name, (value, _) in model.constants.items()
+        }
+        findings: List[Finding] = []
+
+        fired_constants: Set[str] = set()
+        for source in project.files:
+            if source is registry_file:
+                continue
+            for display, resolved, line in _fire_sites(source, registry_values):
+                if resolved is None:
+                    findings.append(
+                        Finding(
+                            path=source.relpath,
+                            line=line,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"crash_point({display}) fires a point the "
+                                "registry does not know; add a constant to "
+                                "repro/faults/crashpoints.py and a sweep "
+                                "tuple entry so the kill-point sweep tests it"
+                            ),
+                        )
+                    )
+                else:
+                    for name, value in registry_values.items():
+                        if value == resolved:
+                            fired_constants.add(name)
+
+        swept = model.swept_constants()
+        for name, (_, line) in sorted(model.constants.items()):
+            if name not in swept:
+                findings.append(
+                    Finding(
+                        path=registry_file.relpath,
+                        line=line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"crash point {name} is registered but missing "
+                            "from the swept tuples (COMMIT_CRASH_POINTS / "
+                            "M1_CRASH_POINTS); the kill-point sweep will "
+                            "never test it"
+                        ),
+                    )
+                )
+            elif name not in fired_constants:
+                findings.append(
+                    Finding(
+                        path=registry_file.relpath,
+                        line=line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"crash point {name} is registered but no "
+                            "crash_point() call site fires it; the sweep "
+                            "passes vacuously -- re-instrument the write "
+                            "path or retire the constant"
+                        ),
+                    )
+                )
+
+        findings.extend(self._check_sweep_tests(project, registry_file, model))
+        return findings
+
+    def _check_sweep_tests(
+        self, project: Project, registry_file: SourceFile, model: _RegistryModel
+    ) -> List[Finding]:
+        """Each swept tuple must be referenced by some tests/faults test."""
+        tests_dir = project.root / "tests" / "faults"
+        if not tests_dir.is_dir():
+            return []
+        corpus = "\n".join(
+            path.read_text(encoding="utf-8", errors="replace")
+            for path in sorted(tests_dir.glob("*.py"))
+        )
+        findings: List[Finding] = []
+        for tuple_name in _SWEEP_TUPLES:
+            if tuple_name not in model.tuples:
+                continue
+            _, line = model.tuples[tuple_name]
+            if tuple_name not in corpus:
+                findings.append(
+                    Finding(
+                        path=registry_file.relpath,
+                        line=line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"sweep tuple {tuple_name} is not referenced by "
+                            "any test under tests/faults/; the kill-point "
+                            "sweep no longer covers these points"
+                        ),
+                    )
+                )
+        return findings

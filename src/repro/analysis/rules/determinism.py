@@ -1,0 +1,270 @@
+"""CHAIN001: chaincode must be deterministic.
+
+Fabric's execute-order-validate pipeline endorses a transaction by
+running the chaincode on one peer and validating the recorded write set
+everywhere else.  Anything that can differ between two executions --
+wall clocks, randomness, the process environment, uuid1/uuid4, local
+file I/O, or Python's per-process ``str`` hash randomization leaking
+through ``set`` iteration order -- silently produces endorsements that
+other peers would not reproduce, which surfaces much later as validation
+failures (and would corrupt the history-db that the temporal indexes
+are built from).
+
+The rule activates inside any class that (transitively, within the same
+file) inherits from a base named ``Chaincode`` and flags:
+
+* any use of the ``time``, ``random`` or ``secrets`` modules;
+* ``uuid.uuid1`` / ``uuid.uuid4`` / ``uuid.getnode`` (uuid3/uuid5 are
+  content hashes and stay legal);
+* ``datetime.now`` / ``utcnow`` / ``today`` on anything imported from
+  ``datetime``;
+* ``os.environ`` / ``os.getenv`` / ``os.urandom`` / ``os.getpid`` /
+  ``os.cpu_count``;
+* the ``input`` and ``open`` builtins (peer-local I/O);
+* ``for`` loops iterating an unordered ``set`` whose body stages writes
+  via ``put_state`` / ``del_state`` / ``put_private_data`` (wrap the
+  iterable in ``sorted(...)`` to fix).  Plain ``dict`` iteration is
+  insertion-ordered in Python and is deliberately not flagged.
+
+Chaincode should derive every varying value from its arguments or from
+``stub.get_tx_timestamp()``, which is part of the ordered transaction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.registry import Rule, register
+
+#: Modules any use of which is nondeterministic inside chaincode.
+_BANNED_MODULES = {"time", "random", "secrets"}
+
+#: module -> attribute names that are banned (other attributes are fine).
+_BANNED_ATTRS = {
+    "uuid": {"uuid1", "uuid4", "getnode"},
+    "os": {"environ", "getenv", "urandom", "getpid", "cpu_count", "getloadavg"},
+}
+
+#: Methods that read a wall clock on datetime/date objects.
+_DATETIME_CLOCK_ATTRS = {"now", "utcnow", "today"}
+
+_BANNED_BUILTINS = {"input", "open"}
+
+_WRITE_METHODS = {"put_state", "del_state", "put_private_data", "del_private_data"}
+
+
+def _import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted path they import, module-wide.
+
+    ``import time as t``        -> ``{"t": "time"}``
+    ``from random import seed`` -> ``{"seed": "random.seed"}``
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted_path(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve ``node`` to a dotted path rooted at an imported module."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id)
+    if base is None:
+        return None
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+def _chaincode_classes(tree: ast.AST) -> List[ast.ClassDef]:
+    """Classes inheriting (within this file) from a base named Chaincode."""
+    classes = [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+    chaincode_names: Set[str] = set()
+
+    def base_name(base: ast.expr) -> Optional[str]:
+        if isinstance(base, ast.Name):
+            return base.id
+        if isinstance(base, ast.Attribute):
+            return base.attr
+        return None
+
+    # Fixed point over same-file inheritance chains.
+    changed = True
+    while changed:
+        changed = False
+        for node in classes:
+            if node.name in chaincode_names:
+                continue
+            for base in node.bases:
+                name = base_name(base)
+                if name == "Chaincode" or name in chaincode_names:
+                    chaincode_names.add(node.name)
+                    changed = True
+                    break
+    return [node for node in classes if node.name in chaincode_names]
+
+
+def _is_set_expression(node: ast.expr, set_names: Set[str]) -> bool:
+    """Whether ``node`` evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+        # seen.union(...), seen.intersection(...), seen.difference(...)
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        }:
+            return _is_set_expression(node.func.value, set_names)
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expression(node.left, set_names) or _is_set_expression(
+            node.right, set_names
+        )
+    return False
+
+
+def _set_typed_names(func: ast.AST) -> Set[str]:
+    """Names assigned or annotated as sets anywhere in ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _is_set_expression(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            annotation = node.annotation
+            base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+            if isinstance(base, ast.Name) and base.id in {"set", "frozenset", "Set", "FrozenSet"}:
+                names.add(node.target.id)
+    return names
+
+
+def _stages_writes(body: List[ast.stmt]) -> Optional[ast.Call]:
+    """First ``put_state``-style call anywhere under ``body``, if any."""
+    for statement in body:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _WRITE_METHODS
+            ):
+                return node
+    return None
+
+
+def _walk_class_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested classes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, ast.ClassDef):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+@register
+class ChaincodeDeterminismRule(Rule):
+    """CHAIN001: no nondeterminism inside ``Chaincode`` subclasses."""
+
+    rule_id = "CHAIN001"
+
+    def check_file(self, source: SourceFile, project: Project) -> List[Finding]:
+        if source.tree is None or "Chaincode" not in source.text:
+            return []
+        aliases = _import_aliases(source.tree)
+        findings: List[Finding] = []
+        for class_def in _chaincode_classes(source.tree):
+            findings.extend(self._check_class(source, class_def, aliases))
+        return findings
+
+    def _check_class(
+        self, source: SourceFile, class_def: ast.ClassDef, aliases: Dict[str, str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                Finding(
+                    path=source.relpath,
+                    line=getattr(node, "lineno", class_def.lineno),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"nondeterministic {what} in chaincode "
+                        f"{class_def.name!r}: endorsements would diverge "
+                        "across peers; derive it from the transaction's "
+                        "arguments or stub.get_tx_timestamp() instead"
+                    ),
+                )
+            )
+
+        for node in _walk_class_scope(class_def):
+            dotted = self._resolve(node, aliases)
+            if dotted is not None:
+                root, _, rest = dotted.partition(".")
+                if root in _BANNED_MODULES:
+                    flag(node, f"use of {dotted!r}")
+                elif root in _BANNED_ATTRS and rest.split(".")[0] in _BANNED_ATTRS[root]:
+                    flag(node, f"use of {dotted!r}")
+                elif root == "datetime" and dotted.split(".")[-1] in _DATETIME_CLOCK_ATTRS:
+                    flag(node, f"clock read {dotted!r}")
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _BANNED_BUILTINS
+                and node.func.id not in aliases
+            ):
+                flag(node, f"builtin {node.func.id}() call (peer-local I/O)")
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                set_names = _set_typed_names(node) | self._enclosing_set_names(class_def, node)
+                if _is_set_expression(node.iter, set_names):
+                    write_call = _stages_writes(node.body)
+                    if write_call is not None:
+                        flag(
+                            node,
+                            "iteration order: looping over an unordered set "
+                            f"and calling {write_call.func.attr}() inside the "  # type: ignore[union-attr]
+                            "loop; wrap the iterable in sorted(...)",
+                        )
+        return findings
+
+    @staticmethod
+    def _resolve(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+        """Dotted path for attribute chains and bare imported names."""
+        if isinstance(node, ast.Attribute):
+            return _dotted_path(node, aliases)
+        if isinstance(node, ast.Name) and not isinstance(getattr(node, "ctx", None), ast.Store):
+            dotted = aliases.get(node.id)
+            # Only bare *from*-imports resolve through a Name (e.g.
+            # ``from time import time``); a plain ``import time`` only
+            # becomes interesting through an Attribute access.
+            if dotted is not None and "." in dotted:
+                return dotted
+        return None
+
+    @staticmethod
+    def _enclosing_set_names(class_def: ast.ClassDef, loop: ast.AST) -> Set[str]:
+        """Set-typed names of the function containing ``loop``."""
+        for node in ast.walk(class_def):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(descendant is loop for descendant in ast.walk(node)):
+                    return _set_typed_names(node)
+        return set()

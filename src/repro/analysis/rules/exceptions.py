@@ -1,0 +1,94 @@
+"""ERR001: no swallowed or blanket-converted exceptions.
+
+A bare ``except:`` or broad ``except Exception`` in this codebase is
+worse than sloppy -- it is actively dangerous to the fault harness:
+:class:`~repro.common.errors.SimulatedCrashError` (the signal that the
+process "died" at a crash point) derives from the library's own
+hierarchy, so a blanket handler that logs, ignores, or wraps the
+exception quietly *survives the simulated crash* and invalidates every
+recovery guarantee the kill-point sweep claims to prove.  Broad handlers
+also erase the :mod:`repro.common.errors` taxonomy that callers key
+their own handling on.
+
+Flagged: an ``except`` clause that is bare or names ``Exception`` /
+``BaseException`` (directly or in a tuple) -- unless the handler body
+contains a bare ``raise``, which makes it a cleanup/logging handler that
+re-raises the original exception unchanged.  Wrapping via
+``raise XError(...) from exc`` does **not** exempt the handler: the
+wrap is exactly how a simulated crash gets swallowed.  Fix by narrowing
+to the specific exceptions the guarded code can raise and mapping them
+into the ``common/errors.py`` taxonomy; truly unavoidable broad catches
+get a ``# repro-lint: disable=ERR001`` with a justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.registry import Rule, register
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_catch(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in types:
+        name = node.id if isinstance(node, ast.Name) else (
+            node.attr if isinstance(node, ast.Attribute) else None
+        )
+        if name in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _reraises_unchanged(handler: ast.ExceptHandler) -> bool:
+    """A bare ``raise`` anywhere in the handler body (not counting nested
+    function definitions, which run later if at all)."""
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """ERR001: bare/broad except must re-raise unchanged or be narrowed."""
+
+    rule_id = "ERR001"
+
+    def check_file(self, source: SourceFile, project: Project) -> List[Finding]:
+        if source.tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _broad_catch(node):
+                continue
+            if _reraises_unchanged(node):
+                continue
+            described = "bare except:" if node.type is None else "broad except Exception"
+            findings.append(
+                Finding(
+                    path=source.relpath,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{described} swallows the exception taxonomy (and "
+                        "would swallow SimulatedCrashError, breaking the "
+                        "fault harness); narrow the catch and map it into "
+                        "common/errors.py, or re-raise unchanged"
+                    ),
+                )
+            )
+        return findings

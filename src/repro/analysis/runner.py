@@ -1,0 +1,136 @@
+"""Drive a lint run: discover, parse, check, suppress, baseline, report."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, build_project
+from repro.analysis.registry import instantiate
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced."""
+
+    project: Project
+    #: Findings that survived suppressions and the baseline: these fail CI.
+    new_findings: List[Finding]
+    #: Findings absorbed by the baseline (reported, non-fatal).
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (the baseline should shrink).
+    stale_baseline: List[Finding] = field(default_factory=list)
+    #: Findings silenced by ``# repro-lint: disable=...`` comments.
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def render_text(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines: List[str] = []
+        for finding in self.new_findings:
+            lines.append(finding.render())
+        if self.stale_baseline:
+            lines.append("")
+            lines.append("stale baseline entries (fixed findings -- remove them):")
+            for entry in self.stale_baseline:
+                lines.append(f"  {entry.render()}")
+        summary = (
+            f"repro-lint: {self.files_checked} files, "
+            f"{len(self.new_findings)} new finding(s)"
+        )
+        extras = []
+        if self.baselined:
+            extras.append(f"{len(self.baselined)} baselined")
+        if self.suppressed:
+            extras.append(f"{len(self.suppressed)} suppressed")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report for CI annotation (``--format json``)."""
+        return json.dumps(
+            {
+                "version": 1,
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "findings": [finding.to_json() for finding in self.new_findings],
+                "baselined": [finding.to_json() for finding in self.baselined],
+                "stale_baseline": [
+                    entry.to_json() for entry in self.stale_baseline
+                ],
+                "suppressed": [finding.to_json() for finding in self.suppressed],
+            },
+            indent=2,
+        )
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    select: Sequence[str] = (),
+    write_baseline: bool = False,
+) -> LintResult:
+    """Run every (selected) rule over ``paths``.
+
+    ``baseline_path`` pointing at a missing file is treated as an empty
+    baseline, so a fresh checkout with no grandfathered findings needs
+    no baseline file at all.  With ``write_baseline`` the current
+    findings (post-suppression) *become* the baseline and the run
+    reports clean.
+    """
+    project = build_project(paths, root=root)
+    rules = instantiate(select)
+
+    raw: List[Finding] = list(project.parse_failures())
+    for rule in rules:
+        for source in project.files:
+            if source.tree is not None and rule.applies_to(source.relpath):
+                raw.extend(rule.check_file(source, project))
+        raw.extend(rule.check_project(project))
+
+    suppressed: List[Finding] = []
+    active: List[Finding] = []
+    sources_by_path = {source.relpath: source for source in project.files}
+    for finding in sorted(raw):
+        source = sources_by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding.line, finding.rule_id):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+
+    if write_baseline:
+        if baseline_path is None:
+            raise ValueError("write_baseline requires a baseline path")
+        save_baseline(baseline_path, active)
+        return LintResult(
+            project=project,
+            new_findings=[],
+            baselined=active,
+            suppressed=suppressed,
+            files_checked=len(project.files),
+        )
+
+    baseline: List[Finding] = []
+    if baseline_path is not None and baseline_path.exists():
+        baseline = load_baseline(baseline_path)
+    new, stale = apply_baseline(active, baseline)
+    absorbed = [finding for finding in active if finding not in new]
+    return LintResult(
+        project=project,
+        new_findings=new,
+        baselined=absorbed,
+        stale_baseline=stale,
+        suppressed=suppressed,
+        files_checked=len(project.files),
+    )

@@ -22,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.common.errors import ConfigError
 from repro.bench.runner import BaseAccessBenchResult, ExperimentRunner
+from repro.common.errors import ConfigError
 from repro.temporal.engine import QueryStats
 from repro.temporal.intervals import TimeInterval
 from repro.workload.datasets import ds1, ds2, ds3

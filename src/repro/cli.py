@@ -135,6 +135,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="path of the M1 indexer's run manifest, if one is in use",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="repro-lint: AST determinism & durability analysis "
+        "(chaincode determinism, FileSystem-seam bypasses, "
+        "fsync-before-rename, crash-point coverage, swallowed exceptions)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is machine-readable, for CI annotation)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        metavar="PATH",
+        help="baseline file of grandfathered findings "
+        "(default: lint-baseline.json; a missing file means empty)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="project root for relative paths and the tests/ cross-checks "
+        "(default: nearest directory with a pyproject.toml)",
+    )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print a rule's full documentation and exit",
+    )
+
     return parser
 
 
@@ -240,6 +295,45 @@ def _run_doctor(args: argparse.Namespace) -> tuple[str, bool]:
     return report.render(), report.ok
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand; returns the process exit code directly
+    (0 clean, 1 findings, 2 usage error)."""
+    import inspect
+    from pathlib import Path
+
+    from repro.analysis import all_rules, run_lint
+
+    if args.explain:
+        rules = all_rules()
+        rule = rules.get(args.explain)
+        if rule is None:
+            print(f"unknown rule {args.explain!r}; known: {', '.join(sorted(rules))}")
+            return 2
+        module_doc = inspect.getmodule(rule).__doc__ or ""
+        print(f"{rule.rule_id}: {(rule.__doc__ or '').strip()}\n\n{module_doc.strip()}")
+        return 0
+
+    select = [part.strip() for part in args.select.split(",")] if args.select else []
+    baseline_path = None if args.no_baseline else Path(args.baseline)
+    try:
+        result = run_lint(
+            [Path(path) for path in args.paths],
+            root=Path(args.root) if args.root else None,
+            baseline_path=baseline_path,
+            select=select,
+            write_baseline=args.write_baseline,
+        )
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    print(result.render_json() if args.format == "json" else result.render_text())
+    if args.write_baseline:
+        if args.format == "text":
+            print(f"(baseline written to {baseline_path})")
+        return 0
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -269,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         rendered, healthy = _run_doctor(args)
         print(rendered)
         return 0 if healthy else 1
+    elif args.command == "lint":
+        return _run_lint(args)
     elif args.command == "all":
         for dataset in ("ds1", "ds2", "ds3"):
             args.dataset = dataset

@@ -153,6 +153,7 @@ class BlockStore:
         handle = self._fs.open(tmp_path, "wb")
         try:
             handle.write(payload)
+            self._fs.fsync(handle)
         finally:
             handle.close()
         self._fs.replace(tmp_path, self._meta_path)

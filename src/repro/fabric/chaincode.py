@@ -20,8 +20,8 @@ from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ChaincodeError
 from repro.fabric.block import RWSet
-from repro.fabric.historydb import HistoryDB, HistoryEntry
 from repro.fabric.blockstore import BlockStore
+from repro.fabric.historydb import HistoryDB, HistoryEntry
 from repro.fabric.statedb import StateDB
 
 #: Delimiter used by Fabric's composite-key helpers (U+0000, the minimum

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from repro.common.errors import EndorsementError
+from repro.common.errors import EndorsementError, FaultInjectionError, ReproError
 from repro.fabric import crypto
 from repro.fabric.block import Transaction
+from repro.fabric.blockstore import BlockStore
 from repro.fabric.chaincode import Chaincode, ChaincodeStub
 from repro.fabric.historydb import HistoryDB
-from repro.fabric.blockstore import BlockStore
 from repro.fabric.identity import Identity
 from repro.fabric.statedb import StateDB
 
@@ -78,9 +78,13 @@ class Endorser:
         )
         try:
             response = chaincode.invoke(stub, fn, args)
-        except EndorsementError:
+        except (FaultInjectionError, EndorsementError):
+            # SimulatedCrashError must reach the fault harness untouched;
+            # wrapping it here would let chaincode survive its own crash.
             raise
-        except Exception as exc:
+        except (ReproError, ValueError, TypeError, KeyError, IndexError, AttributeError) as exc:
+            # Library errors plus the data-shape errors malformed client
+            # arguments produce; genuine programming errors still propagate.
             raise EndorsementError(
                 f"chaincode {chaincode_name!r} fn {fn!r} failed: {exc}"
             ) from exc

@@ -24,14 +24,17 @@ from pathlib import Path
 
 from repro.common.errors import LedgerError
 from repro.fabric.ledger import Ledger
+from repro.faults.fs import REAL_FS, FileSystem
 
 FORMAT_VERSION = 1
 
 
-def export_snapshot(ledger: Ledger, path: str | Path) -> int:
+def export_snapshot(ledger: Ledger, path: str | Path, fs: FileSystem = REAL_FS) -> int:
     """Write a state snapshot of ``ledger`` at its current height.
 
-    Returns the number of states exported.
+    The snapshot is finalized atomically (temp file, fsync, rename) so a
+    crash mid-export can never leave a truncated snapshot under the
+    final name.  Returns the number of states exported.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -45,8 +48,14 @@ def export_snapshot(ledger: Ledger, path: str | Path) -> int:
         "state_fingerprint": ledger.state_fingerprint(),
         "states": states,
     }
-    with open(path, "w") as handle:
-        json.dump(document, handle)
+    tmp_path = path.with_name(path.name + ".tmp")
+    handle = fs.open(tmp_path, "wb")
+    try:
+        handle.write(json.dumps(document).encode("utf-8"))
+        fs.fsync(handle)
+    finally:
+        handle.close()
+    fs.replace(tmp_path, path)
     return len(states)
 
 

@@ -53,6 +53,7 @@ class RunManifest:
         handle = self._fs.open(tmp_path, "wb")
         try:
             handle.write(payload)
+            self._fs.fsync(handle)
         finally:
             handle.close()
         self._fs.replace(tmp_path, self.path)

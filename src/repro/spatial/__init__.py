@@ -10,9 +10,9 @@ sub-keys whose cells overlap the box, instead of scanning the key's whole
 observation history.
 """
 
-from repro.spatial.grid import BoundingBox, GridCell, GridScheme
 from repro.spatial.chaincode import SpatialChaincode
-from repro.spatial.query import NaiveSpatialEngine, GridSpatialEngine, Observation
+from repro.spatial.grid import BoundingBox, GridCell, GridScheme
+from repro.spatial.query import GridSpatialEngine, NaiveSpatialEngine, Observation
 
 __all__ = [
     "BoundingBox",

@@ -181,7 +181,9 @@ class BlockFileManager:
         self._writer.flush()
         self._writer.close()
         file_path = self._file_path(location.file_num)
-        with open(file_path, "r+b") as handle:
+        # "r+" passes through the seam untouched (only write/append modes
+        # are buffered) but still hits the dead-filesystem check.
+        with self._fs.open(file_path, "r+b") as handle:
             handle.truncate(location.offset)
         self._writer = self._fs.open(file_path, "ab")
 

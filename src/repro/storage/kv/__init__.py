@@ -10,12 +10,17 @@ Two interchangeable backends implement :class:`~repro.storage.kv.api.KVStore`:
   with the same semantics, used when durability is not under test.
 """
 
+from pathlib import Path
+from typing import Any, Optional, Union
+
 from repro.storage.kv.api import KVStore
 from repro.storage.kv.lsm import LSMStore
 from repro.storage.kv.memstore import MemStore
 
 
-def open_kv_store(backend: str, path=None, **kwargs) -> KVStore:
+def open_kv_store(
+    backend: str, path: Optional[Union[str, Path]] = None, **kwargs: Any
+) -> KVStore:
     """Open a KV store by backend name (``lsm`` or ``memory``).
 
     Args:

@@ -25,11 +25,10 @@ from repro.common.errors import StorageError
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.faults.crashpoints import LSM_POST_SSTABLE, LSM_PRE_SSTABLE, crash_point
 from repro.faults.fs import REAL_FS, FileSystem
-from repro.storage.kv.api import KVStore
+from repro.storage.kv.api import OP_PUT, KVStore
 from repro.storage.kv.memtable import Memtable
 from repro.storage.kv.sstable import TMP_SUFFIX, SSTableReader, write_sstable
 from repro.storage.kv.wal import WriteAheadLog, replay
-from repro.storage.kv.api import OP_PUT
 
 _SST_PREFIX = "sst-"
 _SST_SUFFIX = ".sst"

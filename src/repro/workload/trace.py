@@ -14,7 +14,7 @@ import csv
 from pathlib import Path
 from typing import List
 
-from repro.common.errors import WorkloadError
+from repro.common.errors import TemporalQueryError, WorkloadError
 from repro.temporal.events import Event
 
 _FIELDS = ["time", "key", "other", "kind"]
@@ -60,7 +60,7 @@ def load_trace(path: str | Path) -> List[Event]:
                 ) from None
             try:
                 events.append(Event(time=time, key=key, other=other, kind=kind))
-            except Exception as exc:
+            except (TemporalQueryError, ValueError, TypeError) as exc:
                 raise WorkloadError(f"{path.name}:{line_number}: {exc}") from exc
     for previous, current in zip(events, events[1:]):
         if current.time < previous.time:

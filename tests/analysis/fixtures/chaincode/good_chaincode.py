@@ -1,0 +1,31 @@
+"""Deterministic chaincode (repro-lint test fixture): zero findings.
+
+Also exercises per-line suppression: the ``disable=`` lines carry real
+violations that must land in ``result.suppressed``, not in the report.
+"""
+
+import time
+
+from repro.fabric.chaincode import Chaincode
+
+WINDOW = 60
+
+
+class GoodChaincode(Chaincode):
+    """Derives every varying value from args or the tx timestamp."""
+
+    name = "good"
+
+    def invoke(self, stub, fn, args):
+        bucket = stub.get_tx_timestamp() // WINDOW
+        keys = {key for key, _ in args}
+        for key in sorted(keys):
+            stub.put_state(key, bucket)
+        has_probe = "probe" in keys
+        started = time.time()  # repro-lint: disable=CHAIN001
+        return [bucket, has_probe, started]
+
+
+def helper_outside_chaincode():
+    """Clock reads outside a Chaincode subclass are not CHAIN001's business."""
+    return time.time()

@@ -1,0 +1,11 @@
+"""Fixture write path: fires one registered point and one unknown one."""
+
+from repro.faults.crashpoints import POINT_FIRED, crash_point
+
+
+def commit(block):
+    """The second call never made it into the registry, so the kill-point
+    sweep would never test a crash there."""
+    crash_point(POINT_FIRED)
+    crash_point("pipeline.added_without_registering")  # expect: CRASH001
+    return block

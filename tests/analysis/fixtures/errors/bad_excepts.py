@@ -1,0 +1,27 @@
+"""Swallowed exceptions (repro-lint test fixture): ERR001."""
+
+
+def swallow_everything(work):
+    """Bare except returning a default: the classic silent failure."""
+    try:
+        return work()
+    except:  # expect: ERR001
+        return None
+
+
+def wrap_blindly(work):
+    """Broad catch converted to another type: still swallows the taxonomy
+    (and a SimulatedCrashError would die right here)."""
+    try:
+        return work()
+    except Exception as exc:  # expect: ERR001
+        raise RuntimeError("wrapped") from exc
+
+
+def broad_in_tuple(work, log):
+    """Exception hiding inside a tuple of types."""
+    try:
+        return work()
+    except (ValueError, Exception):  # expect: ERR001
+        log.append("failed")
+        return None

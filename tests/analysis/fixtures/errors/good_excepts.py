@@ -1,0 +1,26 @@
+"""Exception handling done right (repro-lint test fixture): zero findings."""
+
+
+def narrow(work):
+    """Catching the specific types the guarded code raises is the goal."""
+    try:
+        return work()
+    except (ValueError, KeyError):
+        return None
+
+
+def cleanup_and_reraise(work, log):
+    """Broad catch that re-raises unchanged is a legitimate cleanup hook."""
+    try:
+        return work()
+    except Exception:
+        log.append("failed")
+        raise
+
+
+def justified_top_level_guard(work):
+    """An entry-point guard, suppressed with a reason."""
+    try:
+        return work()
+    except Exception:  # repro-lint: disable=ERR001 -- process boundary
+        return None

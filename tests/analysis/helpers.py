@@ -1,0 +1,65 @@
+"""Shared plumbing for the analyzer tests.
+
+Fixture files mark every line the analyzer must flag with a trailing
+``# expect: RULE1[,RULE2]`` comment, so the tests assert *exact* rule
+ids and line numbers without hand-maintained tables that drift when a
+fixture gains a line.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from repro.analysis import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9_,\s]+)")
+
+
+def expected_findings(path: Path) -> Set[Tuple[str, int]]:
+    """``(rule_id, line)`` pairs declared by ``# expect:`` comments."""
+    expected: Set[Tuple[str, int]] = set()
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT_RE.search(line)
+        if match is None:
+            continue
+        for rule_id in match.group(1).split(","):
+            if rule_id.strip():
+                expected.add((rule_id.strip(), line_number))
+    return expected
+
+
+def actual_findings(result, relpath_suffix: str) -> Set[Tuple[str, int]]:
+    """``(rule_id, line)`` pairs the run reported for one file."""
+    return {
+        (finding.rule_id, finding.line)
+        for finding in result.new_findings
+        if finding.path.endswith(relpath_suffix)
+    }
+
+
+def lint_fixture_tree(subdir: str, **kwargs):
+    """Run the analyzer over one fixture subtree, rooted at the fixtures
+    directory so scope-sensitive rules see stable relative paths."""
+    return run_lint([FIXTURES / subdir], root=FIXTURES, **kwargs)
+
+
+def assert_matches_expectations(result, *fixture_files: Path) -> None:
+    """Every ``# expect`` marker fired, and nothing else did."""
+    for path in fixture_files:
+        relpath = path.relative_to(FIXTURES).as_posix()
+        expected = expected_findings(path)
+        actual = actual_findings(result, relpath)
+        assert actual == expected, (
+            f"{relpath}: expected {sorted(expected)}, got {sorted(actual)}"
+        )
+
+
+def find_lines(result_list: List, rule_id: str) -> List[int]:
+    """Lines of every finding with ``rule_id`` in a finding list."""
+    return [finding.line for finding in result_list if finding.rule_id == rule_id]

@@ -1,0 +1,111 @@
+"""Baseline workflow: grandfather, gate on new findings, shrink."""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.findings import Finding
+from tests.analysis.helpers import FIXTURES, find_lines
+
+
+@pytest.fixture()
+def project(tmp_path):
+    """A throwaway project seeded with the bad-excepts fixture."""
+    src = tmp_path / "proj" / "src"
+    src.mkdir(parents=True)
+    shutil.copy(FIXTURES / "errors" / "bad_excepts.py", src / "handlers.py")
+    return tmp_path / "proj"
+
+
+def lint(project, **kwargs):
+    return run_lint([project / "src"], root=project, **kwargs)
+
+
+def test_write_baseline_then_rerun_is_clean(project):
+    baseline = project / "lint-baseline.json"
+    first = lint(project, baseline_path=baseline, write_baseline=True)
+    assert first.ok and baseline.exists()
+    second = lint(project, baseline_path=baseline)
+    assert second.ok
+    assert len(second.baselined) == 3  # the three ERR001 fixtures
+    assert not second.stale_baseline
+
+
+def test_new_finding_is_not_absorbed_by_the_baseline(project):
+    baseline = project / "lint-baseline.json"
+    lint(project, baseline_path=baseline, write_baseline=True)
+    extra = project / "src" / "late_addition.py"
+    extra.write_text(
+        '"""Added after the baseline was cut."""\n\n\n'
+        "def swallow(work):\n"
+        '    """Returns None on any failure."""\n'
+        "    try:\n"
+        "        return work()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    result = lint(project, baseline_path=baseline)
+    assert not result.ok
+    assert find_lines(result.new_findings, "ERR001") == [8]
+    assert all(finding.path == "src/late_addition.py" for finding in result.new_findings)
+
+
+def test_fixed_findings_surface_as_stale_entries(project):
+    baseline = project / "lint-baseline.json"
+    lint(project, baseline_path=baseline, write_baseline=True)
+    (project / "src" / "handlers.py").write_text('"""All fixed."""\n')
+    result = lint(project, baseline_path=baseline)
+    assert result.ok  # stale entries warn, they do not fail
+    assert len(result.stale_baseline) == 3
+    assert "stale baseline entries" in result.render_text()
+
+
+def test_missing_baseline_file_means_empty(project):
+    result = lint(project, baseline_path=project / "does-not-exist.json")
+    assert not result.ok
+    assert len(result.new_findings) == 3
+
+
+def test_baseline_file_format_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [
+        Finding(path="src/a.py", line=3, rule_id="DUR001", message="m1"),
+        Finding(path="src/b.py", line=9, rule_id="ERR001", message="m2"),
+    ]
+    save_baseline(path, findings)
+    document = json.loads(path.read_text())
+    assert document["version"] == 1
+    assert [entry["rule"] for entry in document["findings"]] == ["DUR001", "ERR001"]
+    assert load_baseline(path) == findings
+
+
+def test_malformed_baseline_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("not json")
+    with pytest.raises(ValueError):
+        load_baseline(path)
+    path.write_text('{"version": 99, "findings": []}')
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_baseline_matching_ignores_line_drift():
+    moved = Finding(path="src/a.py", line=30, rule_id="DUR001", message="m")
+    baseline = [Finding(path="src/a.py", line=3, rule_id="DUR001", message="m")]
+    new, stale = apply_baseline([moved], baseline)
+    assert new == [] and stale == []
+
+
+def test_baseline_matching_is_multiset():
+    finding = Finding(path="src/a.py", line=3, rule_id="DUR001", message="m")
+    twin = Finding(path="src/a.py", line=7, rule_id="DUR001", message="m")
+    baseline = [finding]
+    new, stale = apply_baseline([finding, twin], baseline)
+    assert len(new) == 1  # the second instance is genuinely new
+    assert not stale

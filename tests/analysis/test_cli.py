@@ -1,0 +1,76 @@
+"""The ``repro lint`` subcommand: exit codes, formats, baseline flags."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from tests.analysis.helpers import FIXTURES
+
+
+@pytest.fixture()
+def project(tmp_path):
+    src = tmp_path / "proj" / "src"
+    src.mkdir(parents=True)
+    shutil.copy(FIXTURES / "errors" / "bad_excepts.py", src / "handlers.py")
+    return tmp_path / "proj"
+
+
+def lint_argv(project, *extra):
+    return [
+        "lint",
+        str(project / "src"),
+        "--root",
+        str(project),
+        "--baseline",
+        str(project / "lint-baseline.json"),
+        *extra,
+    ]
+
+
+def test_findings_exit_nonzero_with_rule_ids_in_output(project, capsys):
+    assert main(lint_argv(project)) == 1
+    out = capsys.readouterr().out
+    assert "ERR001" in out and "handlers.py" in out
+
+
+def test_clean_tree_exits_zero(project, capsys):
+    (project / "src" / "handlers.py").write_text('"""Nothing to see."""\n')
+    assert main(lint_argv(project)) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(project, capsys):
+    assert main(lint_argv(project, "--format", "json")) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["ok"] is False
+    assert {finding["rule"] for finding in document["findings"]} == {"ERR001"}
+    assert all(finding["line"] > 0 for finding in document["findings"])
+
+
+def test_write_baseline_then_gate(project, capsys):
+    assert main(lint_argv(project, "--write-baseline")) == 0
+    assert (project / "lint-baseline.json").exists()
+    capsys.readouterr()
+    assert main(lint_argv(project)) == 0  # grandfathered
+    assert main(lint_argv(project, "--no-baseline")) == 1  # still really there
+
+
+def test_select_limits_the_rules(project, capsys):
+    assert main(lint_argv(project, "--select", "DUR001")) == 0
+    assert main(lint_argv(project, "--select", "ERR001")) == 1
+
+
+def test_unknown_rule_and_missing_path_are_usage_errors(project, capsys):
+    assert main(lint_argv(project, "--select", "NOPE999")) == 2
+    assert main(["lint", str(project / "missing"), "--root", str(project)]) == 2
+
+
+def test_explain_prints_rule_documentation(capsys):
+    assert main(["lint", "--explain", "CHAIN001"]) == 0
+    out = capsys.readouterr().out
+    assert "CHAIN001" in out and "deterministic" in out
+    assert main(["lint", "--explain", "NOPE999"]) == 2

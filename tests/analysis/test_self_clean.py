@@ -1,0 +1,56 @@
+"""The dogfood invariant: this repository passes its own analyzer.
+
+This is the tier-1 enforcement of what the CI lint job checks -- a new
+seam bypass, unregistered crash point, broad except, or nondeterministic
+chaincode construct anywhere under ``src/`` fails the test suite even on
+machines that never run CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def repo_layout_present() -> bool:
+    """Skip gracefully when running from an installed wheel."""
+    return (SRC / "repro").is_dir() and (REPO_ROOT / "pyproject.toml").exists()
+
+
+def test_source_tree_is_lint_clean():
+    if not repo_layout_present():
+        import pytest
+
+        pytest.skip("not running from a source checkout")
+    baseline = REPO_ROOT / "lint-baseline.json"
+    result = run_lint(
+        [SRC],
+        root=REPO_ROOT,
+        baseline_path=baseline if baseline.exists() else None,
+    )
+    assert result.ok, "repro lint found new violations:\n" + result.render_text()
+
+
+def test_crash_point_registry_is_consistent():
+    """CRASH001 alone, with the real tests/faults sweep cross-check."""
+    if not repo_layout_present():
+        import pytest
+
+        pytest.skip("not running from a source checkout")
+    result = run_lint([SRC], root=REPO_ROOT, select=["CRASH001"])
+    assert result.ok, result.render_text()
+
+
+def test_every_registered_point_really_fires_in_the_sweep():
+    """Belt and braces: the dynamic counterpart of CRASH001's static
+    check -- every registered name has at least one call site that the
+    static rule resolved, so the sweep tuples and the instrumentation
+    cannot drift apart silently."""
+    from repro.faults.crashpoints import ALL_CRASH_POINTS
+
+    assert len(ALL_CRASH_POINTS) == len(set(ALL_CRASH_POINTS)) >= 15

@@ -8,8 +8,8 @@ from repro.common import metrics as metric_names
 from repro.common.config import BlockStoreConfig, FabricConfig
 from repro.common.errors import ConfigError
 from repro.fabric.blockstore import BlockStore
-from repro.fabric.network import FabricNetwork
 from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.network import FabricNetwork
 from tests.fabric.test_blockstore_historydb import chain_blocks, make_tx
 
 

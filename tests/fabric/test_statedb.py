@@ -8,8 +8,8 @@ from repro.common import metrics as metric_names
 from repro.common.metrics import MetricsRegistry
 from repro.fabric.block import KVWrite
 from repro.fabric.statedb import StateDB
-from repro.storage.kv.memstore import MemStore
 from repro.storage.kv.lsm import LSMStore
+from repro.storage.kv.memstore import MemStore
 
 
 @pytest.fixture(params=["memory", "lsm"])

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common import metrics as metric_names
 from repro.common.errors import ClosedStoreError
 from repro.common.metrics import MetricsRegistry
-from repro.common import metrics as metric_names
 from repro.storage.kv.lsm import LSMStore
 
 

@@ -12,9 +12,9 @@ from repro.temporal.chaincodes import (
     M2SupplyChainChaincode,
     SupplyChainChaincode,
 )
+from repro.temporal.intervals import TimeInterval
 from repro.temporal.m2 import M2QueryEngine
 from repro.temporal.tqf import TQFEngine
-from repro.temporal.intervals import TimeInterval
 from repro.workload.generator import WorkloadConfig, generate
 from repro.workload.ingest import ingest_checked
 from tests.helpers import fabric_config

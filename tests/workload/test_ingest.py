@@ -7,9 +7,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.errors import WorkloadError
-from repro.temporal.events import LOAD, UNLOAD, Event
-from repro.temporal.chaincodes import SupplyChainChaincode
 from repro.fabric.network import FabricNetwork
+from repro.temporal.chaincodes import SupplyChainChaincode
+from repro.temporal.events import LOAD, UNLOAD, Event
 from repro.workload.generator import WorkloadConfig, generate
 from repro.workload.ingest import batch_events_me, ingest
 from tests.helpers import fabric_config
