@@ -23,6 +23,17 @@ CRASH001  crash-point registry drift: registered-but-never-fired points,
           swept tuples / kill-point sweep tests
 ERR001    swallowed exceptions: bare ``except:`` or broad
           ``except Exception`` that does not re-raise unchanged
+DET002    interprocedural determinism: a nondeterministic value reaching
+          ``put_state``/``del_state`` through *any* chain of helper
+          calls, tracked by the project-wide taint engine
+          (:mod:`repro.analysis.dataflow`); strictly subsumes CHAIN001
+TEMP001   Model M1 ingest contract: every ``"write_index"`` submission
+          followed by its ``"clear_index"`` tombstone, and θ-boundary
+          arithmetic confined to the interval scheme / planners
+CONC001   unlocked ``self.attr`` writes in classes that carry a
+          ``threading`` lock (``_locked``-suffix methods exempt)
+RES001    ``fs.open`` handles not scoped by ``with``, closed in a
+          ``finally``, or owned by ``self``
 ========  ==============================================================
 
 Entry points: the :func:`run_lint` API and the ``repro lint`` CLI

@@ -1,0 +1,44 @@
+"""Project-wide dataflow analysis: symbols, call graph, taint, caching.
+
+PR 2's rules are per-file and syntactic; this package gives rules a
+*project* view so they can reason across function and module boundaries:
+
+* :mod:`~repro.analysis.dataflow.symbols` -- a symbol table over every
+  analyzed file: modules, top-level functions, classes (with base-class
+  resolution across files), methods, inferred attribute types;
+* :mod:`~repro.analysis.dataflow.callgraph` -- the call graph those
+  symbols induce, with DOT / JSON export for the ``repro lint
+  --call-graph`` CLI;
+* :mod:`~repro.analysis.dataflow.taint` -- a forward taint engine:
+  configurable sources propagate through assignments, calls, returns and
+  containers to sinks, summarized per function and joined to a fixpoint
+  so laundering a value through any helper chain is still visible;
+* :mod:`~repro.analysis.dataflow.cache` -- an mtime+SHA keyed result
+  cache so repeated full-tree runs cost one stat per file.
+
+Everything here is derived from the :class:`~repro.analysis.project.Project`
+the runner already builds -- rules never touch the filesystem.  The
+analysis objects are memoized per project (see :func:`dataflow_for`), so
+the four rule families that share them pay for one construction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow.callgraph import CallGraph
+from repro.analysis.dataflow.symbols import SymbolTable
+from repro.analysis.dataflow.taint import TaintAnalysis
+from repro.analysis.project import Project
+
+__all__ = ["CallGraph", "SymbolTable", "TaintAnalysis", "dataflow_for"]
+
+
+def dataflow_for(project: Project) -> TaintAnalysis:
+    """The memoized :class:`TaintAnalysis` (symbols + call graph + taint
+    summaries) for ``project``; built on first use, shared by every rule."""
+    cached = getattr(project, "_dataflow_analysis", None)
+    if cached is None:
+        table = SymbolTable.build(project)
+        graph = CallGraph.build(table)
+        cached = TaintAnalysis.build(table, graph)
+        project._dataflow_analysis = cached  # type: ignore[attr-defined]
+    return cached

@@ -1,0 +1,263 @@
+"""The project call graph, with resolution rules tuned for this codebase.
+
+A call site resolves to at most one analyzed function, through (in
+order): local names (module functions, ``from``-imports), ``self.method``
+with cross-file base-class lookup, imported-module attributes
+(``mod.func``), constructor calls (edge to ``__init__`` when present,
+else to the class itself as a node), methods on ``self.<attr>`` whose
+type was inferred from ``__init__``, methods on parameters with class
+annotations, and methods on locals assigned from a constructor call.
+
+Unresolvable calls (stdlib, builtins, duck-typed receivers) simply
+produce no edge -- the graph under-approximates, which is the right
+polarity for the taint engine (an unresolved callee falls back to
+argument-union propagation there).
+
+Exports: :meth:`CallGraph.to_dot` renders the *class-level* aggregation
+(one node per class or module scope -- small enough to read), and
+:meth:`CallGraph.to_json` carries the full function-level edge list plus
+the class-level aggregation for tooling.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    SymbolTable,
+    dotted_path,
+)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site."""
+
+    caller: str
+    callee: str
+    line: int
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`SymbolTable`."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: List[CallEdge] = []
+        self._by_caller: Dict[str, List[CallEdge]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def build(table: SymbolTable) -> "CallGraph":
+        graph = CallGraph(table)
+        for info in table.functions.values():
+            local_types = _local_constructions(info, table)
+            for call in _call_nodes(info.node):
+                callee = graph.resolve_call(info, call, local_types)
+                if callee is not None:
+                    graph._add(CallEdge(info.qualname, callee, call.lineno))
+        return graph
+
+    def _add(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self._by_caller.setdefault(edge.caller, []).append(edge)
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_call(
+        self,
+        caller: FunctionInfo,
+        call: ast.Call,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> Optional[str]:
+        """Qualname of the analyzed function ``call`` invokes, if known."""
+        table = self.table
+        module = table.modules[caller.module]
+        if local_types is None:
+            local_types = _local_constructions(caller, table)
+        func = call.func
+
+        if isinstance(func, ast.Name):
+            ref = module.aliases.get(func.id, f"{module.name}.{func.id}")
+            resolved = table.resolve_function(ref)
+            if resolved is not None:
+                return resolved.qualname
+            klass = table.resolve_class(ref)
+            if klass is not None:
+                return self._constructor_target(klass)
+            return None
+
+        if not isinstance(func, ast.Attribute):
+            return None
+
+        receiver = func.value
+        # self.method() / cls.method()
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+            and caller.class_qualname is not None
+        ):
+            method = table.method_on(caller.class_qualname, func.attr)
+            if method is not None:
+                return method.qualname
+            return None
+        # self.<attr>.method() through inferred attribute types
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and caller.class_qualname is not None
+        ):
+            owner = table.classes.get(caller.class_qualname)
+            attr_type = (owner.attr_types.get(receiver.attr) if owner else None)
+            if attr_type is not None:
+                method = table.method_on(attr_type, func.attr)
+                if method is not None:
+                    return method.qualname
+            return None
+        if isinstance(receiver, ast.Name):
+            # parameter or local with a known class type
+            class_qualname = local_types.get(receiver.id)
+            if class_qualname is not None:
+                method = table.method_on(class_qualname, func.attr)
+                if method is not None:
+                    return method.qualname
+            # imported module / imported class attribute
+            dotted = dotted_path(func, module.aliases)
+            if dotted is not None:
+                resolved = table.resolve_function(dotted)
+                if resolved is not None:
+                    return resolved.qualname
+                klass = table.resolve_class(dotted)
+                if klass is not None:
+                    return self._constructor_target(klass)
+            return None
+        # deeper attribute chains: resolve through imports only
+        dotted = dotted_path(func, module.aliases)
+        if dotted is not None:
+            resolved = table.resolve_function(dotted)
+            if resolved is not None:
+                return resolved.qualname
+        return None
+
+    def _constructor_target(self, klass: ClassInfo) -> str:
+        init = self.table.method_on(klass.qualname, "__init__")
+        return init.qualname if init is not None else klass.qualname
+
+    # -- queries -----------------------------------------------------------
+
+    def callees_of(self, qualname: str) -> List[CallEdge]:
+        """Every resolved call edge out of one function."""
+        return self._by_caller.get(qualname, [])
+
+    def class_edges(self) -> List[Tuple[str, str]]:
+        """Deduplicated scope-level edges (class or module granularity)."""
+        seen: Set[Tuple[str, str]] = set()
+        ordered: List[Tuple[str, str]] = []
+        for edge in self.edges:
+            pair = (self._scope(edge.caller), self._scope(edge.callee))
+            if pair[0] == pair[1] or pair in seen:
+                continue
+            seen.add(pair)
+            ordered.append(pair)
+        return ordered
+
+    def _scope(self, qualname: str) -> str:
+        info = self.table.functions.get(qualname)
+        if info is not None:
+            return info.scope_name
+        klass = self.table.classes.get(qualname)
+        if klass is not None:
+            return klass.name
+        return qualname
+
+    def reachable_scopes(self, start: str) -> Set[str]:
+        """Scopes reachable from ``start`` in the class-level graph."""
+        adjacency: Dict[str, Set[str]] = {}
+        for src, dst in self.class_edges():
+            adjacency.setdefault(src, set()).add(dst)
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        return seen
+
+    # -- export ------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Class-level DOT digraph (the readable architecture view)."""
+        lines = [
+            "digraph callgraph {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for src, dst in self.class_edges():
+            lines.append(f'  "{src}" -> "{dst}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Function-level edges plus the class aggregation, versioned."""
+        return json.dumps(
+            {
+                "version": 1,
+                "functions": sorted(self.table.functions),
+                "edges": [
+                    {"caller": e.caller, "callee": e.callee, "line": e.line}
+                    for e in self.edges
+                ],
+                "class_edges": [[src, dst] for src, dst in self.class_edges()],
+            },
+            indent=2,
+        )
+
+
+def _call_nodes(func_node: ast.AST) -> Iterator[ast.Call]:
+    """Calls in a function body, nested defs and classes excluded."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func_node))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _local_constructions(info: FunctionInfo, table: SymbolTable) -> Dict[str, str]:
+    """Name -> class qualname for annotated params and constructor locals."""
+    module = table.modules[info.module]
+    types: Dict[str, str] = {}
+    args = info.node.args  # type: ignore[attr-defined]
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        resolved = table._annotation_class(arg.annotation, module)
+        if resolved is not None:
+            types[arg.arg] = resolved
+    for node in ast.walk(info.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            constructed = table.constructed_class(node.value, module)
+            if constructed is not None:
+                types[node.targets[0].id] = constructed.qualname
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+        ):
+            resolved = table._annotation_class(node.annotation, module)
+            if resolved is not None:
+                types[node.target.id] = resolved
+    return types

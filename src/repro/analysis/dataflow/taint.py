@@ -1,0 +1,475 @@
+"""Forward taint analysis over the project call graph.
+
+The engine answers one question precisely: *can a nondeterministic value
+reach a ledger write, through any chain of helper calls?*  It works in
+two layers:
+
+1. **Per-function summaries.**  Each function body is abstractly
+   interpreted with an environment mapping local names to *labels*:
+   :class:`SourceLabel` (this value derives from a nondeterministic
+   source -- wall clock, randomness, environment, uuid, set iteration
+   order) or :class:`ParamLabel` (this value derives from parameter
+   *i*).  Labels propagate through assignments, augmented assignments,
+   tuple unpacking, containers, comprehensions, f-strings, arithmetic,
+   ``for`` targets and ``with`` bindings.  A call to an analyzed
+   function substitutes that callee's summary; a call to anything else
+   conservatively unions its argument labels (so laundering through
+   ``str()`` or ``json.dumps`` does not clear taint).  ``sorted(...)``
+   is the one sanitizer: it erases set-iteration labels, matching the
+   fix CHAIN001 recommends.
+
+2. **Fixpoint.**  Summaries reference callee summaries, so the whole
+   table is iterated until stable.  Call chains recorded on labels and
+   hits never repeat a function name, which bounds the label universe
+   and guarantees termination even on recursive code.
+
+A summary exposes ``sink_hits``: every way a source reaches a
+``put_state``-family sink *from this function* -- directly, through
+tainted arguments, or inside a transitively-called helper.  DET002 just
+reads the hits off chaincode methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.dataflow.callgraph import CallGraph
+from repro.analysis.dataflow.symbols import (
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    dotted_path,
+)
+from repro.analysis.nondeterminism import (
+    WRITE_METHODS as _WRITE_METHODS,
+    is_set_expression as _is_set_expression,
+    set_typed_names as _set_typed_names,
+    source_kind,
+)
+
+#: Functions whose loop-bearing output order is deterministic again.
+_SET_ORDER_KIND = "set iteration order"
+
+
+@dataclass(frozen=True)
+class SourceLabel:
+    """A value derived from a nondeterministic source."""
+
+    kind: str  #: human description, e.g. ``"time.time"``
+    path: str  #: file the source expression lives in
+    line: int
+    #: Helper functions the value was returned through, innermost first.
+    chain: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ParamLabel:
+    """A value derived from the enclosing function's parameter ``index``."""
+
+    index: int
+
+
+Label = Union[SourceLabel, ParamLabel]
+
+
+@dataclass(frozen=True)
+class ParamSink:
+    """Parameter reaches a ``sink`` call, possibly through ``via`` calls."""
+
+    sink: str
+    via: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A source value reaching a ledger-write sink.
+
+    ``line`` is in the *summarized* function: the sink call itself, or
+    the call that hands the tainted value (or the whole violation) down
+    to ``via``.
+    """
+
+    line: int
+    sink: str
+    source: SourceLabel
+    via: Tuple[str, ...] = ()
+
+
+@dataclass
+class FunctionSummary:
+    """Taint behaviour of one function, callee summaries folded in."""
+
+    qualname: str
+    #: Source labels the return value can carry.
+    tainted_returns: Set[SourceLabel] = field(default_factory=set)
+    #: Parameter indices that can flow to the return value.
+    params_to_return: Set[int] = field(default_factory=set)
+    #: Parameter index -> sinks it can reach (here or in callees).
+    params_to_sink: Dict[int, Set[ParamSink]] = field(default_factory=dict)
+    #: Source-to-sink flows visible from this function.
+    sink_hits: Set[SinkHit] = field(default_factory=set)
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """Monotone size vector used to detect fixpoint convergence."""
+        return (
+            len(self.tainted_returns),
+            len(self.params_to_return),
+            sum(len(v) for v in self.params_to_sink.values()),
+            len(self.sink_hits),
+        )
+
+
+class TaintAnalysis:
+    """Fixpoint taint summaries for every function in the table."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        self.summaries: Dict[str, FunctionSummary] = {}
+
+    @staticmethod
+    def build(table: SymbolTable, graph: CallGraph) -> "TaintAnalysis":
+        analysis = TaintAnalysis(table, graph)
+        for qualname in table.functions:
+            analysis.summaries[qualname] = FunctionSummary(qualname)
+        # Chains never repeat a function name, so the label universe is
+        # finite and this loop terminates; the bound is a backstop.
+        for _ in range(max(4, len(table.functions))):
+            changed = False
+            for info in table.functions.values():
+                before = analysis.summaries[info.qualname].snapshot()
+                analysis.summaries[info.qualname] = _summarize(analysis, info)
+                if analysis.summaries[info.qualname].snapshot() != before:
+                    changed = True
+            if not changed:
+                break
+        return analysis
+
+    def summary(self, qualname: str) -> FunctionSummary:
+        """The summary for ``qualname`` (empty for unanalyzed functions)."""
+        return self.summaries.get(qualname, FunctionSummary(qualname))
+
+
+def _through(labels: Set[Label], hop: str) -> Set[Label]:
+    """Extend source chains by ``hop`` (no-repeat, so chains stay finite)."""
+    out: Set[Label] = set()
+    for label in labels:
+        if isinstance(label, SourceLabel) and hop not in label.chain:
+            out.add(replace(label, chain=label.chain + (hop,)))
+        else:
+            out.add(label)
+    return out
+
+
+def _via(prefix: str, via: Tuple[str, ...]) -> Tuple[str, ...]:
+    return via if prefix in via else (prefix,) + via
+
+
+class _FunctionAnalyzer:
+    """One abstract-interpretation pass over a function body."""
+
+    def __init__(self, analysis: TaintAnalysis, info: FunctionInfo) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.module: ModuleInfo = analysis.table.modules[info.module]
+        self.summary = FunctionSummary(info.qualname)
+        self.env: Dict[str, Set[Label]] = {}
+        self.params: Dict[str, int] = {
+            name: index for index, name in enumerate(info.param_names)
+        }
+        self.set_names: Set[str] = _set_typed_names(info.node)
+        self.local_types = _local_types(analysis, info)
+
+    def run(self) -> FunctionSummary:
+        body: Sequence[ast.stmt] = self.info.node.body  # type: ignore[attr-defined]
+        # Two extra passes let taint introduced late in a loop body flow
+        # back to reads earlier in it; the env only grows, so this is a
+        # (cheap, bounded) fixpoint.
+        for _ in range(3):
+            before = {name: len(labels) for name, labels in self.env.items()}
+            for statement in body:
+                self._stmt(statement)
+            after = {name: len(labels) for name, labels in self.env.items()}
+            if before == after:
+                break
+        return self.summary
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            labels = self._eval(node.value)
+            for target in node.targets:
+                self._bind(target, labels)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind(node.target, self._eval(node.value))
+        elif isinstance(node, ast.AugAssign):
+            labels = self._eval(node.value) | self._eval(node.target)
+            self._bind(node.target, labels)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._record_return(self._eval(node.value))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            labels = self._eval(node.iter)
+            if _is_set_expression(node.iter, self.set_names):
+                labels = labels | {
+                    SourceLabel(
+                        kind=_SET_ORDER_KIND,
+                        path=self.info.source.relpath,
+                        line=node.iter.lineno,
+                    )
+                }
+            self._bind(node.target, labels)
+            for child in (*node.body, *node.orelse):
+                self._stmt(child)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                labels = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, labels)
+            for child in node.body:
+                self._stmt(child)
+        elif isinstance(node, (ast.If, ast.While)):
+            self._eval(node.test)
+            for child in (*node.body, *node.orelse):
+                self._stmt(child)
+        elif isinstance(node, ast.Try):
+            for child in (*node.body, *node.orelse, *node.finalbody):
+                self._stmt(child)
+            for handler in node.handlers:
+                for child in handler.body:
+                    self._stmt(child)
+        elif isinstance(node, (ast.Expr, ast.Assert, ast.Raise, ast.Delete)):
+            for value in ast.iter_child_nodes(node):
+                if isinstance(value, ast.expr):
+                    self._eval(value)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are summarized on their own
+        else:
+            for value in ast.iter_child_nodes(node):
+                if isinstance(value, ast.expr):
+                    self._eval(value)
+                elif isinstance(value, ast.stmt):
+                    self._stmt(value)
+
+    def _bind(self, target: ast.expr, labels: Set[Label]) -> None:
+        if isinstance(target, ast.Name):
+            if labels:
+                self.env[target.id] = self.env.get(target.id, set()) | labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, labels)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels)
+        # attribute / subscript targets are not tracked (field-insensitive)
+
+    def _record_return(self, labels: Set[Label]) -> None:
+        for label in labels:
+            if isinstance(label, SourceLabel):
+                self.summary.tainted_returns.add(label)
+            else:
+                self.summary.params_to_return.add(label.index)
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> Set[Label]:
+        if isinstance(node, ast.Name):
+            labels: Set[Label] = set(self.env.get(node.id, ()))
+            if node.id in self.params:
+                labels.add(ParamLabel(self.params[node.id]))
+            source = self._name_source(node)
+            if source is not None:
+                labels.add(source)
+            return labels
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_path(node, self.module.aliases)
+            kind = source_kind(dotted) if dotted is not None else None
+            if kind is not None:
+                return {
+                    SourceLabel(
+                        kind=kind, path=self.info.source.relpath, line=node.lineno
+                    )
+                }
+            return self._eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.Lambda):
+            return set()
+        # containers, arithmetic, comparisons, f-strings, subscripts,
+        # conditionals, starred: the union of the parts.
+        labels = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels |= self._eval(child)
+        return labels
+
+    def _eval_comprehension(self, node: ast.expr) -> Set[Label]:
+        """Bind each generator target to its iterable's labels, then take
+        the union of everything the comprehension computes."""
+        labels: Set[Label] = set()
+        for generator in node.generators:  # type: ignore[attr-defined]
+            iter_labels = self._eval(generator.iter)
+            if _is_set_expression(generator.iter, self.set_names):
+                iter_labels = iter_labels | {
+                    SourceLabel(
+                        kind=_SET_ORDER_KIND,
+                        path=self.info.source.relpath,
+                        line=generator.iter.lineno,
+                    )
+                }
+            self._bind(generator.target, iter_labels)
+            labels |= iter_labels
+            for condition in generator.ifs:
+                self._eval(condition)
+        if isinstance(node, ast.DictComp):
+            labels |= self._eval(node.key) | self._eval(node.value)
+        else:
+            labels |= self._eval(node.elt)  # type: ignore[attr-defined]
+        return labels
+
+    def _name_source(self, node: ast.Name) -> Optional[SourceLabel]:
+        """A bare from-import of a banned API (``from time import time``)."""
+        if isinstance(getattr(node, "ctx", None), ast.Store):
+            return None
+        dotted = self.module.aliases.get(node.id)
+        if dotted is None or "." not in dotted:
+            return None
+        kind = source_kind(dotted)
+        if kind is None:
+            return None
+        return SourceLabel(kind=kind, path=self.info.source.relpath, line=node.lineno)
+
+    def _eval_call(self, node: ast.Call) -> Set[Label]:
+        arg_labels = self._call_arg_labels(node)
+        all_args: Set[Label] = set()
+        for labels in arg_labels.values():
+            all_args |= labels
+
+        # The call itself may be a source: time.time(), uuid.uuid4(), ...
+        func = node.func
+        dotted: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            dotted = dotted_path(func, self.module.aliases)
+        elif isinstance(func, ast.Name):
+            alias = self.module.aliases.get(func.id)
+            dotted = alias if alias is not None and "." in alias else None
+        kind = source_kind(dotted) if dotted is not None else None
+        if kind is not None:
+            return all_args | {
+                SourceLabel(kind=kind, path=self.info.source.relpath, line=node.lineno)
+            }
+
+        # Direct sink: stub.put_state(key, tainted).
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            self._record_sink(node.lineno, func.attr, all_args, via=())
+
+        callee = self._resolve_callee(node)
+        if callee is None:
+            if isinstance(func, ast.Name) and func.id == "sorted":
+                # sorted() is the sanctioned fix for set-order findings.
+                return {
+                    label
+                    for label in all_args
+                    if not (
+                        isinstance(label, SourceLabel)
+                        and label.kind == _SET_ORDER_KIND
+                    )
+                }
+            return all_args
+
+        callee_summary = self.analysis.summary(callee.qualname)
+        hop = callee.name
+
+        # Arguments that the callee forwards into a sink.
+        for position, labels in arg_labels.items():
+            for param_sink in callee_summary.params_to_sink.get(position, ()):
+                self._record_sink(
+                    node.lineno,
+                    param_sink.sink,
+                    labels,
+                    via=_via(hop, param_sink.via),
+                )
+        # Violations living entirely inside the callee bubble up so a
+        # chaincode method "sees" a helper that both reads a clock and
+        # writes state.
+        for hit in callee_summary.sink_hits:
+            self.summary.sink_hits.add(
+                SinkHit(
+                    line=node.lineno,
+                    sink=hit.sink,
+                    source=hit.source,
+                    via=_via(hop, hit.via),
+                )
+            )
+
+        result: Set[Label] = set()
+        for label in callee_summary.tainted_returns:
+            result |= _through({label}, hop)
+        for position in callee_summary.params_to_return:
+            result |= arg_labels.get(position, set())
+        return result
+
+    def _call_arg_labels(self, node: ast.Call) -> Dict[int, Set[Label]]:
+        """Labels per callee-parameter position (starred args hit all)."""
+        labels: Dict[int, Set[Label]] = {}
+        starred: Set[Label] = set()
+        position = 0
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                starred |= self._eval(arg.value)
+                continue
+            labels[position] = self._eval(arg)
+            position += 1
+        callee = self._resolve_callee(node)
+        names = callee.param_names if callee is not None else []
+        for keyword in node.keywords:
+            value = self._eval(keyword.value)
+            if keyword.arg is None:  # **kwargs
+                starred |= value
+            elif keyword.arg in names:
+                labels[names.index(keyword.arg)] = (
+                    labels.get(names.index(keyword.arg), set()) | value
+                )
+            else:
+                starred |= value
+        if starred:
+            span = max(len(names), position, max(labels, default=-1) + 1)
+            for index in range(span):
+                labels[index] = labels.get(index, set()) | starred
+        return labels
+
+    def _resolve_callee(self, node: ast.Call) -> Optional[FunctionInfo]:
+        qualname = self.analysis.graph.resolve_call(
+            self.info, node, self.local_types
+        )
+        if qualname is None:
+            return None
+        return self.analysis.table.functions.get(qualname)
+
+    def _record_sink(
+        self, line: int, sink: str, labels: Set[Label], via: Tuple[str, ...]
+    ) -> None:
+        for label in labels:
+            if isinstance(label, SourceLabel):
+                self.summary.sink_hits.add(
+                    SinkHit(line=line, sink=sink, source=label, via=via)
+                )
+            else:
+                self.summary.params_to_sink.setdefault(label.index, set()).add(
+                    ParamSink(sink=sink, via=via)
+                )
+
+
+def _local_types(analysis: TaintAnalysis, info: FunctionInfo) -> Dict[str, str]:
+    from repro.analysis.dataflow.callgraph import _local_constructions
+
+    return _local_constructions(info, analysis.table)
+
+
+def _summarize(analysis: TaintAnalysis, info: FunctionInfo) -> FunctionSummary:
+    return _FunctionAnalyzer(analysis, info).run()

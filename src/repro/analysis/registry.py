@@ -67,10 +67,28 @@ def all_rules() -> Dict[str, Type[Rule]]:
 
 
 def instantiate(selected: Iterable[str] = ()) -> List[Rule]:
-    """Rule instances for a run; ``selected`` limits to specific ids."""
+    """Rule instances for a run.
+
+    Each entry of ``selected`` is a rule id *or prefix*: ``DET`` selects
+    every ``DET*`` rule, ``DET002`` exactly one.  Matching is
+    case-insensitive; an entry matching nothing raises ``KeyError`` (the
+    CLI turns that into a usage error, exit code 2).
+    """
     rules = all_rules()
-    wanted = set(selected) or set(rules)
-    unknown = wanted - set(rules)
+    patterns = [entry.strip() for entry in selected if entry.strip()]
+    if not patterns:
+        return [rules[rule_id]() for rule_id in sorted(rules)]
+    wanted = set()
+    unknown = []
+    for pattern in patterns:
+        matched = {
+            rule_id
+            for rule_id in rules
+            if rule_id.upper().startswith(pattern.upper())
+        }
+        if not matched:
+            unknown.append(pattern)
+        wanted |= matched
     if unknown:
-        raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        raise KeyError(f"unknown rule ids or prefixes: {sorted(unknown)}")
     return [rules[rule_id]() for rule_id in sorted(wanted)]

@@ -2,6 +2,24 @@
 
 from __future__ import annotations
 
-from repro.analysis.rules import crashpoints, determinism, durability, exceptions
+from repro.analysis.rules import (
+    concurrency,
+    crashpoints,
+    dataflow_determinism,
+    determinism,
+    durability,
+    exceptions,
+    resources,
+    temporal_model,
+)
 
-__all__ = ["crashpoints", "determinism", "durability", "exceptions"]
+__all__ = [
+    "concurrency",
+    "crashpoints",
+    "dataflow_determinism",
+    "determinism",
+    "durability",
+    "exceptions",
+    "resources",
+    "temporal_model",
+]

@@ -1,0 +1,156 @@
+"""CONC001: shared-class attributes are written under the class's lock.
+
+The ROADMAP's parallel-ingestion work shares three objects across
+threads: the :class:`~repro.fabric.gateway.Gateway` (concurrent clients
+submitting transactions), and the state-db backends
+:class:`~repro.storage.kv.memstore.MemStore` and
+:class:`~repro.storage.kv.lsm.LSMStore` (reads racing the indexer's
+writes).  Those classes carry a ``threading`` lock for exactly that
+reason -- and a lock only helps if every writer takes it.  A new method
+that rebinds an attribute without the lock is invisible to tests (races
+do not reproduce under pytest) and surfaces as a corrupted table list or
+a lost retry count under real load, which is why the Fabric-tuning
+literature keeps finding these bugs in the validation/commit path.
+
+The rule is convention-driven, not file-driven: any class whose
+``__init__`` binds a ``threading.Lock``/``RLock``/``Condition``/
+``Semaphore`` to ``self.<something>`` opts in, project-wide.  Inside
+such a class every ``self.attr = ...`` / ``self.attr += ...`` must be
+lexically inside a ``with self.<lock>:`` block, except:
+
+* ``__init__`` / ``__new__`` / ``__del__`` -- construction and teardown
+  happen before/after the object is shared;
+* methods named ``*_locked`` -- the documented convention for helpers
+  whose caller already holds the lock;
+* rebinding the lock attributes themselves.
+
+Reads are deliberately not checked: the codebase tolerates racy reads
+(metrics, ``__len__``) and flagging them would drown the signal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.dataflow import dataflow_for
+from repro.analysis.dataflow.symbols import ClassInfo, FunctionInfo
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import Rule, register
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__del__"}
+
+
+def _is_lock_guard(item: ast.withitem, lock_attrs: Set[str]) -> bool:
+    """Whether a ``with`` item acquires one of the class's locks
+    (``with self._lock:`` -- optionally aliased ``as held``)."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):  # with self._lock.acquire_timeout(...)-style
+        expr = expr.func
+        if isinstance(expr, ast.Attribute):
+            expr = expr.value
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in lock_attrs
+    )
+
+
+@register
+class LockedAttributeWriteRule(Rule):
+    """CONC001: once a class has a lock, attribute writes take it."""
+
+    rule_id = "CONC001"
+
+    def check_project(self, project: Project) -> List[Finding]:
+        analysis = dataflow_for(project)
+        findings: List[Finding] = []
+        for qualname in sorted(analysis.table.classes):
+            klass = analysis.table.classes[qualname]
+            if not klass.lock_attrs:
+                continue
+            for name in sorted(klass.methods):
+                if name in _EXEMPT_METHODS or name.endswith("_locked"):
+                    continue
+                findings.extend(self._check_method(klass, klass.methods[name]))
+        return findings
+
+    def _check_method(
+        self, klass: ClassInfo, method: FunctionInfo
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, attr: str) -> None:
+            findings.append(
+                Finding(
+                    path=klass.source.relpath,
+                    line=node.lineno,  # type: ignore[attr-defined]
+                    rule_id=self.rule_id,
+                    message=(
+                        f"self.{attr} is written outside `with "
+                        f"self.{sorted(klass.lock_attrs)[0]}:` in "
+                        f"{klass.name}.{method.name}(); this class is "
+                        "shared across threads, so an unlocked write "
+                        "races every locked reader -- take the lock (or "
+                        "suffix the method `_locked` if the caller holds "
+                        "it)"
+                    ),
+                )
+            )
+
+        def written_attrs(statement: ast.stmt) -> List[ast.Attribute]:
+            targets: List[ast.expr] = []
+            if isinstance(statement, ast.Assign):
+                targets = list(statement.targets)
+            elif isinstance(statement, (ast.AnnAssign, ast.AugAssign)):
+                targets = [statement.target]
+            attrs: List[ast.Attribute] = []
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    attrs.extend(
+                        element
+                        for element in target.elts
+                        if isinstance(element, ast.Attribute)
+                    )
+                elif isinstance(target, ast.Attribute):
+                    attrs.append(target)
+            return [
+                attr
+                for attr in attrs
+                if isinstance(attr.value, ast.Name)
+                and attr.value.id == "self"
+                and attr.attr not in klass.lock_attrs
+            ]
+
+        def visit(statements: List[ast.stmt], locked: bool) -> None:
+            for statement in statements:
+                if isinstance(statement, (ast.With, ast.AsyncWith)):
+                    holds = locked or any(
+                        _is_lock_guard(item, klass.lock_attrs)
+                        for item in statement.items
+                    )
+                    visit(statement.body, holds)
+                    continue
+                if isinstance(
+                    statement,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue  # nested scopes escape `self`'s convention
+                if not locked:
+                    for attr in written_attrs(statement):
+                        flag(attr, attr.attr)
+                for name in ("body", "orelse", "finalbody"):
+                    block = getattr(statement, name, None)
+                    if (
+                        isinstance(block, list)
+                        and block
+                        and isinstance(block[0], ast.stmt)
+                    ):
+                        visit(block, locked)
+                for handler in getattr(statement, "handlers", []) or []:
+                    visit(handler.body, locked)
+
+        visit(method.node.body, locked=False)  # type: ignore[attr-defined]
+        return findings

@@ -36,24 +36,17 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.findings import Finding
+from repro.analysis.nondeterminism import (
+    BANNED_ATTRS as _BANNED_ATTRS,
+    BANNED_BUILTINS as _BANNED_BUILTINS,
+    BANNED_MODULES as _BANNED_MODULES,
+    DATETIME_CLOCK_ATTRS as _DATETIME_CLOCK_ATTRS,
+    WRITE_METHODS as _WRITE_METHODS,
+    is_set_expression as _is_set_expression,
+    set_typed_names as _set_typed_names,
+)
 from repro.analysis.project import Project, SourceFile
 from repro.analysis.registry import Rule, register
-
-#: Modules any use of which is nondeterministic inside chaincode.
-_BANNED_MODULES = {"time", "random", "secrets"}
-
-#: module -> attribute names that are banned (other attributes are fine).
-_BANNED_ATTRS = {
-    "uuid": {"uuid1", "uuid4", "getnode"},
-    "os": {"environ", "getenv", "urandom", "getpid", "cpu_count", "getloadavg"},
-}
-
-#: Methods that read a wall clock on datetime/date objects.
-_DATETIME_CLOCK_ATTRS = {"now", "utcnow", "today"}
-
-_BANNED_BUILTINS = {"input", "open"}
-
-_WRITE_METHODS = {"put_state", "del_state", "put_private_data", "del_private_data"}
 
 
 def _import_aliases(tree: ast.AST) -> Dict[str, str]:
@@ -116,46 +109,6 @@ def _chaincode_classes(tree: ast.AST) -> List[ast.ClassDef]:
                     changed = True
                     break
     return [node for node in classes if node.name in chaincode_names]
-
-
-def _is_set_expression(node: ast.expr, set_names: Set[str]) -> bool:
-    """Whether ``node`` evaluates to an unordered set."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
-            return True
-        # seen.union(...), seen.intersection(...), seen.difference(...)
-        if isinstance(node.func, ast.Attribute) and node.func.attr in {
-            "union",
-            "intersection",
-            "difference",
-            "symmetric_difference",
-        }:
-            return _is_set_expression(node.func.value, set_names)
-    if isinstance(node, ast.Name):
-        return node.id in set_names
-    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
-        return _is_set_expression(node.left, set_names) or _is_set_expression(
-            node.right, set_names
-        )
-    return False
-
-
-def _set_typed_names(func: ast.AST) -> Set[str]:
-    """Names assigned or annotated as sets anywhere in ``func``."""
-    names: Set[str] = set()
-    for node in ast.walk(func):
-        if isinstance(node, ast.Assign) and _is_set_expression(node.value, names):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    names.add(target.id)
-        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-            annotation = node.annotation
-            base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
-            if isinstance(base, ast.Name) and base.id in {"set", "frozenset", "Set", "FrozenSet"}:
-                names.add(node.target.id)
-    return names
 
 
 def _stages_writes(body: List[ast.stmt]) -> Optional[ast.Call]:

@@ -1,0 +1,238 @@
+"""TEMP001: the Model M1 ingest contract, statically enforced.
+
+Section VI's indexing process ingests one bundle ``⟨(k, θ), EV(k, θ)⟩``
+as a ``write_index`` transaction and then *must* delete the pair from
+state-db with a ``clear_index`` transaction -- the tombstone is what
+moves the bundle out of the hot state database and into history-db,
+where GHFK retrieves it with a single block read.  A code path that
+writes a bundle but can skip the tombstone silently regrows state-db
+and changes every Table III number, and nothing at runtime notices.
+
+The rule enforces two invariants over ``repro/temporal/``:
+
+* **Tombstone post-dominance.**  Every call that submits a
+  ``"write_index"`` transaction (in ``m1.py`` / ``chaincodes.py`` and
+  their fixtures) must be followed, on the fall-through path, by a
+  ``"clear_index"`` submission: walking up from the write, some later
+  sibling statement at some nesting level must contain the clear.  This
+  deliberately *weak* form of post-dominance accepts the real
+  manifest-resume idiom (write and clear each guarded by their own
+  recovery check) while still catching the mutations that matter --
+  the clear deleted outright, or a new branch that writes without
+  clearing (the clear in the *other* arm does not post-dominate).
+
+* **Interval arithmetic goes through the scheme.**  M1 and M2 agree on
+  ``θ`` boundaries only because both sides compute them with
+  :class:`~repro.temporal.intervals.FixedIntervalScheme` (or a
+  planner).  Hand-rolled ``//``/``%`` math on the index length ``u``
+  outside ``intervals.py``/``planners.py`` is exactly how an off-by-one
+  on the half-open ``(start, end]`` convention sneaks in and makes the
+  indexer and the query engine disagree about which bundle covers a
+  timestamp.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, SourceFile
+from repro.analysis.registry import Rule, register
+
+_WRITE_MARKER = "write_index"
+_CLEAR_MARKER = "clear_index"
+
+#: Files allowed to do raw interval math: they *define* the scheme.
+_SCHEME_FILES = ("intervals.py", "planners.py")
+
+#: Files whose ingest sequences are checked for the tombstone.
+_INGEST_FILES = ("m1.py", "chaincodes.py")
+
+
+def _call_submits(node: ast.Call, marker: str) -> bool:
+    """Whether a call carries the string literal ``marker`` as an
+    argument -- how both the indexer (``submit_transaction(...,
+    "write_index", ...)``) and any future client code name the
+    transaction function."""
+    for arg in node.args:
+        if isinstance(arg, ast.Constant) and arg.value == marker:
+            return True
+    for keyword in node.keywords:
+        value = keyword.value
+        if isinstance(value, ast.Constant) and value.value == marker:
+            return True
+    return False
+
+
+def _contains_submit(node: ast.AST, marker: str) -> bool:
+    return any(
+        isinstance(child, ast.Call) and _call_submits(child, marker)
+        for child in ast.walk(node)
+    )
+
+
+def _statement_chain(func: ast.AST, target: ast.stmt) -> List[tuple]:
+    """(statement list, index) pairs from the target outward to the
+    function body, following the containment chain."""
+    chain: List[tuple] = []
+
+    def descend(statements: List[ast.stmt]) -> bool:
+        for index, statement in enumerate(statements):
+            if statement is target:
+                chain.append((statements, index))
+                return True
+            for block in _child_blocks(statement):
+                if descend(block):
+                    chain.append((statements, index))
+                    return True
+        return False
+
+    descend(func.body)  # type: ignore[attr-defined]
+    return chain
+
+
+def _child_blocks(statement: ast.stmt) -> List[List[ast.stmt]]:
+    blocks: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(statement, name, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            blocks.append(block)
+    for handler in getattr(statement, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+def _owning_statement(func: ast.AST, node: ast.AST) -> Optional[ast.stmt]:
+    """The top-level-ish statement whose subtree holds ``node``: the
+    innermost statement appearing directly in some statement list."""
+    best: Optional[ast.stmt] = None
+
+    def visit(statements: List[ast.stmt]) -> None:
+        nonlocal best
+        for statement in statements:
+            if any(child is node for child in ast.walk(statement)):
+                best = statement
+                for block in _child_blocks(statement):
+                    visit(block)
+                return
+
+    visit(func.body)  # type: ignore[attr-defined]
+    return best
+
+
+def _tombstone_follows(func: ast.AST, write_stmt: ast.stmt) -> bool:
+    """Weak post-dominance: some later sibling (at any enclosing level)
+    contains a clear_index submission, or the write's own statement does
+    (write and clear sequenced inside one compound statement)."""
+    if _contains_submit(write_stmt, _CLEAR_MARKER):
+        # Same statement subtree: only accept when the clear is *after*
+        # the write textually, which the sibling walk below cannot see.
+        write_line = min(
+            child.lineno
+            for child in ast.walk(write_stmt)
+            if isinstance(child, ast.Call) and _call_submits(child, _WRITE_MARKER)
+        )
+        for child in ast.walk(write_stmt):
+            if (
+                isinstance(child, ast.Call)
+                and _call_submits(child, _CLEAR_MARKER)
+                and child.lineno > write_line
+            ):
+                return True
+    for statements, index in _statement_chain(func, write_stmt):
+        for later in statements[index + 1 :]:
+            if _contains_submit(later, _CLEAR_MARKER):
+                return True
+    return False
+
+
+def _references_u(node: ast.expr) -> bool:
+    """Whether an operand names the index length ``u`` (``u``, ``run.u``,
+    ``self._u``...)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and (child.id == "u" or child.id.endswith("_u")):
+            return True
+        if isinstance(child, ast.Attribute) and (
+            child.attr == "u" or child.attr.endswith("_u")
+        ):
+            return True
+    return False
+
+
+@register
+class M1ModelInvariantRule(Rule):
+    """TEMP001: bundle writes need their tombstone; θ math goes through
+    the interval scheme."""
+
+    rule_id = "TEMP001"
+
+    def applies_to(self, relpath: str) -> bool:
+        return "temporal/" in relpath
+
+    def check_file(self, source: SourceFile, project: Project) -> List[Finding]:
+        if source.tree is None:
+            return []
+        findings: List[Finding] = []
+        basename = source.relpath.rsplit("/", 1)[-1]
+        if basename in _INGEST_FILES:
+            findings.extend(self._check_ingests(source))
+        if basename not in _SCHEME_FILES:
+            findings.extend(self._check_interval_math(source))
+        return findings
+
+    def _check_ingests(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for func in ast.walk(source.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and _call_submits(node, _WRITE_MARKER)
+                ):
+                    continue
+                statement = _owning_statement(func, node)
+                if statement is None or not _tombstone_follows(func, statement):
+                    findings.append(
+                        Finding(
+                            path=source.relpath,
+                            line=node.lineno,
+                            rule_id=self.rule_id,
+                            message=(
+                                "M1 bundle write is not followed by its "
+                                "clear_index tombstone on this path; the "
+                                "pair ⟨(k, θ), EV(k, θ)⟩ would stay in "
+                                "state-db and Section VI's storage contract "
+                                "breaks -- submit clear_index after every "
+                                "write_index"
+                            ),
+                        )
+                    )
+        return findings
+
+    def _check_interval_math(self, source: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.FloorDiv, ast.Mod))
+            ):
+                continue
+            if _references_u(node.left) or _references_u(node.right):
+                operator = "//" if isinstance(node.op, ast.FloorDiv) else "%"
+                findings.append(
+                    Finding(
+                        path=source.relpath,
+                        line=node.lineno,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"hand-rolled `{operator}` arithmetic on the "
+                            "index length u; compute θ boundaries through "
+                            "FixedIntervalScheme (or a planner) so the "
+                            "indexer and query engine can never disagree "
+                            "about the (start, end] convention"
+                        ),
+                    )
+                )
+        return findings

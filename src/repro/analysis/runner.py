@@ -8,8 +8,20 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.dataflow.cache import (
+    CachedResult,
+    LintCache,
+    baseline_digest,
+    compute_stamps,
+    run_fingerprint,
+)
 from repro.analysis.findings import Finding
-from repro.analysis.project import Project, build_project
+from repro.analysis.project import (
+    Project,
+    build_project,
+    discover_files,
+    find_project_root,
+)
 from repro.analysis.registry import instantiate
 
 
@@ -20,6 +32,9 @@ class LintResult:
     project: Project
     #: Findings that survived suppressions and the baseline: these fail CI.
     new_findings: List[Finding]
+    #: True when this result was replayed from the mtime+SHA cache (its
+    #: ``project`` then carries no parsed files).
+    from_cache: bool = False
     #: Findings absorbed by the baseline (reported, non-fatal).
     baselined: List[Finding] = field(default_factory=list)
     #: Baseline entries that matched nothing (the baseline should shrink).
@@ -80,6 +95,7 @@ def run_lint(
     baseline_path: Optional[Path] = None,
     select: Sequence[str] = (),
     write_baseline: bool = False,
+    cache_path: Optional[Path] = None,
 ) -> LintResult:
     """Run every (selected) rule over ``paths``.
 
@@ -88,7 +104,40 @@ def run_lint(
     no baseline file at all.  With ``write_baseline`` the current
     findings (post-suppression) *become* the baseline and the run
     reports clean.
+
+    ``cache_path`` enables the whole-run mtime+SHA cache: when no input
+    file, the selection, or the baseline changed since the last run, the
+    previous result is replayed without parsing anything (the replayed
+    result's ``project`` is empty).  A relative ``cache_path`` is
+    anchored at the project root.  Baseline-writing runs bypass it.
     """
+    cache: Optional[LintCache] = None
+    stamps = None
+    fingerprint = None
+    if cache_path is not None and not write_baseline:
+        files = discover_files(paths)
+        resolved_root = root if root is not None else find_project_root(paths)
+        if not cache_path.is_absolute():
+            # Anchor at the project root, not the CWD, so every checkout
+            # (and every fixture project in the tests) gets its own cache.
+            cache_path = resolved_root / cache_path
+        cache = LintCache(cache_path)
+        stamps = compute_stamps(files, resolved_root, cache.previous_stamps)
+        fingerprint = run_fingerprint(
+            stamps, select, baseline_digest(baseline_path)
+        )
+        cached = cache.lookup(fingerprint)
+        if cached is not None:
+            return LintResult(
+                project=Project(root=resolved_root, files=[]),
+                new_findings=cached.new_findings,
+                from_cache=True,
+                baselined=cached.baselined,
+                stale_baseline=cached.stale_baseline,
+                suppressed=cached.suppressed,
+                files_checked=cached.files_checked,
+            )
+
     project = build_project(paths, root=root)
     rules = instantiate(select)
 
@@ -126,7 +175,7 @@ def run_lint(
         baseline = load_baseline(baseline_path)
     new, stale = apply_baseline(active, baseline)
     absorbed = [finding for finding in active if finding not in new]
-    return LintResult(
+    result = LintResult(
         project=project,
         new_findings=new,
         baselined=absorbed,
@@ -134,3 +183,16 @@ def run_lint(
         suppressed=suppressed,
         files_checked=len(project.files),
     )
+    if cache is not None and stamps is not None and fingerprint is not None:
+        cache.store(
+            fingerprint,
+            stamps,
+            CachedResult(
+                new_findings=result.new_findings,
+                baselined=result.baselined,
+                stale_baseline=result.stale_baseline,
+                suppressed=result.suppressed,
+                files_checked=result.files_checked,
+            ),
+        )
+    return result

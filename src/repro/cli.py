@@ -137,9 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="repro-lint: AST determinism & durability analysis "
-        "(chaincode determinism, FileSystem-seam bypasses, "
-        "fsync-before-rename, crash-point coverage, swallowed exceptions)",
+        help="repro-lint: AST & dataflow analysis "
+        "(chaincode determinism incl. interprocedural taint, M1 ingest "
+        "invariants, lock discipline, seam-handle lifetimes, "
+        "FileSystem-seam bypasses, fsync-before-rename, crash-point "
+        "coverage, swallowed exceptions)",
+        description="Run the repro-lint static analyzer.",
+        epilog="exit codes: 0 = clean (or all findings baselined), "
+        "1 = new findings, 2 = usage error (unknown rule, bad path)",
     )
     lint.add_argument(
         "paths",
@@ -174,7 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         default=None,
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or prefixes to run, e.g. "
+        "'DET002' or 'DET,TEMP' (default: all; an entry matching no "
+        "rule is a usage error, exit 2)",
     )
     lint.add_argument(
         "--root",
@@ -188,6 +195,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RULE",
         help="print a rule's full documentation and exit",
+    )
+    lint.add_argument(
+        "--call-graph",
+        default=None,
+        choices=["dot", "json"],
+        metavar="{dot,json}",
+        help="emit the project call graph (dot: class-level digraph for "
+        "rendering; json: full function-level edges) instead of findings",
+    )
+    lint.add_argument(
+        "--cache",
+        default=".repro-lint-cache.json",
+        metavar="PATH",
+        help="mtime+SHA result cache so an unchanged tree replays the "
+        "previous run (default: .repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always analyze from scratch, ignoring and not writing the cache",
     )
 
     return parser
@@ -313,8 +340,25 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(f"{rule.rule_id}: {(rule.__doc__ or '').strip()}\n\n{module_doc.strip()}")
         return 0
 
+    if args.call_graph:
+        from repro.analysis.dataflow import CallGraph, SymbolTable
+        from repro.analysis.project import build_project
+
+        try:
+            project = build_project(
+                [Path(path) for path in args.paths],
+                root=Path(args.root) if args.root else None,
+            )
+        except FileNotFoundError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        graph = CallGraph.build(SymbolTable.build(project))
+        print(graph.to_dot() if args.call_graph == "dot" else graph.to_json())
+        return 0
+
     select = [part.strip() for part in args.select.split(",")] if args.select else []
     baseline_path = None if args.no_baseline else Path(args.baseline)
+    cache_path = None if args.no_cache else Path(args.cache)
     try:
         result = run_lint(
             [Path(path) for path in args.paths],
@@ -322,6 +366,7 @@ def _run_lint(args: argparse.Namespace) -> int:
             baseline_path=baseline_path,
             select=select,
             write_baseline=args.write_baseline,
+            cache_path=cache_path,
         )
     except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)

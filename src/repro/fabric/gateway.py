@@ -7,6 +7,7 @@ peer without submitting anything (Fabric's query path).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, List, Optional
 
@@ -58,6 +59,9 @@ class Gateway:
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
         self._sleep = sleep
+        # One gateway is shared by concurrent client threads (parallel
+        # ingestion); the lock covers the mutable statistics.
+        self._lock = threading.Lock()
         self.retries_attempted = 0
 
     def submit_transaction(
@@ -88,7 +92,8 @@ class Gateway:
                 return SubmitResult(tx_id=tx.tx_id, response=response)
             delay = min(self._backoff_cap, self._backoff_base * (2 ** attempt))
             attempt += 1
-            self.retries_attempted += 1
+            with self._lock:
+                self.retries_attempted += 1
             if delay > 0:
                 self._sleep(delay)
 

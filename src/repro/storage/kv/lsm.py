@@ -17,6 +17,7 @@ guarantees they were never visible as live tables.
 from __future__ import annotations
 
 import heapq
+import threading
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
@@ -72,6 +73,10 @@ class LSMStore(KVStore):
             raise ValueError(
                 f"durability must be 'flush' or 'fsync', got {durability!r}"
             )
+        # One store instance serves concurrent readers and writers
+        # (parallel ingestion); the reentrant lock serializes every
+        # structural mutation (memtable swap, table list, sequences).
+        self._lock = threading.RLock()
         self._compaction = compaction
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
@@ -83,13 +88,14 @@ class LSMStore(KVStore):
         self._memtable = Memtable()
         self._tables: List[Tuple[int, SSTableReader]] = []  # newest last
         self._next_sequence = 0
-        self._load_tables()
+        with self._lock:
+            self._load_tables_locked()
         self._wal = WriteAheadLog(self.path / _WAL_NAME, fsync=self._fsync, fs=fs)
         self._replay_wal()
 
     # -- startup ---------------------------------------------------------
 
-    def _load_tables(self) -> None:
+    def _load_tables_locked(self) -> None:
         for stray in self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}{TMP_SUFFIX}"):
             # A crash mid-flush left a staged table that was never renamed
             # live; its records are still in the WAL, so drop it.
@@ -115,21 +121,23 @@ class LSMStore(KVStore):
         self._check_key(key)
         self._check_value(value)
         key, value = bytes(key), bytes(value)
-        self._wal.append_put(key, value)
-        self._metrics.increment(metric_names.WAL_RECORDS)
-        self._metrics.increment(metric_names.KV_WRITES)
-        self._memtable.put(key, value)
-        self._maybe_flush()
+        with self._lock:
+            self._wal.append_put(key, value)
+            self._metrics.increment(metric_names.WAL_RECORDS)
+            self._metrics.increment(metric_names.KV_WRITES)
+            self._memtable.put(key, value)
+            self._maybe_flush()
 
     def delete(self, key: bytes) -> None:
         self._check_open()
         self._check_key(key)
         key = bytes(key)
-        self._wal.append_delete(key)
-        self._metrics.increment(metric_names.WAL_RECORDS)
-        self._metrics.increment(metric_names.KV_WRITES)
-        self._memtable.mark_deleted(key)
-        self._maybe_flush()
+        with self._lock:
+            self._wal.append_delete(key)
+            self._metrics.increment(metric_names.WAL_RECORDS)
+            self._metrics.increment(metric_names.KV_WRITES)
+            self._memtable.mark_deleted(key)
+            self._maybe_flush()
 
     def _maybe_flush(self) -> None:
         if len(self._memtable) >= self._memtable_limit:
@@ -144,39 +152,40 @@ class LSMStore(KVStore):
         crash between the last two steps leaves the same records in both
         places -- replay is idempotent, so reopen converges.
         """
-        if not len(self._memtable):
-            return
-        self._wal.sync()
-        sequence = self._next_sequence
-        self._next_sequence += 1
-        table_path = self._table_path(sequence)
-        crash_point(LSM_PRE_SSTABLE)
-        write_sstable(
-            table_path, self._memtable.entries_sorted(),
-            fs=self._fs, fsync=self._fsync,
-        )
-        crash_point(LSM_POST_SSTABLE)
-        self._tables.append((sequence, SSTableReader(table_path)))
-        self._memtable.clear()
-        self._wal.truncate()
-        if len(self._tables) >= self._compaction_trigger:
-            self._compact()
+        with self._lock:
+            if not len(self._memtable):
+                return
+            self._wal.sync()
+            sequence = self._next_sequence
+            self._next_sequence += 1
+            table_path = self._table_path(sequence)
+            crash_point(LSM_PRE_SSTABLE)
+            write_sstable(
+                table_path, self._memtable.entries_sorted(),
+                fs=self._fs, fsync=self._fsync,
+            )
+            crash_point(LSM_POST_SSTABLE)
+            self._tables.append((sequence, SSTableReader(table_path)))
+            self._memtable.clear()
+            self._wal.truncate()
+            if len(self._tables) >= self._compaction_trigger:
+                self._compact_locked()
 
     def _table_path(self, sequence: int) -> Path:
         return self.path / f"{_SST_PREFIX}{sequence:08d}{_SST_SUFFIX}"
 
-    def _compact(self) -> None:
+    def _compact_locked(self) -> None:
         if self._compaction == "full":
-            self._merge_tables(victims=self._tables)
+            self._merge_tables_locked(victims=self._tables)
         else:
             # Tiered: merge the newest half (at least two tables).  The
             # merged table takes a fresh (highest) sequence number, which
             # is consistent with its precedence: it replaced exactly the
             # newest run.
             count = max(2, len(self._tables) // 2)
-            self._merge_tables(victims=self._tables[-count:])
+            self._merge_tables_locked(victims=self._tables[-count:])
 
-    def _merge_tables(self, victims: List[Tuple[int, SSTableReader]]) -> None:
+    def _merge_tables_locked(self, victims: List[Tuple[int, SSTableReader]]) -> None:
         """Merge ``victims`` (a suffix of the table list, newest last)
         into one table.  Tombstones can be dropped only when no older
         table survives to be shadowed."""
@@ -277,11 +286,12 @@ class LSMStore(KVStore):
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self.flush()
-        self._wal.close()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            self._wal.close()
+            self._closed = True
 
     @property
     def sstable_count(self) -> int:

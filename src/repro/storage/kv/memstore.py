@@ -7,15 +7,22 @@ test; keeps benchmark setup fast while preserving ordering semantics.
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Iterator, Optional, Tuple
 
 from repro.storage.kv.api import KVStore
 
 
 class MemStore(KVStore):
-    """A sorted in-memory map implementing :class:`KVStore`."""
+    """A sorted in-memory map implementing :class:`KVStore`.
+
+    Writes are serialized by an internal lock so the store can back
+    concurrent ingestion; scans still materialize their key slice, so a
+    racing writer fails a scan loudly instead of corrupting it.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._values: dict[bytes, bytes] = {}
         self._sorted_keys: list[bytes] = []
 
@@ -29,18 +36,20 @@ class MemStore(KVStore):
         self._check_key(key)
         self._check_value(value)
         key = bytes(key)
-        if key not in self._values:
-            bisect.insort(self._sorted_keys, key)
-        self._values[key] = bytes(value)
+        with self._lock:
+            if key not in self._values:
+                bisect.insort(self._sorted_keys, key)
+            self._values[key] = bytes(value)
 
     def delete(self, key: bytes) -> None:
         self._check_open()
         self._check_key(key)
         key = bytes(key)
-        if key in self._values:
-            del self._values[key]
-            index = bisect.bisect_left(self._sorted_keys, key)
-            del self._sorted_keys[index]
+        with self._lock:
+            if key in self._values:
+                del self._values[key]
+                index = bisect.bisect_left(self._sorted_keys, key)
+                del self._sorted_keys[index]
 
     def scan(
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
@@ -58,7 +67,8 @@ class MemStore(KVStore):
             yield key, self._values[key]
 
     def close(self) -> None:
-        self._closed = True
+        with self._lock:
+            self._closed = True
 
     def __len__(self) -> int:
         return len(self._values)

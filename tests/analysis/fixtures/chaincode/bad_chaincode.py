@@ -25,7 +25,7 @@ class BadChaincode(Chaincode):
         stamp = datetime.now()  # expect: CHAIN001
         keys = {"a", "b", "c"}
         for key in keys:  # expect: CHAIN001
-            stub.put_state(key, now)
+            stub.put_state(key, now)  # expect: DET002
         return [now, jitter, region, str(tx_tag), str(stamp)]
 
 
@@ -37,5 +37,5 @@ class StillBad(BadChaincode):
     def invoke(self, stub, fn, args):
         seen = set(args)
         for key in seen:  # expect: CHAIN001
-            stub.del_state(key)
+            stub.del_state(key)  # expect: DET002
         return sorted(seen)

@@ -1,0 +1,44 @@
+"""Fixture classes for CONC001's locked-attribute-write convention."""
+
+import threading
+
+
+class SharedCounter:
+    """Opts in by binding a threading.Lock in __init__."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # construction is exempt
+        self.last_key = None
+
+    def record(self, key):
+        with self._lock:
+            self.count += 1
+            self.last_key = key
+
+    def reset(self):
+        self.count = 0  # expect: CONC001
+
+    def rename(self, key):
+        self.last_key = key  # expect: CONC001
+        with self._lock:
+            self.count += 1
+
+    def _bump_locked(self):
+        self.count += 1  # caller holds the lock: exempt by suffix
+
+    def swap_lock(self):
+        self._lock = threading.Lock()  # rebinding the lock itself is exempt
+
+    def snapshot(self):
+        return self.count  # reads are never checked
+
+
+class PlainBag:
+    """No lock attribute, so CONC001 never activates here."""
+
+    def __init__(self):
+        self.items = []
+
+    def add(self, item):
+        self.items = self.items + [item]

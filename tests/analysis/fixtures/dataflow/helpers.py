@@ -1,0 +1,29 @@
+"""Module-level helpers that launder nondeterminism (DET002 fixture).
+
+Nothing in this file is a Chaincode subclass, so CHAIN001 must stay
+silent here -- the taint engine is the only thing that can connect
+these helpers to the ledger writes in pipeline_chaincode.py.
+"""
+
+import time
+
+
+def clock():
+    """Hop 2: the actual nondeterministic source."""
+    return time.time()
+
+
+def stamp():
+    """Hop 1: launders the clock through a second function."""
+    return clock()
+
+
+def describe(key):
+    """Deterministic helper -- values through here must NOT be flagged."""
+    return f"entry:{key}"
+
+
+def commit(stub, key, value):
+    """Writes state for its caller; tainted ``value`` makes the caller's
+    call site a sink."""
+    stub.put_state(key, value)

@@ -1,0 +1,32 @@
+"""Chaincode whose nondeterminism all arrives through helpers.
+
+No banned API is used in this file, so CHAIN001 has nothing to say --
+every expectation marker below documents a flow only the
+interprocedural taint engine can see.
+"""
+
+from repro.fabric.chaincode import Chaincode
+
+from dataflow.helpers import commit, describe, stamp
+
+
+class PipelineChaincode(Chaincode):
+    """Launders a wall clock through a two-hop helper chain."""
+
+    name = "pipeline"
+
+    def invoke(self, stub, fn, args):
+        key = args[0]
+        value = stamp()
+        stub.put_state(key, value)  # expect: DET002
+        return value
+
+    def annotate(self, stub, key):
+        label = describe(key)
+        stub.put_state(key, label)
+        return label
+
+    def delegate(self, stub, key):
+        value = stamp()
+        commit(stub, key, value)  # expect: DET002
+        return key

@@ -1,0 +1,12 @@
+"""The scheme file itself may do raw interval math (TEMP001 exempts it)."""
+
+
+class FixtureScheme:
+    """Owns the (start, end] convention, so ``//`` on u is allowed here."""
+
+    def __init__(self, u):
+        self.u = u
+
+    def interval_for(self, ts):
+        """Half-open boundary math lives only in scheme files."""
+        return ts // self.u

@@ -1,0 +1,36 @@
+"""Fixture ingest sequences for TEMP001's tombstone post-dominance.
+
+The file name matters: TEMP001 only checks ingest sequences in files
+named ``m1.py`` / ``chaincodes.py`` under a ``temporal/`` path.
+"""
+
+
+def ingest_good(gateway, key, theta, bundle):
+    """The paper's sequence: write the bundle, then tombstone it."""
+    gateway.submit("index", "write_index", key, theta, bundle)
+    gateway.submit("index", "clear_index", key, theta)
+
+
+def ingest_resumable(gateway, manifest, key, theta, bundle):
+    """The manifest-resume idiom: each step guarded by its own recovery
+    check.  The clear is a later sibling of the write, so the weak
+    post-dominance check accepts it."""
+    if not manifest.has_bundle(key, theta):
+        gateway.submit("index", "write_index", key, theta, bundle)
+    if not manifest.has_clear(key, theta):
+        gateway.submit("index", "clear_index", key, theta)
+
+
+def ingest_forgets_tombstone(gateway, key, theta, bundle):
+    gateway.submit("index", "write_index", key, theta, bundle)  # expect: TEMP001
+    return theta
+
+
+def ingest_branch_skips_tombstone(gateway, fast, key, theta, bundle):
+    """One arm writes without clearing; the clear in the other arm does
+    not post-dominate the write."""
+    if fast:
+        gateway.submit("index", "write_index", key, theta, bundle)  # expect: TEMP001
+    else:
+        gateway.submit("index", "write_index", key, theta, bundle)
+        gateway.submit("index", "clear_index", key, theta)

@@ -1,0 +1,21 @@
+"""Fixture interval math for TEMP001's scheme-only arithmetic check."""
+
+
+def theta_for_handrolled(ts, u):
+    """Raw boundary math on the index length -- exactly the off-by-one
+    trap the scheme exists to prevent."""
+    return ts // u  # expect: TEMP001
+
+
+def offset_handrolled(ts, run_u):
+    return ts % run_u  # expect: TEMP001
+
+
+def theta_for_scheme(scheme, ts):
+    """The sanctioned path: ask the interval scheme."""
+    return scheme.interval_for(ts)
+
+
+def unrelated_math(total, buckets):
+    """``//`` on names that are not the index length is fine."""
+    return total // buckets

@@ -69,6 +69,79 @@ def test_unknown_rule_and_missing_path_are_usage_errors(project, capsys):
     assert main(["lint", str(project / "missing"), "--root", str(project)]) == 2
 
 
+def test_select_accepts_comma_separated_prefixes(project, capsys):
+    # "ERR" is a prefix of ERR001; pairing it with DUR keeps only those
+    # two families, and the ERR finding still fails the run.
+    assert main(lint_argv(project, "--select", "DUR,ERR")) == 1
+    out = capsys.readouterr().out
+    assert "ERR001" in out
+    assert main(lint_argv(project, "--select", "DUR,CHAIN")) == 0
+
+
+def test_unknown_prefix_is_a_usage_error(project, capsys):
+    assert main(lint_argv(project, "--select", "ERR,ZZZ")) == 2
+    assert "ZZZ" in capsys.readouterr().err
+
+
+def test_help_documents_the_exit_codes(capsys):
+    with pytest.raises(SystemExit):
+        main(["lint", "--help"])
+    out = " ".join(capsys.readouterr().out.split())  # undo argparse wrapping
+    assert "0 = clean" in out
+    assert "1 = new findings" in out
+    assert "2 = usage error" in out
+
+
+def test_call_graph_dot_export(project, capsys):
+    assert main(lint_argv(project, "--call-graph", "dot")) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph callgraph {")
+
+
+def test_call_graph_json_export(project, capsys):
+    assert main(lint_argv(project, "--call-graph", "json")) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert "edges" in document and "class_edges" in document
+
+
+def test_call_graph_missing_path_is_a_usage_error(project, capsys):
+    assert (
+        main(
+            [
+                "lint",
+                str(project / "missing"),
+                "--root",
+                str(project),
+                "--call-graph",
+                "dot",
+            ]
+        )
+        == 2
+    )
+
+
+def test_cache_replays_and_invalidates(project, capsys):
+    cache = project / ".repro-lint-cache.json"
+    assert main(lint_argv(project, "--cache", str(cache))) == 1
+    assert cache.exists()
+    first = capsys.readouterr().out
+    assert main(lint_argv(project, "--cache", str(cache))) == 1
+    assert capsys.readouterr().out == first  # replayed verbatim
+    (project / "src" / "handlers.py").write_text('"""Fixed."""\n')
+    assert main(lint_argv(project, "--cache", str(cache))) == 0
+
+
+def test_default_cache_lands_in_the_project_root(project, capsys):
+    assert main(lint_argv(project)) == 1
+    assert (project / ".repro-lint-cache.json").exists()
+
+
+def test_no_cache_skips_the_cache_file(project, capsys):
+    assert main(lint_argv(project, "--no-cache")) == 1
+    assert not (project / ".repro-lint-cache.json").exists()
+
+
 def test_explain_prints_rule_documentation(capsys):
     assert main(["lint", "--explain", "CHAIN001"]) == 0
     out = capsys.readouterr().out

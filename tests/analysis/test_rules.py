@@ -23,7 +23,17 @@ from tests.analysis.helpers import (
 
 def test_registry_exposes_the_documented_rule_families():
     rules = all_rules()
-    assert {"CHAIN001", "DUR001", "DUR002", "CRASH001", "ERR001"} <= set(rules)
+    assert {
+        "CHAIN001",
+        "DUR001",
+        "DUR002",
+        "CRASH001",
+        "ERR001",
+        "DET002",
+        "TEMP001",
+        "CONC001",
+        "RES001",
+    } <= set(rules)
     for rule_id, rule_class in rules.items():
         assert rule_class.rule_id == rule_id
         assert rule_class.__doc__, f"{rule_id} has no docstring for --explain"
@@ -52,6 +62,88 @@ class TestChaincodeDeterminism:
         assert find_lines(suppressed, "CHAIN001"), (
             "the disable=CHAIN001 line should surface in result.suppressed"
         )
+
+
+class TestInterproceduralDeterminism:
+    def test_two_hop_flows_match_expectations(self):
+        result = lint_fixture_tree("dataflow")
+        assert_matches_expectations(
+            result,
+            FIXTURES / "dataflow" / "helpers.py",
+            FIXTURES / "dataflow" / "pipeline_chaincode.py",
+        )
+
+    def test_chain001_stays_silent_on_laundered_flows(self):
+        # The whole point of DET002: no banned API appears inside the
+        # chaincode class, so the per-file rule cannot fire.
+        result = lint_fixture_tree("dataflow")
+        assert not find_lines(result.new_findings, "CHAIN001")
+
+    def test_messages_name_source_and_chain(self):
+        result = lint_fixture_tree("dataflow")
+        messages = "\n".join(
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "DET002"
+        )
+        assert "time.time" in messages
+        assert "clock -> stamp" in messages
+        assert "commit" in messages
+
+
+class TestTemporalModelInvariants:
+    def test_ingest_and_interval_fixtures_match_expectations(self):
+        result = lint_fixture_tree("temporal_model")
+        assert_matches_expectations(
+            result,
+            FIXTURES / "temporal_model" / "temporal" / "m1.py",
+            FIXTURES / "temporal_model" / "temporal" / "queries.py",
+            FIXTURES / "temporal_model" / "temporal" / "intervals.py",
+        )
+
+    def test_rule_only_polices_temporal_paths(self, tmp_path):
+        elsewhere = tmp_path / "tools"
+        elsewhere.mkdir()
+        shutil.copy(
+            FIXTURES / "temporal_model" / "temporal" / "queries.py", elsewhere
+        )
+        result = run_lint([elsewhere], root=tmp_path)
+        assert not find_lines(result.new_findings, "TEMP001")
+
+
+class TestLockedAttributeWrites:
+    def test_concurrency_fixtures_match_expectations(self):
+        result = lint_fixture_tree("concurrency")
+        assert_matches_expectations(
+            result, FIXTURES / "concurrency" / "workers.py"
+        )
+
+    def test_message_offers_both_escapes(self):
+        result = lint_fixture_tree("concurrency")
+        message = next(
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "CONC001"
+        )
+        assert "with self._lock" in message
+        assert "_locked" in message
+
+
+class TestSeamHandleLifetimes:
+    def test_resource_fixtures_match_expectations(self):
+        result = lint_fixture_tree("resources")
+        assert_matches_expectations(
+            result, FIXTURES / "resources" / "handles.py"
+        )
+
+    def test_happy_path_close_message_points_at_finally(self):
+        result = lint_fixture_tree("resources")
+        messages = [
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "RES001"
+        ]
+        assert any("happy path" in message for message in messages)
 
 
 class TestDurability:
@@ -193,6 +285,94 @@ class TestMutationAcceptance:
         target.write_text(text)
         result = run_lint([real_tree / "src"], root=real_tree)
         assert find_lines(result.new_findings, "CRASH001"), result.render_text()
+
+    def test_two_hop_helper_chain_is_caught_by_det002_not_chain001(self, real_tree):
+        # A chaincode whose nondeterminism is laundered through two
+        # module-level helpers: invisible to the per-file rule, fatal to
+        # the interprocedural one.
+        target = real_tree / "src" / "repro" / "temporal" / "chaincodes.py"
+        target.write_text(
+            target.read_text()
+            + "\n\nimport time\n\n\n"
+            "def _clock():\n"
+            '    """Hop two."""\n'
+            "    return time.time()\n\n\n"
+            "def _stamp():\n"
+            '    """Hop one."""\n'
+            "    return _clock()\n\n\n"
+            "class SneakyChaincode(Chaincode):\n"
+            '    """Nondeterministic only through the helper chain."""\n\n'
+            '    name = "sneaky"\n\n'
+            "    def invoke(self, stub, fn, args):\n"
+            '        """Commits a laundered wall-clock reading."""\n'
+            "        stub.put_state(args[0], _stamp())\n"
+            "        return []\n"
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        det_hits = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "DET002"
+            and finding.path.endswith("chaincodes.py")
+        ]
+        assert det_hits, result.render_text()
+        assert all("time.time" in finding.message for finding in det_hits)
+        assert "_clock -> _stamp" in det_hits[0].message
+        assert not find_lines(result.new_findings, "CHAIN001"), (
+            "the laundered flow must be invisible to the per-file rule"
+        )
+
+    def test_dropped_tombstone_fails_the_lint(self, real_tree):
+        # Remove the clear_index submission from the indexer's ingest
+        # loop: the bundle write loses its tombstone and TEMP001 fires.
+        target = real_tree / "src" / "repro" / "temporal" / "m1.py"
+        text = target.read_text()
+        assert '"clear_index", [index_key],' in text
+        target.write_text(
+            text.replace('"clear_index", [index_key],', '"noop", [index_key],')
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        temp_hits = find_lines(result.new_findings, "TEMP001")
+        assert temp_hits, result.render_text()
+
+    def test_unlocked_gateway_write_fails_the_lint(self, real_tree):
+        # A new Gateway method that rebinds shared state without the lock.
+        target = real_tree / "src" / "repro" / "fabric" / "gateway.py"
+        text = target.read_text()
+        anchor = "    def evaluate_transaction("
+        assert anchor in text
+        target.write_text(
+            text.replace(
+                anchor,
+                "    def reset_retries(self):\n"
+                '        """Racy counter reset (deliberately unlocked)."""\n'
+                "        self.retries_attempted = 0\n\n"
+                + anchor,
+            )
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        conc = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "CONC001"
+        ]
+        assert conc, result.render_text()
+        assert "retries_attempted" in conc[0].message
+
+    def test_leaked_seam_handle_fails_the_lint(self, real_tree):
+        leaky = real_tree / "src" / "repro" / "common" / "leaky.py"
+        leaky.write_text(
+            '"""A helper that leaks its seam handle on exceptions."""\n\n\n'
+            "def dump(fs, path, data):\n"
+            '    """Writes, but only closes on the happy path."""\n'
+            "    handle = fs.open(path, 'wb')\n"
+            "    handle.write(data)\n"
+            "    handle.close()\n"
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        assert find_lines(result.new_findings, "RES001") == [6], (
+            result.render_text()
+        )
 
     def test_deregistered_crash_point_fails_the_lint(self, real_tree):
         registry = real_tree / "src" / "repro" / "fabric" / "ledger.py"

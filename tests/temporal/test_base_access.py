@@ -4,8 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.temporal.events import LOAD, UNLOAD, Event
 from repro.temporal.m2 import BaseAccessAPI
-from tests.helpers import build_m2_network, small_workload
+from tests.helpers import (
+    build_m2_network,
+    fabric_config,
+    small_workload,
+)
+from repro.fabric.network import FabricNetwork
+from repro.temporal.chaincodes import M2SupplyChainChaincode
+from repro.workload.ingest import ingest
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +75,85 @@ class TestGetStateBase:
         # keys to *find* anything.  The paper varies u at ingestion time;
         # here we verify the monotonic probe-count relationship instead.
         assert small_u.probes >= 1
+
+
+class TestEdgeCases:
+    """The boundary behaviors Section VII-B leaves implicit: an empty
+    ledger, a key that does not exist yet at the probed time, and a
+    backward probe that must cross several empty intervals to find the
+    most recent state."""
+
+    #: ``(0, 100]`` holds two S1 events; S1's next event and S2's first
+    #: event land four intervals later in ``(400, 500]``.
+    EVENTS = [
+        Event(time=50, key="S1", other="C1", kind=LOAD),
+        Event(time=80, key="S1", other="C1", kind=UNLOAD),
+        Event(time=450, key="S1", other="C2", kind=LOAD),
+        Event(time=460, key="S2", other="C2", kind=LOAD),
+    ]
+
+    @pytest.fixture(scope="class")
+    def sparse_api(self, tmp_path_factory):
+        network = FabricNetwork(
+            tmp_path_factory.mktemp("m2sparse"), config=fabric_config()
+        )
+        network.install(M2SupplyChainChaincode(u=100))
+        ingest(
+            network.gateway("ingestor"),
+            self.EVENTS,
+            M2SupplyChainChaincode.name,
+        )
+        yield BaseAccessAPI(network.ledger, u=100)
+        network.close()
+
+    @pytest.fixture(scope="class")
+    def empty_api(self, tmp_path_factory):
+        network = FabricNetwork(
+            tmp_path_factory.mktemp("m2empty"), config=fabric_config()
+        )
+        network.install(M2SupplyChainChaincode(u=100))
+        yield BaseAccessAPI(network.ledger, u=100)
+        network.close()
+
+    def test_empty_ledger_probes_every_interval_and_finds_nothing(
+        self, empty_api
+    ):
+        result = empty_api.get_state_base("S1", now=300)
+        assert result.value is None
+        assert result.probes == 3  # (200,300], (100,200], (0,100]
+
+    def test_empty_ledger_history_is_empty(self, empty_api):
+        assert empty_api.history_values_base("S1", now=300) == []
+
+    def test_key_first_written_after_the_probed_interval(self, sparse_api):
+        # S2 first appears at t=460; at now=300 it must look unborn.
+        result = sparse_api.get_state_base("S2", now=300)
+        assert result.value is None
+        assert result.probes == 3
+        assert sparse_api.history_values_base("S2", now=300) == []
+
+    def test_probe_crosses_empty_intervals_to_the_previous_state(
+        self, sparse_api
+    ):
+        # now=350 sits in (300,400]; S1's latest state lives in (0,100].
+        # The probe crosses three empty intervals before finding it, and
+        # must return the *last* event of that interval (t=80), not the
+        # first.
+        result = sparse_api.get_state_base("S1", now=350)
+        assert result.probes == 4
+        assert result.value["t"] == 80
+        assert result.value["e"] == UNLOAD
+
+    def test_probe_stops_at_the_first_populated_interval(self, sparse_api):
+        result = sparse_api.get_state_base("S1", now=450)
+        assert result.probes == 1
+        assert result.value["t"] == 450
+
+    def test_history_excludes_intervals_after_now(self, sparse_api):
+        values = sparse_api.history_values_base("S1", now=350)
+        assert [value["t"] for _, value in values] == [50, 80]
+        everything = sparse_api.history_values_base("S1", now=500)
+        assert [value["t"] for _, value in everything] == [50, 80, 450]
 
 
 class TestGhfkBase:
