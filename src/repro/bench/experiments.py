@@ -19,10 +19,12 @@ index period       25K                 ``t_max / 6``
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.bench.runner import BaseAccessBenchResult, ExperimentRunner
+from repro.common.config import FabricConfig, QueryConfig
 from repro.common.errors import ConfigError
 from repro.temporal.engine import QueryStats
 from repro.temporal.intervals import TimeInterval
@@ -48,6 +50,28 @@ def dataset_config(
             f"unknown dataset {name!r}; expected one of {sorted(_DATASETS)}"
         ) from None
     return factory(scale=scale, entity_scale=entity_scale)
+
+
+def query_fabric_config(
+    workers: Optional[int] = None, cache_blocks: Optional[int] = None
+) -> FabricConfig:
+    """A :class:`FabricConfig` with the query-execution knobs applied.
+
+    ``workers`` selects the executor's parallelism (``None`` keeps the
+    ``REPRO_QUERY_WORKERS`` default); ``cache_blocks`` sizes the shared
+    decoded-block LRU (``None`` keeps it off, the paper's cost model).
+    """
+    config = FabricConfig()
+    if workers is not None:
+        config = dataclasses.replace(config, query=QueryConfig(workers=workers))
+    if cache_blocks is not None:
+        config = dataclasses.replace(
+            config,
+            block_store=dataclasses.replace(
+                config.block_store, cache_blocks=cache_blocks
+            ),
+        )
+    return config
 
 
 def u_small(t_max: int) -> int:
@@ -106,18 +130,24 @@ def run_table1(
     scale: Optional[float] = None,
     entity_scale: Optional[float] = None,
     verify_rows: bool = True,
+    workers: Optional[int] = None,
+    cache_blocks: Optional[int] = None,
 ) -> Table1Result:
     """Regenerate one dataset's section of Table I.
 
     DS1 additionally gets the u=50K Model M2 column, as in the paper.
     ``verify_rows`` cross-checks that all models return identical join
     rows on every window (a correctness guard, excluded from timings).
+    ``workers``/``cache_blocks`` run the queries through the parallel
+    executor and/or the shared block cache; both leave the rows (and the
+    verify assertion) untouched.
     """
     config = dataset_config(dataset, scale, entity_scale)
     data = generate(config)
     t_max = config.t_max
     small, large = u_small(t_max), u_large(t_max)
     include_large = dataset.lower() == "ds1"
+    fabric_config = query_fabric_config(workers, cache_blocks)
 
     result = Table1Result(
         dataset=dataset.upper(),
@@ -125,11 +155,15 @@ def run_table1(
         u_small=small,
         u_large=large if include_large else None,
     )
-    with ExperimentRunner.build(data, "plain") as plain, ExperimentRunner.build(
-        data, "m2", m2_u=small
+    with ExperimentRunner.build(
+        data, "plain", fabric_config=fabric_config
+    ) as plain, ExperimentRunner.build(
+        data, "m2", m2_u=small, fabric_config=fabric_config
     ) as m2_small_runner:
         m2_large_runner = (
-            ExperimentRunner.build(data, "m2", m2_u=large) if include_large else None
+            ExperimentRunner.build(data, "m2", m2_u=large, fabric_config=fabric_config)
+            if include_large
+            else None
         )
         try:
             result.ingest_seconds = plain.ingest().seconds
@@ -191,16 +225,21 @@ class Table2Result:
 def run_table2(
     scale: Optional[float] = None,
     entity_scale: Optional[float] = None,
+    workers: Optional[int] = None,
+    cache_blocks: Optional[int] = None,
 ) -> Table2Result:
     """Table II: DS1, M1 indexes with u in {2K, 10K, 50K} (scaled)."""
     config = dataset_config("ds1", scale, entity_scale)
     data = generate(config)
     t_max = config.t_max
+    fabric_config = query_fabric_config(workers, cache_blocks)
     late = TimeInterval(2 * t_max // 15, 9 * t_max // 15)
     early = TimeInterval(0, 4 * t_max // 15)
     result = Table2Result(config=config, late_window=late, early_window=early)
     for u in (u_small(t_max), u_medium(t_max), u_large(t_max)):
-        with ExperimentRunner.build(data, "plain") as runner:
+        with ExperimentRunner.build(
+            data, "plain", fabric_config=fabric_config
+        ) as runner:
             runner.ingest()
             runner.build_m1_index(u=u)
             result.rows.append(

@@ -69,7 +69,11 @@ class ExperimentRunner:
         self.m2_u = m2_u
         self._workdir = workdir
         self._owns_workdir = owns_workdir
-        self.facade = TemporalQueryEngine(network.ledger, network.metrics)
+        self.facade = TemporalQueryEngine(
+            network.ledger,
+            network.metrics,
+            workers=network.config.query.workers,
+        )
         self.ingestion_report: Optional[IngestionReport] = None
         self.indexing_reports: List[IndexingReport] = []
 

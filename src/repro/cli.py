@@ -41,6 +41,20 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="additionally write the structured result as JSON to PATH",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="query-executor threads (default: REPRO_QUERY_WORKERS or 1 = "
+        "serial; >1 fans per-key fetches out across a thread pool)",
+    )
+    parser.add_argument(
+        "--cache-blocks",
+        type=int,
+        default=None,
+        help="shared decoded-block LRU capacity (default: 0 = off, the "
+        "paper's cost model; see docs/temporal-models.md on accounting)",
+    )
 
 
 def _write_json(results: list, path: str) -> None:
@@ -222,13 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_table1(args: argparse.Namespace):
     result = experiments.run_table1(
-        dataset=args.dataset, scale=args.scale, entity_scale=args.entity_scale
+        dataset=args.dataset,
+        scale=args.scale,
+        entity_scale=args.entity_scale,
+        workers=args.workers,
+        cache_blocks=args.cache_blocks,
     )
     return result, tables.render_table1(result)
 
 
 def _run_table2(args: argparse.Namespace):
-    result = experiments.run_table2(scale=args.scale, entity_scale=args.entity_scale)
+    result = experiments.run_table2(
+        scale=args.scale,
+        entity_scale=args.entity_scale,
+        workers=args.workers,
+        cache_blocks=args.cache_blocks,
+    )
     return result, tables.render_table2(result)
 
 
@@ -256,19 +279,22 @@ def _run_verify(args: argparse.Namespace) -> str:
     """Run the cross-model equivalence check on a fresh random workload."""
     import dataclasses
 
-    from repro.bench.experiments import table1_windows, u_small
+    from repro.bench.experiments import query_fabric_config, table1_windows, u_small
     from repro.bench.runner import ExperimentRunner
     from repro.workload.datasets import ds1
 
     config = dataclasses.replace(
         ds1(scale=args.scale, entity_scale=args.entity_scale), seed=args.seed
     )
+    fabric_config = query_fabric_config(args.workers, args.cache_blocks)
     u = u_small(config.t_max)
     lines = [f"verify: {config.key_count} keys, {config.total_events} events, seed={args.seed}"]
-    with ExperimentRunner.build(config, "plain") as plain:
+    with ExperimentRunner.build(config, "plain", fabric_config=fabric_config) as plain:
         plain.ingest()
         plain.build_m1_index(u=u)
-        with ExperimentRunner.build(plain.data, "m2", m2_u=u) as m2:
+        with ExperimentRunner.build(
+            plain.data, "m2", m2_u=u, fabric_config=fabric_config
+        ) as m2:
             m2.ingest()
             for window in table1_windows(config.t_max):
                 rows_tqf = plain.run_join("tqf", window).rows

@@ -15,6 +15,11 @@ from repro.common.errors import ConfigError
 #: Environment variable controlling default benchmark scale (see DESIGN.md §5).
 SCALE_ENV_VAR = "REPRO_SCALE"
 
+#: Environment variable controlling the default query-executor worker
+#: count (1 = serial).  The CI matrix runs the whole suite once with
+#: ``REPRO_QUERY_WORKERS=8`` so every query path is exercised in parallel.
+QUERY_WORKERS_ENV_VAR = "REPRO_QUERY_WORKERS"
+
 
 def _require_positive(value: int | float, name: str) -> None:
     if value <= 0:
@@ -115,6 +120,49 @@ class BlockStoreConfig:
         _require_durability(self.durability)
 
 
+def default_query_workers() -> int:
+    """Query-executor worker count from ``REPRO_QUERY_WORKERS`` (default 1).
+
+    1 keeps the serial executor -- the paper's measurement setup.  Any
+    larger value fans per-key event fetches out across that many threads
+    (see :mod:`repro.temporal.executor`).
+    """
+    raw = os.environ.get(QUERY_WORKERS_ENV_VAR, "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{QUERY_WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigError(
+            f"{QUERY_WORKERS_ENV_VAR} must be >= 1, got {workers}"
+        )
+    return workers
+
+
+@dataclass(frozen=True)
+class QueryConfig:
+    """How temporal queries execute (orthogonal to what they compute).
+
+    ``workers=1`` runs the serial executor; ``workers>1`` fans the
+    per-key ``fetch_events`` calls of a join query out across a thread
+    pool.  Results are byte-identical either way -- the executor only
+    changes wall-clock time, never rows or block counters.
+    """
+
+    #: Worker threads per query (1 = serial, no thread pool at all).
+    workers: int = field(default_factory=default_query_workers)
+
+    def __post_init__(self) -> None:
+        _require_positive(self.workers, "workers")
+        if self.workers > 128:
+            raise ConfigError(
+                f"workers must be <= 128, got {self.workers} "
+                "(per-key fan-out saturates well before that)"
+            )
+
+
 @dataclass(frozen=True)
 class FabricConfig:
     """Top-level configuration for a simulated Fabric network."""
@@ -122,6 +170,7 @@ class FabricConfig:
     block_cutting: BlockCuttingConfig = field(default_factory=BlockCuttingConfig)
     state_db: StateDbConfig = field(default_factory=StateDbConfig)
     block_store: BlockStoreConfig = field(default_factory=BlockStoreConfig)
+    query: QueryConfig = field(default_factory=QueryConfig)
     #: Channel name (cosmetic, appears in block headers).
     channel: str = "supply-chain"
     #: How many times a gateway re-endorses and resubmits a transaction

@@ -9,12 +9,21 @@ makes 2500 GHFK calls but each call deserializes only one block").
 A :class:`MetricsRegistry` is threaded through the storage and fabric
 layers.  Components increment named counters; benchmarks snapshot and diff
 them around each measured region.
+
+The registry is **thread-safe**: the parallel query executor fans GHFK
+scans out across worker threads that all bump the same counters, and an
+unguarded ``dict`` read-modify-write would silently lose updates (the
+classic lost-increment race).  Every mutation and every snapshot takes
+the registry's lock, so counter deltas around a parallel region are
+exact -- which the equivalence tests rely on to assert that the parallel
+executor performs *precisely* the same block accesses as the serial path.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping
 
 from repro.common.timeutils import Stopwatch
@@ -24,6 +33,8 @@ from repro.common.timeutils import Stopwatch
 BLOCKS_DESERIALIZED = "ledger.blocks_deserialized"
 BLOCK_BYTES_READ = "ledger.block_bytes_read"
 BLOCK_CACHE_HITS = "ledger.block_cache_hits"
+BLOCK_CACHE_MISSES = "ledger.block_cache_misses"
+BLOCK_CACHE_EVICTIONS = "ledger.block_cache_evictions"
 BLOCKS_COMMITTED = "ledger.blocks_committed"
 TXS_COMMITTED = "ledger.txs_committed"
 TXS_INVALIDATED = "ledger.txs_invalidated"
@@ -70,38 +81,49 @@ class MetricsSnapshot:
         )
 
 
-@dataclass
 class MetricsRegistry:
     """A mutable bag of named counters and accumulated timers.
 
     The registry is deliberately simple -- integer counters and float
-    second-accumulators -- because it sits on hot paths (every block read
-    bumps a counter).
+    second-accumulators behind one lock -- because it sits on hot paths
+    (every block read bumps a counter) and is shared by every worker
+    thread of the parallel query executor.
     """
 
-    _counters: Dict[str, int] = field(default_factory=dict)
-    _timers: Dict[str, float] = field(default_factory=dict)
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, float] = {}
 
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to counter ``name`` and return the new value."""
-        value = self._counters.get(name, 0) + amount
-        self._counters[name] = value
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
         return value
 
     def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def add_time(self, name: str, seconds: float) -> float:
-        value = self._timers.get(name, 0.0) + seconds
-        self._timers[name] = value
+        with self._lock:
+            value = self._timers.get(name, 0.0) + seconds
+            self._timers[name] = value
         return value
 
     def timer(self, name: str) -> float:
-        return self._timers.get(name, 0.0)
+        with self._lock:
+            return self._timers.get(name, 0.0)
 
     @contextmanager
     def timed(self, name: str) -> Iterator[Stopwatch]:
-        """Context manager accumulating wall time into timer ``name``."""
+        """Context manager accumulating wall time into timer ``name``.
+
+        Each ``timed`` block owns its private :class:`Stopwatch`, so
+        concurrent workers timing the same name never share mutable
+        state; only the final ``add_time`` is serialized.
+        """
         watch = Stopwatch().start()
         try:
             yield watch
@@ -110,16 +132,23 @@ class MetricsRegistry:
             self.add_time(name, watch.elapsed)
 
     def snapshot(self) -> MetricsSnapshot:
-        return MetricsSnapshot(counters=dict(self._counters), timers=dict(self._timers))
+        """A consistent copy: no increment can land between the counter
+        and timer copies (both happen under the lock)."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters), timers=dict(self._timers)
+            )
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._timers.clear()
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten counters and timers into one report-friendly mapping."""
-        merged: Dict[str, float] = dict(self._counters)
-        merged.update(self._timers)
+        with self._lock:
+            merged: Dict[str, float] = dict(self._counters)
+            merged.update(self._timers)
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

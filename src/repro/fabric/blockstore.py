@@ -5,14 +5,17 @@ bumps the ``ledger.blocks_deserialized`` / ``ledger.block_bytes_read``
 counters -- the quantities the paper's entire analysis is expressed in.
 By default there is **no cross-call block cache**: each GHFK call pays
 its own deserialization, matching the paper's cost model (Section V).
-An LRU cache can be switched on (``cache_blocks > 0``) for the cache
-ablation, which quantifies how much of the paper's TQF-vs-index gap a
-block cache would absorb.
+An LRU cache can be switched on (``cache_blocks > 0``, or by injecting a
+shared :class:`~repro.fabric.blockcache.BlockCache`) for the cache
+ablation and for the parallel query executor, whose concurrent GHFK
+scans of co-located keys then deserialize each block once.  The cache is
+thread-safe and single-flight; reads are safe from any number of threads
+(each read opens its own file handle).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import itertools
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -21,10 +24,15 @@ from repro.common.codec import Codec, get_codec
 from repro.common.errors import BlockFileError, BlockNotFoundError
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.fabric.block import Block
+from repro.fabric.blockcache import BlockCache
 from repro.faults.crashpoints import BLOCKSTORE_MID_ADD, crash_point
 from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.blockfile import BlockFileManager
 from repro.storage.blockindex import BlockIndex
+
+#: Per-store namespace tokens, so several stores can share one
+#: process-wide :class:`BlockCache` without block-number collisions.
+_STORE_TOKENS = itertools.count()
 
 
 class BlockStore:
@@ -46,6 +54,7 @@ class BlockStore:
         cache_blocks: int = 0,
         durability: str = "flush",
         fs: FileSystem = REAL_FS,
+        cache: Optional[BlockCache] = None,
     ) -> None:
         if durability not in ("flush", "fsync"):
             raise ValueError(
@@ -67,8 +76,10 @@ class BlockStore:
             self._index = BlockIndex(index_path, fsync=fsync, fs=fs)
         self._codec = codec if isinstance(codec, Codec) else get_codec(codec)
         self._metrics = metrics
-        self._cache_blocks = cache_blocks
-        self._cache: OrderedDict[int, Block] = OrderedDict()
+        if cache is None and cache_blocks:
+            cache = BlockCache(cache_blocks, metrics=metrics)
+        self._cache = cache
+        self._cache_token = next(_STORE_TOKENS)
         self._meta_path = path / "index" / "meta.json"
         self._base_height = self._load_base_height()
         self._reconcile_index()
@@ -189,16 +200,25 @@ class BlockStore:
     def get_block(self, block_number: int) -> Block:
         """Read and deserialize one block (counted, real file IO).
 
-        With ``cache_blocks > 0`` a hit serves the decoded block from the
-        LRU cache instead (counted separately; the deserialization
-        counters are untouched so the paper's cost metric stays honest).
+        With a cache configured, a hit serves the decoded block from the
+        thread-safe LRU instead (hits/misses/evictions are counted
+        separately; the deserialization counters are untouched so the
+        paper's cost metric stays honest).  Concurrent readers of the
+        same uncached block share one deserialization (single-flight),
+        and a bad block number raises :class:`BlockNotFoundError`
+        identically with and without the cache.
         """
-        if self._cache_blocks:
-            cached = self._cache.get(block_number)
-            if cached is not None:
-                self._cache.move_to_end(block_number)
-                self._metrics.increment(metric_names.BLOCK_CACHE_HITS)
-                return cached
+        if self._cache is not None:
+            block = self._cache.get_or_load(
+                (self._cache_token, block_number),
+                lambda: self._read_block(block_number),
+            )
+            assert isinstance(block, Block)
+            return block
+        return self._read_block(block_number)
+
+    def _read_block(self, block_number: int) -> Block:
+        """The uncached path: locate, read and decode one block."""
         if block_number < self._base_height:
             raise BlockNotFoundError(
                 f"block {block_number} predates this store's snapshot base "
@@ -212,12 +232,7 @@ class BlockStore:
         payload = self._files.read(location)
         self._metrics.increment(metric_names.BLOCKS_DESERIALIZED)
         self._metrics.increment(metric_names.BLOCK_BYTES_READ, len(payload))
-        block = Block.from_dict(self._codec.decode(payload))
-        if self._cache_blocks:
-            self._cache[block_number] = block
-            if len(self._cache) > self._cache_blocks:
-                self._cache.popitem(last=False)
-        return block
+        return Block.from_dict(self._codec.decode(payload))
 
     def iter_blocks(self, start: int = 0, end: Optional[int] = None) -> Iterator[Block]:
         """Yield blocks ``start .. end`` (``end`` exclusive, default height).

@@ -11,6 +11,7 @@ query's end timestamp) never pay for the remaining blocks.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -39,36 +40,53 @@ class HistoryDB:
 
     Rebuilt from the block store on open (the index is derivable metadata,
     exactly as Fabric can rebuild its history index from the chain).
+
+    The index is shared by every worker thread of the parallel query
+    executor, and queries may also race an ongoing commit (a gateway
+    flushing while a join runs).  All mutations and all location reads
+    take the instance lock; :meth:`get_history_for_key` iterates over a
+    locked *snapshot* of the key's location list, so a commit appending
+    to the live list mid-iteration can never corrupt a scan.
     """
 
     def __init__(self, metrics: MetricsRegistry = NULL_REGISTRY) -> None:
+        self._lock = threading.RLock()
         self._locations: Dict[str, List[Tuple[int, int]]] = {}
         self._metrics = metrics
 
     def index_block(self, block: Block) -> None:
         """Record write locations for every *valid* transaction in ``block``."""
-        for tx_num, tx in enumerate(block.transactions):
-            if tx.validation_code != VALID:
-                continue
-            for key in tx.rw_set.writes:
-                self._locations.setdefault(key, []).append((block.number, tx_num))
+        with self._lock:
+            for tx_num, tx in enumerate(block.transactions):
+                if tx.validation_code != VALID:
+                    continue
+                for key in tx.rw_set.writes:
+                    self._locations.setdefault(key, []).append(
+                        (block.number, tx_num)
+                    )
 
     def rebuild(self, block_store: BlockStore) -> None:
         """Reconstruct the index by scanning the whole chain."""
-        self._locations.clear()
-        for block in block_store.iter_blocks():
-            self.index_block(block)
+        with self._lock:
+            self._locations.clear()
+            for block in block_store.iter_blocks():
+                self.index_block(block)
 
     def locations_for_key(self, key: str) -> List[Tuple[int, int]]:
         """All write locations for ``key``, oldest first."""
-        return list(self._locations.get(key, ()))
+        with self._lock:
+            return list(self._locations.get(key, ()))
 
     def block_count_for_key(self, key: str) -> int:
         """Number of distinct blocks containing writes to ``key``."""
-        return len({block_num for block_num, _ in self._locations.get(key, ())})
+        with self._lock:
+            return len(
+                {block_num for block_num, _ in self._locations.get(key, ())}
+            )
 
     def key_count(self) -> int:
-        return len(self._locations)
+        with self._lock:
+            return len(self._locations)
 
     def get_history_for_key(
         self, key: str, block_store: BlockStore
@@ -80,9 +98,13 @@ class HistoryDB:
         iterator's single-block cache.  Abandoning the iterator early skips
         the remaining blocks entirely -- the behaviour the paper's Model M1
         relies on to read an index bundle with exactly one block access.
+
+        Safe to call from any number of threads against a shared store:
+        the location list is snapshotted under the lock, and each
+        iterator's single-block cache is private to that iterator.
         """
         self._metrics.increment(metric_names.GHFK_CALLS)
-        locations = self._locations.get(key, ())
+        locations = self.locations_for_key(key)
         return self._iterate_history(key, locations, block_store)
 
     def _iterate_history(

@@ -73,11 +73,21 @@ class FixedIntervalScheme:
         self.u = u
 
     def interval_for(self, timestamp: Timestamp) -> TimeInterval:
-        """The index interval containing ``timestamp`` (which must be > 0:
-        under ``(start, end]`` semantics no interval contains 0)."""
+        """The index interval containing ``timestamp``.
+
+        ``timestamp`` must be ``> 0``: under the paper's ``(start, end]``
+        convention no interval contains 0, so an event stamped exactly at
+        ``t = 0`` is unindexable -- M2 ingestion and the M1 rewrite both
+        surface this as a typed :class:`TemporalQueryError` instead of
+        silently mis-bucketing it (a naive ``t // u`` would file both
+        ``t = 0`` and every ``t = k·u`` boundary one interval too late).
+        """
         if timestamp <= 0:
             raise TemporalQueryError(
-                f"no (start, end] interval contains timestamp {timestamp}"
+                f"timestamp {timestamp} has no (start, end] index interval: "
+                "logical time starts at 1 under the paper's exclusive-start "
+                "convention. Shift event timestamps to t >= 1 before "
+                "ingesting (e.g. stamp the first event at 1, not 0)"
             )
         bucket = (timestamp + self.u - 1) // self.u  # ceil(t / u)
         return TimeInterval((bucket - 1) * self.u, bucket * self.u)

@@ -21,6 +21,8 @@ each -- the bundle -- leaving the deletion marker's block untouched
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
@@ -369,7 +371,9 @@ class M1QueryEngine:
     bundles.  Unlike caching raw blocks, this is *sound without
     invalidation*: a bundle ``EV(k, θ)`` is written once and then only
     ever deleted from state-db, never rewritten, so a cached copy can
-    never go stale.
+    never go stale.  The LRU is lock-guarded so the parallel query
+    executor's workers can share one engine (an unguarded
+    ``move_to_end`` races concurrent eviction of the same key).
     """
 
     model = "m1"
@@ -380,11 +384,10 @@ class M1QueryEngine:
         metrics: MetricsRegistry = NULL_REGISTRY,
         bundle_cache_size: int = 0,
     ) -> None:
-        from collections import OrderedDict
-
         self._ledger = ledger
         self._metrics = metrics
         self._cache_size = bundle_cache_size
+        self._cache_lock = threading.Lock()
         self._bundle_cache: "OrderedDict[str, List[Event]]" = OrderedDict()
 
     # -- index metadata ---------------------------------------------------
@@ -478,12 +481,17 @@ class M1QueryEngine:
         ]
 
     def _load_bundle(self, key: str, index_key: str) -> List[Event]:
-        """The full decoded bundle for ``index_key`` (cached when enabled)."""
+        """The full decoded bundle for ``index_key`` (cached when enabled).
+
+        Bundles are immutable once written, so callers may share the
+        returned list but must not mutate it.
+        """
         if self._cache_size:
-            cached = self._bundle_cache.get(index_key)
-            if cached is not None:
-                self._bundle_cache.move_to_end(index_key)
-                return cached
+            with self._cache_lock:
+                cached = self._bundle_cache.get(index_key)
+                if cached is not None:
+                    self._bundle_cache.move_to_end(index_key)
+                    return cached
         bundle: List[Event] = []
         for entry in self._ledger.get_history_for_key(index_key):
             # The first (oldest) entry is the bundle; stop immediately so
@@ -493,7 +501,8 @@ class M1QueryEngine:
             bundle = [Event.from_value(key, value) for value in (entry.value or [])]
             break
         if self._cache_size:
-            self._bundle_cache[index_key] = bundle
-            if len(self._bundle_cache) > self._cache_size:
-                self._bundle_cache.popitem(last=False)
+            with self._cache_lock:
+                self._bundle_cache[index_key] = bundle
+                while len(self._bundle_cache) > self._cache_size:
+                    self._bundle_cache.popitem(last=False)
         return bundle

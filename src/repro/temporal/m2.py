@@ -36,7 +36,12 @@ from repro.temporal.tqf import PREFIX_END
 
 
 class M2QueryEngine:
-    """Temporal queries over Model M2's transformed ledger."""
+    """Temporal queries over Model M2's transformed ledger.
+
+    Stateless between calls (like :class:`~repro.temporal.tqf.TQFEngine`),
+    so concurrent ``fetch_events`` calls from the parallel executor are
+    safe: per-interval GHFK scans share only lock-guarded structures.
+    """
 
     model = "m2"
 

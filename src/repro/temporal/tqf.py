@@ -23,7 +23,13 @@ PREFIX_END = "\x7f"
 
 
 class TQFEngine:
-    """The baseline temporal query engine."""
+    """The baseline temporal query engine.
+
+    Stateless between calls: ``fetch_events`` holds no per-engine mutable
+    state, so the parallel executor may invoke it for many keys at once.
+    Everything it shares (metrics, history index, block store/cache) is
+    lock-guarded underneath.
+    """
 
     #: Identifier used by the facade and benchmark tables.
     model = "tqf"

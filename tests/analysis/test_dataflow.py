@@ -108,6 +108,21 @@ class TestSymbolTable:
         assert holder.attr_types["_spare"] == "wires.Engine"
         assert holder.lock_attrs == {"_lock"}
 
+    def test_real_tree_recognizes_query_path_lock_carriers(self, real_analysis):
+        """Every class the parallel query executor made lock-carrying must
+        be visible to the symbol table, or CONC001 silently stops policing
+        its attribute writes."""
+        classes = real_analysis.table.classes
+        expectations = {
+            "repro.common.metrics.MetricsRegistry": "_lock",
+            "repro.fabric.blockcache.BlockCache": "_lock",
+            "repro.fabric.historydb.HistoryDB": "_lock",
+            "repro.temporal.m1.M1QueryEngine": "_cache_lock",
+        }
+        for qualname, lock_attr in expectations.items():
+            assert qualname in classes, qualname
+            assert lock_attr in classes[qualname].lock_attrs, qualname
+
     def test_method_lookup_follows_bases(self, tmp_path):
         table = SymbolTable.build(
             project_from(

@@ -359,6 +359,58 @@ class TestMutationAcceptance:
         assert conc, result.render_text()
         assert "retries_attempted" in conc[0].message
 
+    def test_unlocked_block_cache_write_fails_the_lint(self, real_tree):
+        # BlockCache became lock-carrying with the parallel executor; a
+        # new method rebinding shared state outside the lock must fire
+        # CONC001 with no baseline entry absorbing it.
+        target = real_tree / "src" / "repro" / "fabric" / "blockcache.py"
+        text = target.read_text()
+        anchor = "    def invalidate(self"
+        assert anchor in text
+        target.write_text(
+            text.replace(
+                anchor,
+                "    def resize(self, capacity):\n"
+                '        """Racy capacity rebind (deliberately unlocked)."""\n'
+                "        self.capacity = capacity\n\n" + anchor,
+            )
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        conc = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "CONC001"
+            and finding.path.endswith("blockcache.py")
+        ]
+        assert conc, result.render_text()
+        assert "capacity" in conc[0].message
+
+    def test_unlocked_metrics_write_fails_the_lint(self, real_tree):
+        # MetricsRegistry was converted from a dataclass to an explicit
+        # __init__ precisely so its lock is visible to the symbol table;
+        # this mutation proves CONC001 now polices it.
+        target = real_tree / "src" / "repro" / "common" / "metrics.py"
+        text = target.read_text()
+        anchor = "    def increment(self"
+        assert anchor in text
+        target.write_text(
+            text.replace(
+                anchor,
+                "    def hard_reset(self):\n"
+                '        """Racy rebind of the counter dict (unlocked)."""\n'
+                "        self._counters = {}\n\n" + anchor,
+            )
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        conc = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "CONC001"
+            and finding.path.endswith("metrics.py")
+        ]
+        assert conc, result.render_text()
+        assert "_counters" in conc[0].message
+
     def test_leaked_seam_handle_fails_the_lint(self, real_tree):
         leaky = real_tree / "src" / "repro" / "common" / "leaky.py"
         leaky.write_text(

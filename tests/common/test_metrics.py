@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.common.metrics import MetricsRegistry
 
@@ -78,3 +80,84 @@ class TestSnapshots:
         merged = metrics.as_dict()
         assert merged["a"] == 1
         assert merged["t"] == 2.0
+
+
+class TestThreadSafety:
+    """The parallel executor fans GHFK calls across threads, every one of
+    which increments shared counters; ``increment`` must be atomic."""
+
+    THREADS = 8
+    ITERATIONS = 2_000
+
+    def test_concurrent_increment_is_exact(self, metrics: MetricsRegistry):
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(self.ITERATIONS):
+                metrics.increment("hits")
+                metrics.increment("bytes", 3)
+
+        with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
+            for future in [pool.submit(hammer) for _ in range(self.THREADS)]:
+                future.result()
+
+        assert metrics.counter("hits") == self.THREADS * self.ITERATIONS
+        assert metrics.counter("bytes") == 3 * self.THREADS * self.ITERATIONS
+
+    def test_concurrent_timed_blocks_accumulate_exactly(
+        self, metrics: MetricsRegistry
+    ):
+        # ``timed`` must keep per-block state private (no shared stopwatch):
+        # overlapping blocks on one registry would otherwise double-count
+        # or lose time.  add_time feeds a known quantum alongside to check
+        # the accumulated total is exact, not merely monotone.
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(200):
+                with metrics.timed("ghfk"):
+                    pass
+                metrics.add_time("fixed", 0.25)
+
+        with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
+            for future in [pool.submit(hammer) for _ in range(self.THREADS)]:
+                future.result()
+
+        assert metrics.timer("fixed") == 0.25 * 200 * self.THREADS
+        assert metrics.timer("ghfk") >= 0.0
+
+    def test_snapshot_under_concurrent_writes_is_consistent(
+        self, metrics: MetricsRegistry
+    ):
+        # Writers bump two counters in lockstep inside one increment pair;
+        # snapshots taken mid-hammer must never observe a torn dict (the
+        # pre-lock bug: RuntimeError from dict-changed-during-iteration).
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer(slot: int) -> None:
+            while not stop.is_set():
+                metrics.increment(f"w{slot}")
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    snap = metrics.snapshot()
+                    metrics.as_dict()
+                    for slot in range(4):
+                        assert snap.counter(f"w{slot}") >= 0
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(slot,)) for slot in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []

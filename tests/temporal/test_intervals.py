@@ -67,6 +67,52 @@ class TestFixedIntervalScheme:
         with pytest.raises(TemporalQueryError):
             FixedIntervalScheme(0)
 
+
+class TestIntervalForBoundaries:
+    """The bucketing edge cases the parallel-equivalence work flushed out:
+    t ∈ {0, u, u+1, k·u} must bucket per the paper's (start, end]
+    convention, and the t=0 rejection must tell the caller what to do."""
+
+    U = 2_000
+
+    def test_zero_raises_typed_error_with_actionable_message(self):
+        scheme = FixedIntervalScheme(self.U)
+        with pytest.raises(TemporalQueryError) as excinfo:
+            scheme.interval_for(0)
+        message = str(excinfo.value)
+        # The message must say what's wrong AND how to fix it.
+        assert "no (start, end] index interval" in message
+        assert "t >= 1" in message
+
+    def test_negative_timestamp_raises_same_typed_error(self):
+        with pytest.raises(TemporalQueryError):
+            FixedIntervalScheme(self.U).interval_for(-5)
+
+    def test_exactly_u_belongs_to_first_interval(self):
+        # t = u is the *inclusive end* of (0, u], not the start of (u, 2u].
+        interval = FixedIntervalScheme(self.U).interval_for(self.U)
+        assert interval == TimeInterval(0, self.U)
+        assert interval.contains(self.U)
+
+    def test_u_plus_one_starts_second_interval(self):
+        interval = FixedIntervalScheme(self.U).interval_for(self.U + 1)
+        assert interval == TimeInterval(self.U, 2 * self.U)
+        assert interval.contains(self.U + 1)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 75])
+    def test_every_multiple_of_u_belongs_left(self, k):
+        # A naive t // u files t = k*u into ((k)u, (k+1)u] -- one interval
+        # too late; the ceil formula must land it in ((k-1)u, ku].
+        scheme = FixedIntervalScheme(self.U)
+        interval = scheme.interval_for(k * self.U)
+        assert interval == TimeInterval((k - 1) * self.U, k * self.U)
+
+    def test_unit_u_degenerates_to_singletons(self):
+        # u=1: every timestamp gets its own interval (t-1, t].
+        scheme = FixedIntervalScheme(1)
+        assert scheme.interval_for(1) == TimeInterval(0, 1)
+        assert scheme.interval_for(42) == TimeInterval(41, 42)
+
     def test_previous_interval(self):
         scheme = FixedIntervalScheme(100)
         assert scheme.previous_interval(TimeInterval(100, 200)) == TimeInterval(0, 100)

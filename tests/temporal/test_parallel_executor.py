@@ -1,0 +1,265 @@
+"""The parallel query executor: scheduling semantics and equivalence.
+
+Two layers of guarantees:
+
+* :class:`QueryExecutor` unit semantics -- input-order results no matter
+  the completion order, serial fallback for degenerate inputs, exception
+  transparency, config validation;
+* end-to-end equivalence -- on randomized workloads, ``run_join`` under
+  workers {1, 2, 8} returns *identical* rows and *identical* cost-counter
+  deltas for all three models (the paper's counters are per-query work,
+  which scheduling must not change), and turning the shared block cache
+  on may only ever lower ``blocks_deserialized``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.config import (
+    BlockCuttingConfig,
+    BlockStoreConfig,
+    FabricConfig,
+)
+from repro.common.errors import ConfigError
+from repro.fabric.network import FabricNetwork
+from repro.temporal.chaincodes import (
+    M1IndexChaincode,
+    SupplyChainChaincode,
+)
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.executor import (
+    SerialExecutor,
+    ThreadPoolQueryExecutor,
+    build_executor,
+)
+from repro.temporal.intervals import TimeInterval
+from repro.workload.generator import WorkloadConfig, generate
+from repro.workload.ingest import ingest
+from tests.helpers import build_m1_index, build_m2_network, build_plain_network
+
+WORKER_COUNTS = [1, 2, 8]
+
+
+class TestBuildExecutor:
+    def test_one_worker_is_serial(self):
+        executor = build_executor(1)
+        assert isinstance(executor, SerialExecutor)
+        assert executor.workers == 1
+        assert executor.name == "serial"
+
+    def test_many_workers_is_thread_pool(self):
+        executor = build_executor(8)
+        assert isinstance(executor, ThreadPoolQueryExecutor)
+        assert executor.workers == 8
+        assert executor.name == "thread-pool"
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            build_executor(0)
+        with pytest.raises(ConfigError):
+            build_executor(-2)
+        with pytest.raises(ConfigError):
+            ThreadPoolQueryExecutor(1)
+
+
+class TestExecutorSemantics:
+    def test_results_in_input_order_despite_completion_order(self):
+        executor = ThreadPoolQueryExecutor(4)
+        items = list(range(8))
+
+        def slow_for_early_items(n: int) -> int:
+            # Item 0 finishes last; completion order is roughly reversed.
+            time.sleep((len(items) - n) * 0.01)
+            return n * 10
+
+        assert executor.map(slow_for_early_items, items) == [
+            n * 10 for n in items
+        ]
+
+    def test_serial_executor_runs_on_calling_thread(self):
+        threads = set()
+        SerialExecutor().map(
+            lambda _: threads.add(threading.current_thread()), range(3)
+        )
+        assert threads == {threading.current_thread()}
+
+    def test_pool_short_circuits_single_item(self):
+        threads = set()
+        ThreadPoolQueryExecutor(4).map(
+            lambda _: threads.add(threading.current_thread()), ["only"]
+        )
+        # One item never pays pool setup; it runs on the caller.
+        assert threads == {threading.current_thread()}
+
+    def test_pool_uses_worker_threads_for_real_fanout(self):
+        names = set()
+        ThreadPoolQueryExecutor(4).map(
+            lambda _: names.add(threading.current_thread().name), range(8)
+        )
+        assert all(name.startswith("repro-query") for name in names)
+
+    def test_exception_propagates_after_pool_drains(self):
+        executor = ThreadPoolQueryExecutor(4)
+        attempted = []
+        lock = threading.Lock()
+
+        def fn(n: int) -> int:
+            with lock:
+                attempted.append(n)
+            if n == 0:
+                raise ValueError("boom")
+            return n
+
+        with pytest.raises(ValueError, match="boom"):
+            executor.map(fn, range(6))
+        # No worker was abandoned mid-item: by the time the caller sees
+        # the exception, every submitted item ran to completion.
+        assert sorted(attempted) == list(range(6))
+
+    def test_empty_input(self):
+        assert ThreadPoolQueryExecutor(2).map(lambda n: n, []) == []
+        assert SerialExecutor().map(lambda n: n, []) == []
+
+
+# --------------------------------------------------------------------------
+# End-to-end equivalence on randomized workloads
+# --------------------------------------------------------------------------
+
+SEEDS = [11, 47]
+U = 100
+T_MAX = 600
+
+
+def _workload(seed: int):
+    return generate(
+        WorkloadConfig(
+            name="parallel-equiv",
+            n_shipments=5,
+            n_containers=3,
+            n_trucks=2,
+            events_per_key=12,
+            t_max=T_MAX,
+            distribution="zipf" if seed % 2 else "uniform",
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def networks(request, tmp_path_factory):
+    """Plain (+M1 index) and M2 networks for one randomized workload."""
+    data = _workload(request.param)
+    plain = build_plain_network(tmp_path_factory.mktemp("plain"), data)
+    build_m1_index(plain, t1=0, t2=T_MAX, u=U)
+    m2 = build_m2_network(tmp_path_factory.mktemp("m2"), data, u=U)
+    yield data, plain, m2
+    plain.close()
+    m2.close()
+
+
+def _facade(network, workers: int) -> TemporalQueryEngine:
+    return TemporalQueryEngine(network.ledger, network.metrics, workers=workers)
+
+
+def _windows():
+    return [
+        TimeInterval(0, T_MAX // 3),
+        TimeInterval(T_MAX // 3, 2 * T_MAX // 3),
+        TimeInterval(T_MAX - U, T_MAX),
+    ]
+
+
+#: The counter deltas that must not depend on scheduling: they are the
+#: paper's per-query cost model (work done), not timing.
+COST_FIELDS = [
+    "ghfk_calls",
+    "blocks_deserialized",
+    "block_bytes_read",
+    "get_state_calls",
+    "range_scan_calls",
+    "events_fetched",
+    "keys_queried",
+]
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("model", ["tqf", "m1", "m2"])
+    def test_rows_and_cost_counters_identical(self, networks, model):
+        _, plain, m2 = networks
+        network = m2 if model == "m2" else plain
+        for window in _windows():
+            baseline = _facade(network, 1).run_join(model, window)
+            for workers in WORKER_COUNTS[1:]:
+                result = _facade(network, workers).run_join(model, window)
+                assert result.rows == baseline.rows, (model, str(window))
+                assert result.stats.workers == workers
+                for field in COST_FIELDS:
+                    assert getattr(result.stats, field) == getattr(
+                        baseline.stats, field
+                    ), (model, str(window), field, workers)
+
+    def test_parallel_events_match_serial_per_key(self, networks):
+        data, plain, _ = networks
+        window = TimeInterval(0, T_MAX)
+        serial = _facade(plain, 1).run_join("tqf", window, keep_events=True)
+        parallel = _facade(plain, 8).run_join("tqf", window, keep_events=True)
+        assert parallel.shipment_events == serial.shipment_events
+        assert parallel.container_events == serial.container_events
+        # And both agree with the generator's oracle.
+        oracle = data.events_by_key()
+        for key, events in serial.shipment_events.items():
+            assert events == sorted(
+                e for e in oracle.get(key, []) if window.contains(e.time)
+            )
+
+
+class TestSharedCacheEquivalence:
+    @pytest.fixture(scope="class")
+    def cached_plain(self, tmp_path_factory):
+        data = _workload(SEEDS[0])
+        config = FabricConfig(
+            block_cutting=BlockCuttingConfig(max_message_count=10),
+            block_store=BlockStoreConfig(cache_blocks=256),
+        )
+        network = FabricNetwork(tmp_path_factory.mktemp("cached"), config=config)
+        network.install(SupplyChainChaincode())
+        network.install(M1IndexChaincode())
+        gateway = network.gateway("ingestor")
+        ingest(gateway, data.events, SupplyChainChaincode.name, strategy="me")
+        build_m1_index(network, t1=0, t2=T_MAX, u=U)
+        yield data, network
+        network.close()
+
+    @pytest.fixture(scope="class")
+    def uncached_plain(self, tmp_path_factory):
+        data = _workload(SEEDS[0])
+        network = build_plain_network(tmp_path_factory.mktemp("plain"), data)
+        build_m1_index(network, t1=0, t2=T_MAX, u=U)
+        yield data, network
+        network.close()
+
+    @pytest.mark.parametrize("model", ["tqf", "m1"])
+    def test_cache_changes_cost_but_never_rows(
+        self, cached_plain, uncached_plain, model
+    ):
+        _, cached = cached_plain
+        _, uncached = uncached_plain
+        for window in _windows():
+            reference = _facade(uncached, 1).run_join(model, window)
+            result = _facade(cached, 8).run_join(model, window)
+            assert result.rows == reference.rows, (model, str(window))
+            # The cache absorbs deserializations, never adds them.
+            assert (
+                result.stats.blocks_deserialized
+                <= reference.stats.blocks_deserialized
+            )
+            # Whatever the scans touched was served (decoded or cached).
+            assert (
+                result.stats.blocks_deserialized
+                + result.stats.block_cache_hits
+                >= reference.stats.blocks_deserialized
+            )
