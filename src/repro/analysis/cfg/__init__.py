@@ -1,0 +1,61 @@
+"""Control-flow analysis: CFGs, dominance, and the lockset engine.
+
+Where :mod:`~repro.analysis.dataflow` answers "what value can reach
+here?", this package answers "what *order* do things happen in?":
+
+* :mod:`~repro.analysis.cfg.builder` -- per-function CFG construction
+  from the AST (branches, loops, try/except/finally, ``with``), with
+  documented over-approximations whose polarity every rule relies on;
+* :mod:`~repro.analysis.cfg.dominance` -- reflexive dominators and
+  post-dominators (the real footing for TEMP001's "the tombstone always
+  follows the write" check);
+* :mod:`~repro.analysis.cfg.lockset` -- which locks are held at each
+  node, propagated interprocedurally through the call graph, plus the
+  project lock-acquisition-order graph behind CONC002/CONC003/CONC004
+  and ``repro lint --lock-graph``.
+
+Like the dataflow layer, the whole analysis is memoized per project
+(:func:`lockset_for`), so the three CONC rule families and the CLI
+export share one construction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg.builder import CFG, CFGNode, build_cfg
+from repro.analysis.cfg.dominance import dominators, postdominators
+from repro.analysis.cfg.lockset import (
+    BlockingOp,
+    FunctionLocks,
+    LockOrderGraph,
+    LockRef,
+    LocksetAnalysis,
+    LockWitness,
+)
+from repro.analysis.dataflow import dataflow_for
+from repro.analysis.project import Project
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "BlockingOp",
+    "FunctionLocks",
+    "LockOrderGraph",
+    "LockRef",
+    "LockWitness",
+    "LocksetAnalysis",
+    "build_cfg",
+    "dominators",
+    "postdominators",
+    "lockset_for",
+]
+
+
+def lockset_for(project: Project) -> LocksetAnalysis:
+    """The memoized :class:`LocksetAnalysis` for ``project``; reuses the
+    symbol table and call graph the dataflow layer already built."""
+    cached = getattr(project, "_lockset_analysis", None)
+    if cached is None:
+        dataflow = dataflow_for(project)
+        cached = LocksetAnalysis.build(dataflow.table, dataflow.graph)
+        project._lockset_analysis = cached  # type: ignore[attr-defined]
+    return cached

@@ -1,0 +1,77 @@
+"""Dominators and post-dominators over a :class:`~repro.analysis.cfg.builder.CFG`.
+
+The iterative set-based formulation: ``dom(n)`` starts at "all nodes"
+and shrinks to ``{n} | intersect(dom(p) for p in preds(n))`` until a
+fixpoint.  Our CFGs are a few dozen nodes per function, so the simple
+algorithm is both fast enough and obviously correct -- no need for
+Lengauer-Tarjan here.
+
+Both relations are **reflexive**: ``n in dominators(cfg)[n]`` always.
+Post-dominance is dominance on the reversed graph rooted at the exit
+node.  A node that cannot reach the exit (e.g. the body of a loop whose
+only escape is an uncaught exception we did not model) gets the
+degenerate post-dominator set ``{itself}``, which means "nothing is
+guaranteed to run after this" -- the conservative answer for rules that
+ask "does X always happen afterwards?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.cfg.builder import CFG, ENTRY, EXIT
+
+
+def _iterate(
+    cfg: CFG, root: int, edges_in: Dict[int, Set[int]]
+) -> Dict[int, Set[int]]:
+    everything = set(range(len(cfg.nodes)))
+    dom: Dict[int, Set[int]] = {
+        node.index: {node.index} if node.index == root else set(everything)
+        for node in cfg.nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            if node.index == root:
+                continue
+            preds = edges_in[node.index]
+            if preds:
+                merged = set.intersection(*(dom[p] for p in preds))
+            else:
+                # Unreachable from the root: nothing constrains it.
+                merged = set()
+            updated = merged | {node.index}
+            if updated != dom[node.index]:
+                dom[node.index] = updated
+                changed = True
+    return dom
+
+
+def dominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """``dominators(cfg)[n]`` = every node on all entry-to-``n`` paths."""
+    edges_in = {node.index: set(node.preds) for node in cfg.nodes}
+    return _iterate(cfg, ENTRY, edges_in)
+
+
+def postdominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """``postdominators(cfg)[n]`` = every node on all ``n``-to-exit paths.
+
+    Nodes that cannot reach the exit collapse to ``{n}`` (see module
+    docstring).
+    """
+    edges_in = {node.index: set(node.succs) for node in cfg.nodes}
+    pdom = _iterate(cfg, EXIT, edges_in)
+    everything = set(range(len(cfg.nodes)))
+    for index, nodes in pdom.items():
+        # The iteration leaves dead-end nodes at "everything minus what
+        # shrank": if a node never reached a fixpoint constrained by the
+        # exit, its set still contains nodes not on any path. Detect the
+        # tell-tale (exit not in the set while the node is not exit) and
+        # collapse to the reflexive singleton.
+        if index != EXIT and EXIT not in nodes:
+            pdom[index] = {index}
+        elif nodes == everything and index != EXIT:  # pragma: no cover
+            pdom[index] = {index}
+    return pdom

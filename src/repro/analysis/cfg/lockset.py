@@ -1,0 +1,681 @@
+"""Lockset dataflow: which locks are held at each CFG node, project-wide.
+
+The analysis runs in three layers:
+
+1. **Per-function** (:func:`analyze_function`): build the CFG, stamp
+   every node with the locks held there.  ``with self._lock:`` blocks
+   contribute *lexically* (Python guarantees release on every exit
+   path), explicit ``self._lock.acquire()`` / ``.release()`` calls
+   contribute through a forward may-union dataflow (once a lock *may*
+   be held, it stays in the set until a release kills it -- the
+   conservative polarity for every rule built on top).  Each function
+   yields a summary: acquisition sites, blocking operations, resolved
+   call sites, and intra-function lock-order edges.
+
+2. **Interprocedural fixpoint** (:class:`LocksetAnalysis`): acquisition
+   and blocking summaries propagate backwards over the existing
+   :class:`~repro.analysis.dataflow.callgraph.CallGraph` edges until
+   stable, keeping the *first* witness chain per fact so findings are
+   deterministic.
+
+3. **The lock-order graph** (:class:`LockOrderGraph`): one edge
+   ``A -> B`` whenever some thread may acquire ``B`` while holding
+   ``A``, each edge carrying a :class:`LockWitness` (function, file,
+   line, call chain).  Re-entrant ``RLock`` self-edges are dropped (a
+   thread re-taking its own RLock is fine); a plain ``Lock`` self-edge
+   is a guaranteed self-deadlock and is reported separately.  Cycles
+   across distinct locks are the CONC002 deadlock findings.
+
+Lock identity is ``(defining class, attribute, factory kind)`` -- the
+same abstraction CONC001 uses, extended with the ``threading`` factory
+name so re-entrancy is visible.  Locks that are not ``self.<attr>``
+class attributes (locals, globals) are out of scope; the codebase's
+convention puts every shared lock on an instance.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.cfg.builder import CFG, CFGNode, build_cfg
+from repro.analysis.dataflow.callgraph import CallGraph, _local_constructions
+from repro.analysis.dataflow.symbols import (
+    FunctionInfo,
+    SymbolTable,
+    dotted_path,
+)
+
+#: A call chain: ``((caller, line), (callee, line), ...)`` ending at the
+#: function containing the interesting fact.
+Chain = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True, order=True)
+class LockRef:
+    """One lock: the class attribute that holds it."""
+
+    owner: str  #: qualname of the defining class
+    attr: str
+    kind: str  #: ``threading`` factory name (``Lock``, ``RLock``, ...)
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind == "RLock"
+
+    @property
+    def label(self) -> str:
+        """Globally unique id: ``repro.fabric.blockcache.BlockCache._lock``."""
+        return f"{self.owner}.{self.attr}"
+
+    @property
+    def short(self) -> str:
+        """Display name: ``BlockCache._lock``."""
+        return f"{self.owner.rsplit('.', 1)[-1]}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    """One potentially-blocking operation at a source line."""
+
+    kind: str  #: ``sleep`` | ``io`` | ``future-wait`` | ``queue-get``
+    line: int
+    description: str
+
+
+@dataclass(frozen=True)
+class LockWitness:
+    """Where an edge of the lock-order graph was observed."""
+
+    holder: str  #: qualname of the function where the held lock is held
+    path: str  #: relpath of that function's file
+    line: int  #: line of the acquisition (or of the call leading to it)
+    chain: Chain  #: call steps from ``holder`` down to the acquisition
+
+    def describe(self) -> str:
+        """Human-readable witness: ``func (file:line) via a:1 -> b:2``."""
+        base = f"{self.holder} ({self.path}:{self.line})"
+        if len(self.chain) > 1:
+            via = " -> ".join(f"{step}:{line}" for step, line in self.chain[1:])
+            return f"{base} via {via}"
+        return base
+
+
+@dataclass
+class FunctionLocks:
+    """The per-function lockset summary."""
+
+    info: FunctionInfo
+    cfg: CFG
+    #: node index -> locks that may be held when the node starts.
+    held_before: Dict[int, FrozenSet[LockRef]]
+    #: node index -> locks that may be held while the node executes.
+    held_at: Dict[int, FrozenSet[LockRef]]
+    #: every acquisition site (``with`` item or ``.acquire()``).
+    acquires: List[Tuple[LockRef, int]] = field(default_factory=list)
+    #: blocking ops paired with the locks held around them.
+    blocking: List[Tuple[BlockingOp, FrozenSet[LockRef]]] = field(default_factory=list)
+    #: ``(held, acquired, line)`` intra-function order edges.
+    order_edges: List[Tuple[LockRef, LockRef, int]] = field(default_factory=list)
+    #: resolved call sites: ``(callee qualname, line, locks held)``.
+    calls: List[Tuple[str, int, FrozenSet[LockRef]]] = field(default_factory=list)
+
+
+# -- lock / blocking-op recognition ---------------------------------------
+
+
+def class_locks(table: SymbolTable, class_qualname: str) -> Dict[str, LockRef]:
+    """Lock attrs visible on a class, own and inherited."""
+    result: Dict[str, LockRef] = {}
+    seen: Set[str] = set()
+    stack = [class_qualname]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = table.classes.get(current)
+        if info is None:
+            continue
+        for attr in info.lock_attrs:
+            if attr not in result:
+                result[attr] = LockRef(
+                    owner=info.qualname,
+                    attr=attr,
+                    kind=info.lock_kinds.get(attr, "Lock"),
+                )
+        stack.extend(info.base_qualnames)
+    return result
+
+
+def _self_lock_attr(expr: ast.AST, locks: Dict[str, LockRef]) -> Optional[LockRef]:
+    """``self.<attr>`` resolving to one of the class's locks, or None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return locks.get(expr.attr)
+    return None
+
+
+def _with_item_lock(item: ast.withitem, locks: Dict[str, LockRef]) -> Optional[LockRef]:
+    """The lock a ``with`` item acquires (``with self._lock:``,
+    optionally through a call such as ``self._lock.acquire_timeout(..)``)."""
+    expr: ast.AST = item.context_expr
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            expr = func.value
+    return _self_lock_attr(expr, locks)
+
+
+def _acquire_release(
+    call: ast.Call, locks: Dict[str, LockRef]
+) -> Optional[Tuple[str, LockRef]]:
+    """Classify ``self.<lock>.acquire()`` / ``.release()`` calls."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+        lock = _self_lock_attr(func.value, locks)
+        if lock is not None:
+            return func.attr, lock
+    return None
+
+
+#: Filesystem-seam methods that hit the disk.  ``read``/``write`` only
+#: count on an fs-named receiver so plain file-handle writes (already
+#: serialized by their owner) do not drown the signal.
+_FS_BLOCKING_ATTRS = {"open", "fsync", "replace", "read", "write"}
+_QUEUE_FACTORIES = {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"}
+
+
+def _receiver_is_filesystem(node: ast.AST) -> bool:
+    # Mirrors the naming heuristic of rules/durability.py: the rules
+    # layer may not be imported from the engine, so the three-line
+    # convention is restated here.
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    return name.lower() == "fs" or name.lower().endswith("_fs") or name.endswith("FS")
+
+
+def _queue_locals(func_node: ast.AST, aliases: Dict[str, str]) -> Set[str]:
+    """Locals assigned from a ``queue.*`` constructor."""
+    names: Set[str] = set()
+    for node in ast.walk(func_node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            dotted = dotted_path(node.value.func, aliases)
+            if (
+                dotted is not None
+                and dotted.startswith("queue.")
+                and dotted.rsplit(".", 1)[-1] in _QUEUE_FACTORIES
+            ):
+                names.add(node.targets[0].id)
+    return names
+
+
+def _render(expr: ast.AST) -> str:
+    # ast.unparse is total on anything the parser produced.
+    return ast.unparse(expr)
+
+
+def classify_blocking(
+    call: ast.Call, aliases: Dict[str, str], queue_locals: Set[str]
+) -> Optional[BlockingOp]:
+    """Whether one call is a potentially-blocking operation."""
+    func = call.func
+    dotted = dotted_path(func, aliases)
+    if dotted == "time.sleep":
+        return BlockingOp("sleep", call.lineno, "time.sleep(...)")
+    if isinstance(func, ast.Name) and func.id == "open" and func.id not in aliases:
+        return BlockingOp("io", call.lineno, "builtin open(...)")
+    if isinstance(func, ast.Attribute):
+        if func.attr == "result" and not call.keywords and len(call.args) <= 1:
+            return BlockingOp(
+                "future-wait", call.lineno, f"{_render(func.value)}.result()"
+            )
+        if func.attr in _FS_BLOCKING_ATTRS and _receiver_is_filesystem(func.value):
+            return BlockingOp(
+                "io", call.lineno, f"{_render(func.value)}.{func.attr}(...)"
+            )
+        if (
+            func.attr == "get"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in queue_locals
+        ):
+            return BlockingOp("queue-get", call.lineno, f"{func.value.id}.get(...)")
+    return None
+
+
+def _calls_in(expr: ast.AST) -> Iterator[ast.Call]:
+    """Calls inside one expression, in document (pre)order."""
+    if isinstance(expr, ast.Call):
+        yield expr
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, (ast.Lambda,)):
+            continue  # runs later, in another frame
+        yield from _calls_in(child)
+
+
+# -- per-function analysis -------------------------------------------------
+
+
+def analyze_function(
+    info: FunctionInfo, table: SymbolTable, graph: CallGraph
+) -> FunctionLocks:
+    """Build the CFG and lockset summary of one function."""
+    cfg = build_cfg(info.node)
+    module = table.modules[info.module]
+    locks = (
+        class_locks(table, info.class_qualname)
+        if info.class_qualname is not None
+        else {}
+    )
+    queue_names = _queue_locals(info.node, module.aliases)
+    local_types = _local_constructions(info, table)
+
+    size = len(cfg.nodes)
+    lexical: List[Set[LockRef]] = [set() for _ in range(size)]
+    gen: List[Set[LockRef]] = [set() for _ in range(size)]
+    kill: List[Set[LockRef]] = [set() for _ in range(size)]
+    node_calls: List[List[ast.Call]] = [[] for _ in range(size)]
+
+    for node in cfg.real_nodes():
+        index = node.index
+        for item in node.with_items:
+            lock = _with_item_lock(item, locks)
+            if lock is not None:
+                lexical[index].add(lock)
+        for expr in node.header_exprs():
+            for call in _calls_in(expr):
+                node_calls[index].append(call)
+                classified = _acquire_release(call, locks)
+                if classified is None:
+                    continue
+                verb, lock = classified
+                if verb == "acquire":
+                    gen[index].add(lock)
+                    kill[index].discard(lock)
+                else:
+                    kill[index].add(lock)
+                    gen[index].discard(lock)
+
+    # Forward may-union flow of explicit acquire/release.
+    flow_in: List[Set[LockRef]] = [set() for _ in range(size)]
+    flow_out: List[Set[LockRef]] = [set() for _ in range(size)]
+    changed = True
+    while changed:
+        changed = False
+        for node in cfg.nodes:
+            index = node.index
+            merged: Set[LockRef] = set()
+            for pred in node.preds:
+                merged |= flow_out[pred]
+            out = (merged - kill[index]) | gen[index]
+            if merged != flow_in[index] or out != flow_out[index]:
+                flow_in[index] = merged
+                flow_out[index] = out
+                changed = True
+
+    held_before = {
+        node.index: frozenset(lexical[node.index] | flow_in[node.index])
+        for node in cfg.nodes
+    }
+    held_at = {
+        node.index: frozenset(
+            lexical[node.index]
+            | (flow_in[node.index] - kill[node.index])
+            | gen[node.index]
+        )
+        for node in cfg.nodes
+    }
+
+    result = FunctionLocks(
+        info=info, cfg=cfg, held_before=held_before, held_at=held_at
+    )
+
+    for node in cfg.real_nodes():
+        index = node.index
+        # Acquisition sites and intra-function order edges.  ``with``
+        # headers evaluate their items left to right, so ``with a, b:``
+        # acquires ``b`` while already holding ``a``.
+        prior: Set[LockRef] = set(held_before[index])
+        if node.kind == "with":
+            stmt = node.stmt
+            assert isinstance(stmt, (ast.With, ast.AsyncWith))
+            for item in stmt.items:
+                lock = _with_item_lock(item, locks)
+                if lock is None:
+                    continue
+                result.acquires.append((lock, node.line))
+                for held in sorted(prior):
+                    result.order_edges.append((held, lock, node.line))
+                prior.add(lock)
+        for call in node_calls[index]:
+            classified = _acquire_release(call, locks)
+            if classified is not None:
+                verb, lock = classified
+                if verb == "acquire":
+                    result.acquires.append((lock, call.lineno))
+                    for held in sorted(prior):
+                        result.order_edges.append((held, lock, call.lineno))
+                    prior.add(lock)
+                else:
+                    prior.discard(lock)
+                continue
+            op = classify_blocking(call, module.aliases, queue_names)
+            if op is not None:
+                result.blocking.append((op, frozenset(prior)))
+            callee = graph.resolve_call(info, call, local_types)
+            if callee is not None:
+                result.calls.append((callee, call.lineno, frozenset(prior)))
+
+    return result
+
+
+# -- the lock-order graph --------------------------------------------------
+
+
+class LockOrderGraph:
+    """``A -> B`` whenever ``B`` may be acquired while ``A`` is held."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[Tuple[LockRef, LockRef], LockWitness] = {}
+        self.self_deadlocks: Dict[LockRef, LockWitness] = {}
+
+    def add(self, held: LockRef, acquired: LockRef, witness: LockWitness) -> None:
+        """Record one observed acquisition order, keeping the first
+        witness per edge so reports are deterministic."""
+        if held == acquired:
+            # Re-taking a lock you hold: fine for an RLock, guaranteed
+            # deadlock for a plain Lock.
+            if not held.reentrant:
+                self.self_deadlocks.setdefault(held, witness)
+            return
+        self.edges.setdefault((held, acquired), witness)
+
+    def locks(self) -> List[LockRef]:
+        """Every lock appearing in the graph, sorted."""
+        found: Set[LockRef] = set(self.self_deadlocks)
+        for held, acquired in self.edges:
+            found.add(held)
+            found.add(acquired)
+        return sorted(found)
+
+    def successors(self, lock: LockRef) -> List[LockRef]:
+        """Locks that may be acquired while ``lock`` is held, sorted."""
+        return sorted(
+            acquired for held, acquired in self.edges if held == lock
+        )
+
+    def cycles(self) -> List[List[LockRef]]:
+        """Cycles across distinct locks, one representative per SCC.
+
+        Each cycle starts at its smallest lock and lists the members in
+        traversal order, so consecutive pairs (wrapping around) are
+        graph edges with witnesses.
+        """
+        sccs = self._sccs()
+        cycles: List[List[LockRef]] = []
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            start = min(component)
+            cycle = self._cycle_through(start, set(component))
+            if cycle:
+                cycles.append(cycle)
+        return sorted(cycles, key=lambda c: c[0])
+
+    def _sccs(self) -> List[List[LockRef]]:
+        # Iterative Tarjan over the (tiny) lock graph.
+        order: Dict[LockRef, int] = {}
+        low: Dict[LockRef, int] = {}
+        on_stack: Set[LockRef] = set()
+        stack: List[LockRef] = []
+        sccs: List[List[LockRef]] = []
+        counter = [0]
+
+        def strongconnect(root: LockRef) -> None:
+            work: List[Tuple[LockRef, Iterator[LockRef]]] = [
+                (root, iter(self.successors(root)))
+            ]
+            order[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in order:
+                        order[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(self.successors(succ))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], order[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == order[node]:
+                    component: List[LockRef] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(component)
+
+        for lock in self.locks():
+            if lock not in order:
+                strongconnect(lock)
+        return sccs
+
+    def _cycle_through(
+        self, start: LockRef, component: Set[LockRef]
+    ) -> Optional[List[LockRef]]:
+        """A simple cycle from ``start`` back to itself inside one SCC."""
+        path = [start]
+        seen = {start}
+
+        def walk() -> bool:
+            current = path[-1]
+            for succ in self.successors(current):
+                if succ == start and len(path) > 1:
+                    return True
+                if succ in component and succ not in seen:
+                    path.append(succ)
+                    seen.add(succ)
+                    if walk():
+                        return True
+                    seen.discard(path.pop())
+            return False
+
+        return path if walk() else None
+
+    def witness(self, held: LockRef, acquired: LockRef) -> LockWitness:
+        """The recorded witness of one edge (KeyError when absent)."""
+        return self.edges[(held, acquired)]
+
+    # -- export ------------------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Acquisition-order DOT digraph (the readable deadlock view)."""
+        lines = [
+            "digraph lockorder {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for held, acquired in sorted(self.edges):
+            witness = self.edges[(held, acquired)]
+            lines.append(
+                f'  "{held.short}" -> "{acquired.short}" '
+                f'[label="{witness.path}:{witness.line}"];'
+            )
+        for lock, witness in sorted(self.self_deadlocks.items()):
+            lines.append(
+                f'  "{lock.short}" -> "{lock.short}" '
+                f'[label="self-deadlock {witness.path}:{witness.line}", color=red];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """The full graph with witnesses and cycles, versioned."""
+        return json.dumps(
+            {
+                "version": 1,
+                "locks": [
+                    {
+                        "id": lock.label,
+                        "owner": lock.owner,
+                        "attr": lock.attr,
+                        "kind": lock.kind,
+                    }
+                    for lock in self.locks()
+                ],
+                "edges": [
+                    {
+                        "held": held.label,
+                        "acquired": acquired.label,
+                        "holder": witness.holder,
+                        "path": witness.path,
+                        "line": witness.line,
+                        "chain": [list(step) for step in witness.chain],
+                    }
+                    for (held, acquired), witness in sorted(self.edges.items())
+                ],
+                "self_deadlocks": [
+                    {
+                        "lock": lock.label,
+                        "holder": witness.holder,
+                        "path": witness.path,
+                        "line": witness.line,
+                    }
+                    for lock, witness in sorted(self.self_deadlocks.items())
+                ],
+                "cycles": [
+                    [lock.label for lock in cycle] for cycle in self.cycles()
+                ],
+            },
+            indent=2,
+        )
+
+
+# -- whole-project analysis ------------------------------------------------
+
+
+class LocksetAnalysis:
+    """Locksets for every function plus the project lock-order graph."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+        self.functions: Dict[str, FunctionLocks] = {}
+        self.order = LockOrderGraph()
+        #: qualname -> lock -> first call chain reaching its acquisition.
+        self.transitive_acquires: Dict[str, Dict[LockRef, Chain]] = {}
+        #: qualname -> blocking kind -> (first chain, op description).
+        self.transitive_blocking: Dict[str, Dict[str, Tuple[Chain, str]]] = {}
+
+    @staticmethod
+    def build(table: SymbolTable, graph: CallGraph) -> "LocksetAnalysis":
+        analysis = LocksetAnalysis(table, graph)
+        for qualname in sorted(table.functions):
+            analysis.functions[qualname] = analyze_function(
+                table.functions[qualname], table, graph
+            )
+        analysis._close_acquires()
+        analysis._close_blocking()
+        analysis._build_order()
+        return analysis
+
+    def _close_acquires(self) -> None:
+        acq: Dict[str, Dict[LockRef, Chain]] = {}
+        for qualname in sorted(self.functions):
+            summary = self.functions[qualname]
+            acq[qualname] = {}
+            for lock, line in sorted(summary.acquires, key=lambda t: (t[1], t[0])):
+                acq[qualname].setdefault(lock, ((qualname, line),))
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.functions):
+                summary = self.functions[qualname]
+                for callee, line, _held in sorted(
+                    summary.calls, key=lambda t: (t[1], t[0])
+                ):
+                    for lock, chain in sorted(acq.get(callee, {}).items()):
+                        if lock not in acq[qualname]:
+                            acq[qualname][lock] = ((qualname, line),) + chain
+                            changed = True
+        self.transitive_acquires = acq
+
+    def _close_blocking(self) -> None:
+        blocking: Dict[str, Dict[str, Tuple[Chain, str]]] = {}
+        for qualname in sorted(self.functions):
+            summary = self.functions[qualname]
+            blocking[qualname] = {}
+            for op, _held in sorted(
+                summary.blocking, key=lambda t: (t[0].line, t[0].kind)
+            ):
+                blocking[qualname].setdefault(
+                    op.kind, (((qualname, op.line),), op.description)
+                )
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.functions):
+                summary = self.functions[qualname]
+                for callee, line, _held in sorted(
+                    summary.calls, key=lambda t: (t[1], t[0])
+                ):
+                    for kind, (chain, description) in sorted(
+                        blocking.get(callee, {}).items()
+                    ):
+                        if kind not in blocking[qualname]:
+                            blocking[qualname][kind] = (
+                                ((qualname, line),) + chain,
+                                description,
+                            )
+                            changed = True
+        self.transitive_blocking = blocking
+
+    def _build_order(self) -> None:
+        for qualname in sorted(self.functions):
+            summary = self.functions[qualname]
+            relpath = summary.info.source.relpath
+            for held, acquired, line in summary.order_edges:
+                self.order.add(
+                    held,
+                    acquired,
+                    LockWitness(qualname, relpath, line, ((qualname, line),)),
+                )
+            for callee, line, held_set in summary.calls:
+                if not held_set:
+                    continue
+                for lock, chain in sorted(
+                    self.transitive_acquires.get(callee, {}).items()
+                ):
+                    witness = LockWitness(
+                        qualname, relpath, line, ((qualname, line),) + chain
+                    )
+                    for held in sorted(held_set):
+                        self.order.add(held, lock, witness)

@@ -32,7 +32,9 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.analysis.findings import Finding
 
 #: Bump to invalidate every existing cache (rule or format changes).
-CACHE_SCHEMA = 1
+#: 2: the CFG/lockset layer landed (CONC002-004, TEMP001 rewrite) --
+#: results from schema-1 runs no longer reflect the rule set.
+CACHE_SCHEMA = 2
 
 
 @dataclass(frozen=True)

@@ -116,6 +116,9 @@ class ClassInfo:
     attr_types: Dict[str, str] = field(default_factory=dict)
     #: ``self.<attr>`` names bound to a ``threading`` lock in ``__init__``.
     lock_attrs: Set[str] = field(default_factory=set)
+    #: Lock attr -> ``threading`` factory name (``Lock``, ``RLock``, ...),
+    #: so lockset rules can tell re-entrant locks from plain ones.
+    lock_kinds: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -265,8 +268,10 @@ class SymbolTable:
             callee = self.constructed_class(value, module)
             if callee is not None:
                 info.attr_types[attr] = callee.qualname
-            if self._is_lock_factory(value, module):
+            factory = self._lock_factory_name(value, module)
+            if factory is not None:
                 info.lock_attrs.add(attr)
+                info.lock_kinds[attr] = factory
 
     @staticmethod
     def _is_self_attr(node: ast.expr) -> bool:
@@ -320,22 +325,32 @@ class SymbolTable:
         return self.resolve_class(ref) if ref is not None else None
 
     @staticmethod
-    def _is_lock_factory(call: ast.Call, module: ModuleInfo) -> bool:
-        """Whether ``call`` constructs a ``threading`` synchronization
-        primitive (directly or through a ``from threading import`` alias)."""
+    def _lock_factory_name(call: ast.Call, module: ModuleInfo) -> Optional[str]:
+        """The ``threading`` synchronization-primitive factory ``call``
+        invokes (directly or through a ``from threading import`` alias),
+        or ``None`` when it is not one."""
         func = call.func
         if isinstance(func, ast.Attribute):
             dotted = dotted_path(func, module.aliases)
-            return dotted is not None and (
+            if dotted is not None and (
                 dotted.startswith("threading.") and func.attr in _LOCK_FACTORIES
-            )
+            ):
+                return func.attr
+            return None
         if isinstance(func, ast.Name):
             dotted = module.aliases.get(func.id)
-            return dotted is not None and (
-                dotted.startswith("threading.")
-                and dotted.rsplit(".", 1)[-1] in _LOCK_FACTORIES
-            )
-        return False
+            if dotted is not None and dotted.startswith("threading."):
+                name = dotted.rsplit(".", 1)[-1]
+                if name in _LOCK_FACTORIES:
+                    return name
+            return None
+        return None
+
+    @classmethod
+    def _is_lock_factory(cls, call: ast.Call, module: ModuleInfo) -> bool:
+        """Whether ``call`` constructs a ``threading`` synchronization
+        primitive (directly or through a ``from threading import`` alias)."""
+        return cls._lock_factory_name(call, module) is not None
 
     # -- lookups ----------------------------------------------------------
 

@@ -72,11 +72,20 @@ def instantiate(selected: Iterable[str] = ()) -> List[Rule]:
     Each entry of ``selected`` is a rule id *or prefix*: ``DET`` selects
     every ``DET*`` rule, ``DET002`` exactly one.  Matching is
     case-insensitive; an entry matching nothing raises ``KeyError`` (the
-    CLI turns that into a usage error, exit code 2).
+    CLI turns that into a usage error, exit code 2).  A selection made
+    entirely of blank entries (``--select ""``, ``--select ,``) is a
+    usage error too -- it used to silently run *every* rule, so a typo'd
+    CI gate would pass vacuously.
     """
     rules = all_rules()
-    patterns = [entry.strip() for entry in selected if entry.strip()]
+    entries = list(selected)
+    patterns = [entry.strip() for entry in entries if entry.strip()]
     if not patterns:
+        if entries:
+            raise KeyError(
+                "empty --select selection: every entry is blank; drop the "
+                "flag to run all rules, or name a rule id or prefix"
+            )
         return [rules[rule_id]() for rule_id in sorted(rules)]
     wanted = set()
     unknown = []

@@ -12,14 +12,19 @@ The rule enforces two invariants over ``repro/temporal/``:
 
 * **Tombstone post-dominance.**  Every call that submits a
   ``"write_index"`` transaction (in ``m1.py`` / ``chaincodes.py`` and
-  their fixtures) must be followed, on the fall-through path, by a
-  ``"clear_index"`` submission: walking up from the write, some later
-  sibling statement at some nesting level must contain the clear.  This
-  deliberately *weak* form of post-dominance accepts the real
-  manifest-resume idiom (write and clear each guarded by their own
-  recovery check) while still catching the mutations that matter --
-  the clear deleted outright, or a new branch that writes without
-  clearing (the clear in the *other* arm does not post-dominate).
+  their fixtures) must be followed by a ``"clear_index"`` submission on
+  *every* path: some node of the real post-dominator tree (built on the
+  per-function CFG from :mod:`repro.analysis.cfg`) after the write must
+  contain the clear.  A plain statement or an ``if`` header qualifies --
+  the latter accepts the manifest-resume idiom, where the clear sits
+  behind its own ``if not have_clear:`` recovery check that every path
+  runs through.  Loop headers deliberately do *not* qualify: a loop
+  header post-dominates its whole body, so accepting it would bless a
+  clear hidden in a sibling arm the write's path never takes.  Compared
+  to the PR-3 sibling-statement walk this catches the extra case of a
+  conditional early ``return`` slipped between write and clear (the
+  clear no longer post-dominates), while accepting exactly the same
+  legitimate ingest shapes.
 
 * **Interval arithmetic goes through the scheme.**  M1 and M2 agree on
   ``θ`` boundaries only because both sides compute them with
@@ -34,8 +39,10 @@ The rule enforces two invariants over ``repro/temporal/``:
 from __future__ import annotations
 
 import ast
-from typing import List, Optional
+from typing import Dict, List, Set, Tuple
 
+from repro.analysis.cfg import CFG, build_cfg, postdominators
+from repro.analysis.cfg.builder import CFGNode
 from repro.analysis.findings import Finding
 from repro.analysis.project import Project, SourceFile
 from repro.analysis.registry import Rule, register
@@ -65,84 +72,33 @@ def _call_submits(node: ast.Call, marker: str) -> bool:
     return False
 
 
-def _contains_submit(node: ast.AST, marker: str) -> bool:
-    return any(
-        isinstance(child, ast.Call) and _call_submits(child, marker)
-        for child in ast.walk(node)
-    )
-
-
-def _statement_chain(func: ast.AST, target: ast.stmt) -> List[tuple]:
-    """(statement list, index) pairs from the target outward to the
-    function body, following the containment chain."""
-    chain: List[tuple] = []
-
-    def descend(statements: List[ast.stmt]) -> bool:
-        for index, statement in enumerate(statements):
-            if statement is target:
-                chain.append((statements, index))
-                return True
-            for block in _child_blocks(statement):
-                if descend(block):
-                    chain.append((statements, index))
-                    return True
-        return False
-
-    descend(func.body)  # type: ignore[attr-defined]
-    return chain
-
-
-def _child_blocks(statement: ast.stmt) -> List[List[ast.stmt]]:
-    blocks: List[List[ast.stmt]] = []
-    for name in ("body", "orelse", "finalbody"):
-        block = getattr(statement, name, None)
-        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
-            blocks.append(block)
-    for handler in getattr(statement, "handlers", []) or []:
-        blocks.append(handler.body)
-    return blocks
-
-
-def _owning_statement(func: ast.AST, node: ast.AST) -> Optional[ast.stmt]:
-    """The top-level-ish statement whose subtree holds ``node``: the
-    innermost statement appearing directly in some statement list."""
-    best: Optional[ast.stmt] = None
-
-    def visit(statements: List[ast.stmt]) -> None:
-        nonlocal best
-        for statement in statements:
-            if any(child is node for child in ast.walk(statement)):
-                best = statement
-                for block in _child_blocks(statement):
-                    visit(block)
-                return
-
-    visit(func.body)  # type: ignore[attr-defined]
-    return best
-
-
-def _tombstone_follows(func: ast.AST, write_stmt: ast.stmt) -> bool:
-    """Weak post-dominance: some later sibling (at any enclosing level)
-    contains a clear_index submission, or the write's own statement does
-    (write and clear sequenced inside one compound statement)."""
-    if _contains_submit(write_stmt, _CLEAR_MARKER):
-        # Same statement subtree: only accept when the clear is *after*
-        # the write textually, which the sibling walk below cannot see.
-        write_line = min(
-            child.lineno
-            for child in ast.walk(write_stmt)
-            if isinstance(child, ast.Call) and _call_submits(child, _WRITE_MARKER)
-        )
-        for child in ast.walk(write_stmt):
+def _tombstone_postdominates(
+    cfg: CFG,
+    pdom: Dict[int, Set[int]],
+    write_node: CFGNode,
+    write_pos: Tuple[int, int],
+) -> bool:
+    """Real post-dominance: some CFG node on *every* path from the write
+    to the exit contains a ``clear_index`` submission textually after
+    the write.  Accepting nodes are plain statements and ``if`` headers
+    (the resume idiom's guarded clear); loop headers are excluded --
+    they post-dominate their entire body, so a clear in a sibling arm
+    would be blessed even though the write's path skips it."""
+    for index in pdom[write_node.index]:
+        candidate = cfg.nodes[index]
+        if candidate.kind == "stmt":
+            stmt = candidate.stmt
+        elif candidate.kind == "test" and isinstance(candidate.stmt, ast.If):
+            stmt = candidate.stmt
+        else:
+            continue
+        assert stmt is not None
+        for child in ast.walk(stmt):
             if (
                 isinstance(child, ast.Call)
                 and _call_submits(child, _CLEAR_MARKER)
-                and child.lineno > write_line
+                and (child.lineno, child.col_offset) > write_pos
             ):
-                return True
-    for statements, index in _statement_chain(func, write_stmt):
-        for later in statements[index + 1 :]:
-            if _contains_submit(later, _CLEAR_MARKER):
                 return True
     return False
 
@@ -186,14 +142,25 @@ class M1ModelInvariantRule(Rule):
         for func in ast.walk(source.tree):
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            for node in ast.walk(func):
-                if not (
-                    isinstance(node, ast.Call)
-                    and _call_submits(node, _WRITE_MARKER)
-                ):
+            writes = [
+                node
+                for node in ast.walk(func)
+                if isinstance(node, ast.Call)
+                and _call_submits(node, _WRITE_MARKER)
+            ]
+            if not writes:
+                continue
+            cfg = build_cfg(func)
+            pdom = postdominators(cfg)
+            for node in writes:
+                write_node = cfg.node_containing(node)
+                if write_node is None:
+                    # Inside a nested def: the walk visits that function
+                    # separately, with its own CFG.
                     continue
-                statement = _owning_statement(func, node)
-                if statement is None or not _tombstone_follows(func, statement):
+                if not _tombstone_postdominates(
+                    cfg, pdom, write_node, (node.lineno, node.col_offset)
+                ):
                     findings.append(
                         Finding(
                             path=source.relpath,

@@ -111,6 +111,12 @@ def run_lint(
     result's ``project`` is empty).  A relative ``cache_path`` is
     anchored at the project root.  Baseline-writing runs bypass it.
     """
+    # Validate the selection *before* the cache lookup: an invalid
+    # --select must be a usage error even when a previous run's result
+    # could be replayed (the cache fingerprint cannot tell a blank
+    # selection from "all rules").
+    rules = instantiate(select)
+
     cache: Optional[LintCache] = None
     stamps = None
     fingerprint = None
@@ -139,7 +145,6 @@ def run_lint(
             )
 
     project = build_project(paths, root=root)
-    rules = instantiate(select)
 
     raw: List[Finding] = list(project.parse_failures())
     for rule in rules:

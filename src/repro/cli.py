@@ -219,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
         "rendering; json: full function-level edges) instead of findings",
     )
     lint.add_argument(
+        "--lock-graph",
+        default=None,
+        choices=["dot", "json"],
+        metavar="{dot,json}",
+        help="emit the lock-acquisition-order graph the CONC002-004 "
+        "rules check (dot: digraph with witness file:line edge labels; "
+        "json: full edges, witnesses and cycles) instead of findings",
+    )
+    lint.add_argument(
         "--cache",
         default=".repro-lint-cache.json",
         metavar="PATH",
@@ -382,7 +391,29 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(graph.to_dot() if args.call_graph == "dot" else graph.to_json())
         return 0
 
-    select = [part.strip() for part in args.select.split(",")] if args.select else []
+    if args.lock_graph:
+        from repro.analysis.cfg import lockset_for
+        from repro.analysis.project import build_project
+
+        try:
+            project = build_project(
+                [Path(path) for path in args.paths],
+                root=Path(args.root) if args.root else None,
+            )
+        except FileNotFoundError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        order = lockset_for(project).order
+        print(order.to_dot() if args.lock_graph == "dot" else order.to_json())
+        return 0
+
+    # `--select ""` must reach the validator (blank selection is a usage
+    # error), so test against None, not truthiness.
+    select = (
+        [part.strip() for part in args.select.split(",")]
+        if args.select is not None
+        else []
+    )
     baseline_path = None if args.no_baseline else Path(args.baseline)
     cache_path = None if args.no_cache else Path(args.cache)
     try:

@@ -54,23 +54,37 @@ class HistoryDB:
         self._locations: Dict[str, List[Tuple[int, int]]] = {}
         self._metrics = metrics
 
+    @staticmethod
+    def _record(
+        locations: Dict[str, List[Tuple[int, int]]], block: Block
+    ) -> None:
+        """Append ``block``'s valid write locations to ``locations``."""
+        for tx_num, tx in enumerate(block.transactions):
+            if tx.validation_code != VALID:
+                continue
+            for key in tx.rw_set.writes:
+                locations.setdefault(key, []).append((block.number, tx_num))
+
     def index_block(self, block: Block) -> None:
         """Record write locations for every *valid* transaction in ``block``."""
         with self._lock:
-            for tx_num, tx in enumerate(block.transactions):
-                if tx.validation_code != VALID:
-                    continue
-                for key in tx.rw_set.writes:
-                    self._locations.setdefault(key, []).append(
-                        (block.number, tx_num)
-                    )
+            self._record(self._locations, block)
 
     def rebuild(self, block_store: BlockStore) -> None:
-        """Reconstruct the index by scanning the whole chain."""
+        """Reconstruct the index by scanning the whole chain.
+
+        The scan deserializes every block -- real I/O -- so it builds a
+        fresh index *outside* the lock and swaps it in atomically at the
+        end.  Holding the lock across the whole chain walk would stall
+        every query worker for the duration (and is exactly what CONC003
+        flags); readers racing the rebuild simply see the old index until
+        the swap.
+        """
+        fresh: Dict[str, List[Tuple[int, int]]] = {}
+        for block in block_store.iter_blocks():
+            self._record(fresh, block)
         with self._lock:
-            self._locations.clear()
-            for block in block_store.iter_blocks():
-                self.index_block(block)
+            self._locations = fresh
 
     def locations_for_key(self, key: str) -> List[Tuple[int, int]]:
         """All write locations for ``key``, oldest first."""

@@ -1,0 +1,56 @@
+"""Fixtures for CONC003: blocking work while a lock is held.
+
+Each flagged method parks every other thread behind one latency source
+-- a sleep, a filesystem-seam read, a queue wait, a future join, or a
+helper hiding the sleep one call down.  ``nap_after_lock`` is the clean
+shape: release first, then block.
+"""
+
+import queue
+import threading
+import time
+
+
+class Worker:
+    """Shares a job list across threads behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = []
+
+    def nap_under_lock(self):
+        """Sleeps while holding the lock."""
+        with self._lock:
+            time.sleep(0.1)  # expect: CONC003
+
+    def nap_after_lock(self):
+        """The clean shape: the lock is released before the sleep."""
+        with self._lock:
+            self.jobs.append("nap")
+        time.sleep(0.1)
+
+    def read_under_lock(self, fs):
+        """Filesystem-seam read with the lock held."""
+        with self._lock:
+            with fs.open("config") as handle:  # expect: CONC003
+                self.jobs.append(handle.read())
+
+    def wait_under_lock(self):
+        """Blocks on a queue with the lock held."""
+        inbox = queue.Queue()
+        with self._lock:
+            self.jobs.append(inbox.get())  # expect: CONC003
+
+    def join_under_lock(self, pending):
+        """Joins a future with the lock held."""
+        with self._lock:
+            self.jobs.append(pending.result())  # expect: CONC003
+
+    def sleep_behind_helper(self):
+        """The sleep hides one call down; the chain still convicts."""
+        with self._lock:
+            self._retry()  # expect: CONC003
+
+    def _retry(self):
+        """Backs off; holds no lock itself, so clean here."""
+        time.sleep(0.05)

@@ -1,0 +1,43 @@
+"""Fixtures for CONC004: check outside the lock, act inside it.
+
+``self.items`` is guarded (every mutation takes the lock), so a
+decision read outside the lock can be stale by the time the locked arm
+acts on it.  ``trim_atomically`` is the clean shape; ``peek`` shows a
+racy read with no locked write below it, which stays legal.
+"""
+
+import threading
+
+
+class Buffer:
+    """Bounded buffer whose items list is guarded by one lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+        self.capacity = 4
+
+    def trim(self):
+        """Checks the size unlocked, trims locked: the classic race."""
+        if len(self.items) > self.capacity:  # expect: CONC004
+            with self._lock:
+                self.items = self.items[1:]
+
+    def trim_atomically(self):
+        """The clean shape: check and act under the same lock."""
+        with self._lock:
+            if len(self.items) > self.capacity:
+                self.items = self.items[1:]
+
+    def drop_via_local(self):
+        """The laundered shape: the stale read hides in a local."""
+        size = len(self.items)
+        if size > self.capacity:  # expect: CONC004
+            with self._lock:
+                self.items = []
+
+    def peek(self):
+        """Racy read with no locked write below: deliberately legal."""
+        if self.items:
+            return self.items[0]
+        return None

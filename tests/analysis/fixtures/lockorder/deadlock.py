@@ -1,0 +1,64 @@
+"""Fixtures for CONC002: opposite lock orders and a self-deadlock.
+
+``Audit.flush`` holds ``Audit._lock`` while calling ``Ledger.publish``
+(which takes ``Ledger._lock``); ``Ledger.append`` holds ``Ledger._lock``
+while calling ``Audit.record``.  Two threads running those two paths
+concurrently deadlock.  ``Broken.outer`` re-acquires its own plain
+``Lock`` through a helper: the degenerate one-lock case.
+"""
+
+import threading
+
+
+class Audit:
+    """Holds its own lock while calling back into the ledger."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.notes = []
+
+    def record(self, note):
+        """Append a note under the audit lock."""
+        with self._lock:
+            self.notes.append(note)
+
+    def flush(self, ledger: "Ledger"):
+        """Acquires Audit._lock, then Ledger._lock (inside publish)."""
+        with self._lock:
+            ledger.publish("flush")  # expect: CONC002
+
+
+class Ledger:
+    """Takes the same two locks in the opposite order."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+
+    def publish(self, note):
+        """Append an entry under the ledger lock."""
+        with self._lock:
+            self.entries.append(note)
+
+    def append(self, audit: Audit):
+        """Acquires Ledger._lock, then Audit._lock (inside record)."""
+        with self._lock:
+            audit.record("append")
+
+
+class Broken:
+    """Plain Lock re-acquired through a helper: self-deadlock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def outer(self):
+        """Holds the lock across a helper that takes it again."""
+        with self._lock:
+            self.inner()  # expect: CONC002
+
+    def inner(self):
+        """Takes the same non-reentrant lock."""
+        with self._lock:
+            self.value += 1

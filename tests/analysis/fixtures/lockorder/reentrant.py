@@ -1,0 +1,26 @@
+"""Fixture: re-entrant RLock re-taken on one path -- must stay silent.
+
+``bump`` holds the RLock across ``add``, which takes it again.  With a
+plain ``Lock`` that is the ``Broken`` self-deadlock from deadlock.py;
+with an ``RLock`` it is the documented idiom, so CONC002 must not fire.
+"""
+
+import threading
+
+
+class Counter:
+    """Uses an RLock precisely so helpers can re-take it."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.value = 0
+
+    def add(self, amount):
+        """Takes the re-entrant lock."""
+        with self._lock:
+            self.value += amount
+
+    def bump(self):
+        """Holds the lock across add(): fine, the RLock re-enters."""
+        with self._lock:
+            self.add(1)

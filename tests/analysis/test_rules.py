@@ -32,6 +32,9 @@ def test_registry_exposes_the_documented_rule_families():
         "DET002",
         "TEMP001",
         "CONC001",
+        "CONC002",
+        "CONC003",
+        "CONC004",
         "RES001",
     } <= set(rules)
     for rule_id, rule_class in rules.items():
@@ -127,6 +130,100 @@ class TestLockedAttributeWrites:
         )
         assert "with self._lock" in message
         assert "_locked" in message
+
+
+class TestLockOrderAndBlocking:
+    """CONC002/003/004: the CFG+lockset rule families."""
+
+    def test_lockorder_fixtures_match_expectations(self):
+        result = lint_fixture_tree("lockorder")
+        assert_matches_expectations(
+            result,
+            FIXTURES / "lockorder" / "deadlock.py",
+            FIXTURES / "lockorder" / "blocking.py",
+            FIXTURES / "lockorder" / "checkthenact.py",
+            FIXTURES / "lockorder" / "reentrant.py",
+        )
+
+    def test_cycle_message_carries_both_witness_paths(self):
+        result = lint_fixture_tree("lockorder")
+        message = next(
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "CONC002" and "cycle" in finding.message
+        )
+        assert "Audit._lock -> Ledger._lock" in message
+        assert "Ledger._lock -> Audit._lock" in message
+        assert "Audit.flush" in message
+        assert "Ledger.append" in message
+        assert "one global order" in message
+
+    def test_self_deadlock_message_suggests_rlock(self):
+        result = lint_fixture_tree("lockorder")
+        message = next(
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "CONC002" and "re-acquired" in finding.message
+        )
+        assert "Broken._lock" in message
+        assert "RLock" in message
+
+    def test_blocking_message_names_the_call_chain(self):
+        # The helper-hidden sleep must report the chain down to the
+        # sleeping callee, not just the innocent-looking call line.
+        result = lint_fixture_tree("lockorder")
+        message = next(
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "CONC003" and finding.line == 52
+        )
+        assert "via" in message
+        assert "_retry" in message
+
+    def test_check_then_act_message_points_at_the_locked_write(self):
+        result = lint_fixture_tree("lockorder")
+        message = next(
+            finding.message
+            for finding in result.new_findings
+            if finding.rule_id == "CONC004"
+        )
+        assert "self.items" in message
+        assert "written under it at line" in message
+
+
+class TestSelectValidation:
+    """A --select that matches nothing must be a usage error, not a
+    vacuous pass (the CI gate runs `repro lint --select CONC`)."""
+
+    @pytest.fixture()
+    def tiny_project(self, tmp_path):
+        (tmp_path / "app.py").write_text('"""Nothing to lint."""\n')
+        return tmp_path
+
+    def test_blank_selection_is_a_usage_error(self, tiny_project):
+        with pytest.raises(KeyError, match="empty --select"):
+            run_lint([tiny_project], root=tiny_project, select=[""])
+
+    def test_whitespace_only_selection_is_a_usage_error(self, tiny_project):
+        with pytest.raises(KeyError, match="empty --select"):
+            run_lint([tiny_project], root=tiny_project, select=[" ", ""])
+
+    def test_unknown_prefix_is_a_usage_error(self, tiny_project):
+        with pytest.raises(KeyError, match="NOPE999"):
+            run_lint([tiny_project], root=tiny_project, select=["NOPE999"])
+
+    def test_blank_selection_rejected_even_on_a_warm_cache(self, tiny_project):
+        # The validation must run before the cache lookup: a fingerprint
+        # cannot tell a blank selection from "all rules".
+        cache = tiny_project / "cache.json"
+        first = run_lint([tiny_project], root=tiny_project, cache_path=cache)
+        assert not first.from_cache
+        warm = run_lint([tiny_project], root=tiny_project, cache_path=cache)
+        assert warm.from_cache
+        with pytest.raises(KeyError, match="empty --select"):
+            run_lint(
+                [tiny_project], root=tiny_project, select=[""], cache_path=cache
+            )
 
 
 class TestSeamHandleLifetimes:
@@ -423,6 +520,96 @@ class TestMutationAcceptance:
         )
         result = run_lint([real_tree / "src"], root=real_tree)
         assert find_lines(result.new_findings, "RES001") == [6], (
+            result.render_text()
+        )
+
+    def test_seeded_lock_order_inversion_fails_the_lint(self, real_tree):
+        # The real tree already orders BlockCache._lock before
+        # MetricsRegistry._lock (the cache bumps hit counters under its
+        # lock).  A registry method that holds its own lock while
+        # reaching back into the cache closes the cycle.
+        target = real_tree / "src" / "repro" / "common" / "metrics.py"
+        text = target.read_text()
+        anchor = "    def increment(self"
+        assert anchor in text
+        text = text.replace(
+            "import threading\n",
+            "import threading\n\nfrom repro.fabric.blockcache import BlockCache\n",
+            1,
+        )
+        text = text.replace(
+            anchor,
+            '    def warm(self, cache: "BlockCache") -> None:\n'
+            '        """Deliberate inversion: registry lock, then cache lock."""\n'
+            "        with self._lock:\n"
+            '            cache.invalidate("genesis")\n\n' + anchor,
+        )
+        target.write_text(text)
+        inversion_line = 1 + text.splitlines().index(
+            '            cache.invalidate("genesis")'
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        cycles = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "CONC002"
+        ]
+        assert cycles, result.render_text()
+        message = cycles[0].message
+        assert "MetricsRegistry._lock -> BlockCache._lock" in message
+        assert "BlockCache._lock -> MetricsRegistry._lock" in message
+        assert f"src/repro/common/metrics.py:{inversion_line}" in message
+
+    def test_seeded_sleep_under_metrics_lock_fails_the_lint(self, real_tree):
+        # time.sleep inside MetricsRegistry.increment's locked region:
+        # the counter hot path would serialize every worker thread.
+        target = real_tree / "src" / "repro" / "common" / "metrics.py"
+        text = target.read_text()
+        anchor = "        with self._lock:\n            value = self._counters.get(name, 0) + amount\n"
+        assert anchor in text
+        text = text.replace(
+            "import threading\n", "import threading\nimport time\n", 1
+        )
+        text = text.replace(
+            anchor,
+            "        with self._lock:\n"
+            "            time.sleep(0.001)\n"
+            "            value = self._counters.get(name, 0) + amount\n",
+        )
+        target.write_text(text)
+        sleep_line = 1 + text.splitlines().index("            time.sleep(0.001)")
+        result = run_lint([real_tree / "src"], root=real_tree)
+        local_hits = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "CONC003"
+            and finding.path.endswith("metrics.py")
+        ]
+        assert [finding.line for finding in local_hits] == [sleep_line], (
+            result.render_text()
+        )
+        assert "time.sleep" in local_hits[0].message
+        assert "MetricsRegistry._lock" in local_hits[0].message
+
+    def test_seeded_check_then_act_fails_the_lint(self, real_tree):
+        # An unlocked emptiness check deciding a locked reset: the
+        # counters can change between the check and the act.
+        target = real_tree / "src" / "repro" / "common" / "metrics.py"
+        text = target.read_text()
+        anchor = "    def increment(self"
+        assert anchor in text
+        text = text.replace(
+            anchor,
+            "    def reset_if_dirty(self) -> None:\n"
+            '        """Deliberately racy: check outside, act inside."""\n'
+            "        if self._counters:\n"
+            "            with self._lock:\n"
+            "                self._counters = {}\n\n" + anchor,
+        )
+        target.write_text(text)
+        check_line = 1 + text.splitlines().index("        if self._counters:")
+        result = run_lint([real_tree / "src"], root=real_tree)
+        assert find_lines(result.new_findings, "CONC004") == [check_line], (
             result.render_text()
         )
 
