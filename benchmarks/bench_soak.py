@@ -1,0 +1,154 @@
+"""Chaos-soak benchmark (machine-readable robustness trajectory).
+
+Runs the seeded chaos soak (:func:`repro.faults.chaos.run_chaos_soak`)
+and writes ``BENCH_soak.json``: a fault-kind x subsystem matrix of how
+the stack behaved under each injected fault -- recovery wall seconds,
+how many queries degraded (served from the TQF fallback), deadline
+misses, reads that succeeded on retry, and circuit-breaker trips -- plus
+the per-round invariant verdicts a CI artifact can track over time.
+
+Scale handling is local to this benchmark: ``REPRO_SCALE=0`` (the CI
+soak job) runs the smoke-sized default schedule (4 rounds: one crash,
+one bit flip, one read fault, one delay); larger scales grow the rounds
+and the workload proportionally.  The shared ``default_scale()`` helper
+rejects 0, so the variable is parsed here.
+
+The output path defaults to ``BENCH_soak.json`` in the working
+directory; set ``REPRO_BENCH_SOAK_OUT`` to redirect it.  The raw soak
+manifest (the per-round checkpoint `repro doctor --soak-manifest`
+reads) lands next to it as ``soak_manifest.json``
+(``REPRO_BENCH_SOAK_MANIFEST``).  Run directly
+(``python benchmarks/bench_soak.py``) or through pytest; both emit the
+same files and gate on every soak invariant holding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.faults.chaos import ChaosConfig, run_chaos_soak
+
+SOAK_SEED = 3
+
+
+def _scaled_config() -> ChaosConfig:
+    """Map ``REPRO_SCALE`` onto a soak size (0 = CI smoke)."""
+    try:
+        scale = float(os.environ.get("REPRO_SCALE", "0"))
+    except ValueError:
+        scale = 0.0
+    if scale <= 0:
+        return ChaosConfig(seed=SOAK_SEED)
+    rounds = max(4, round(4 * scale * 2))
+    events_per_key = max(8, 2 * round(4 * scale * 2))
+    return ChaosConfig(
+        seed=SOAK_SEED, rounds=rounds, events_per_key=events_per_key
+    )
+
+
+def _degraded_count(outcomes: Dict[str, int]) -> int:
+    return sum(n for label, n in outcomes.items() if label.startswith("degraded"))
+
+
+def _retried_count(outcomes: Dict[str, int]) -> int:
+    return sum(n for label, n in outcomes.items() if label.endswith(":retried-ok"))
+
+
+def run_bench(out_path: Optional[str] = None) -> Dict[str, Any]:
+    """Run the soak, aggregate the matrix, write the JSON report."""
+    out_path = out_path or os.environ.get("REPRO_BENCH_SOAK_OUT", "BENCH_soak.json")
+    manifest_path = os.environ.get("REPRO_BENCH_SOAK_MANIFEST", "soak_manifest.json")
+    cfg = _scaled_config()
+    root = tempfile.mkdtemp(prefix="bench-soak-")
+    try:
+        state = run_chaos_soak(root, cfg, manifest_path=manifest_path)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    rounds: List[Dict[str, Any]] = list(state["events"])
+    matrix: Dict[str, Dict[str, Any]] = {}
+    for record in rounds:
+        cell = matrix.setdefault(
+            f"{record['kind']}/{record['subsystem']}",
+            {
+                "rounds": 0,
+                "recovery_seconds": 0.0,
+                "queries_degraded": 0,
+                "deadline_misses": 0,
+                "retried_reads": 0,
+                "breaker_trips": 0,
+                "invariants_failed": 0,
+            },
+        )
+        outcomes = record["query_outcomes"]
+        cell["rounds"] += 1
+        cell["recovery_seconds"] = round(
+            cell["recovery_seconds"] + record["recovery_seconds"], 6
+        )
+        cell["queries_degraded"] += _degraded_count(outcomes)
+        cell["deadline_misses"] += outcomes.get("deadline", 0)
+        cell["retried_reads"] += _retried_count(outcomes)
+        cell["breaker_trips"] += sum(record["breaker_trips"].values())
+        cell["invariants_failed"] += sum(
+            1 for held in record["invariants"].values() if not held
+        )
+
+    report: Dict[str, Any] = {
+        "workload": {
+            "seed": cfg.seed,
+            "rounds": cfg.rounds,
+            "total_events": state["reference"]["total_events"],
+            "reference_height": state["reference"]["height"],
+        },
+        "matrix": matrix,
+        "rounds": [
+            {
+                "round": record["round"],
+                "kind": record["kind"],
+                "subsystem": record["subsystem"],
+                "fired": record["fired"],
+                "recovery_seconds": record["recovery_seconds"],
+                "query_outcomes": record["query_outcomes"],
+                "breaker_trips": record["breaker_trips"],
+                "quarantined": record["quarantined"],
+                "height": record["height"],
+                "ok": record["ok"],
+            }
+            for record in rounds
+        ],
+        "final": {
+            "ok": state["final"]["ok"],
+            "height": state["final"]["height"],
+            "invariants": state["final"]["invariants"],
+        },
+        "last_verified_height": state["last_verified_height"],
+        "complete": state["complete"],
+        "ok": state["ok"],
+    }
+
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    return report
+
+
+def test_chaos_soak_bench():
+    """Pytest entry point: run the soak, emit the JSON, gate on green."""
+    report = run_bench()
+    failed = [
+        record["round"] for record in report["rounds"] if not record["ok"]
+    ]
+    assert report["complete"], "soak never reached its final round"
+    assert report["ok"] and not failed and report["final"]["ok"], (
+        f"soak invariants failed in rounds {failed or ['final']}; "
+        "see BENCH_soak.json"
+    )
+
+
+if __name__ == "__main__":
+    bench_report = run_bench()
+    print(json.dumps({"matrix": bench_report["matrix"],
+                      "ok": bench_report["ok"]}, indent=2))

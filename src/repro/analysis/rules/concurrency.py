@@ -221,6 +221,12 @@ BLOCKING_ALLOWLIST: Dict[str, Tuple[FrozenSet[str], str]] = {
         frozenset({"io"}),
         "close must drain the final flush before marking the store closed",
     ),
+    "repro.storage.kv.lsm.LSMStore.scrub": (
+        frozenset({"io"}),
+        "scrub re-verifies table checksums against a stable table list; "
+        "concurrent flush/compaction swapping tables mid-scrub would "
+        "misreport a replaced file as corrupt",
+    ),
 }
 
 

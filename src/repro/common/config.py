@@ -183,6 +183,12 @@ class FabricConfig:
     #: at ``retry_backoff_cap``.
     retry_backoff_base: float = 0.01
     retry_backoff_cap: float = 0.5
+    #: Jitter fraction of the backoff delay (0 = none).  Jitter is drawn
+    #: from a ``random.Random(retry_backoff_seed)``, so the delay
+    #: schedule is deterministic for a given seed -- retry tests replay
+    #: exactly instead of being timing-flaky.
+    retry_backoff_jitter: float = 0.0
+    retry_backoff_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.channel:
@@ -193,6 +199,11 @@ class FabricConfig:
             )
         if self.retry_backoff_base < 0 or self.retry_backoff_cap < 0:
             raise ConfigError("retry backoff values must be non-negative")
+        if not 0.0 <= self.retry_backoff_jitter < 1.0:
+            raise ConfigError(
+                f"retry_backoff_jitter must be in [0, 1), got "
+                f"{self.retry_backoff_jitter}"
+            )
 
 
 def default_scale() -> float:

@@ -9,11 +9,15 @@ The full hierarchy::
     ReproError
     ├── ConfigError              bad configuration value
     ├── CodecError               payload (de)serialization failed
+    ├── ResilienceError          resilience-layer signals (budget/breaker)
+    │   ├── DeadlineExceededError  a per-call time budget ran out
+    │   └── CircuitOpenError     a circuit breaker is refusing calls
     ├── StorageError             storage layer (KV store, block files)
     │   ├── WalCorruptionError   WAL record fails its checksum
     │   ├── SSTableError         malformed SSTable file
     │   ├── BlockFileError       malformed block file / bad block location
     │   ├── ClosedStoreError     operation on a closed store
+    │   ├── QuarantinedError     reads refused: a corrupt SSTable was isolated
     │   └── RecoveryError        crash recovery could not restore consistency
     ├── LedgerError              Fabric-simulator failures
     │   ├── BlockNotFoundError
@@ -50,6 +54,25 @@ class CodecError(ReproError):
     """Serialization or deserialization of a payload failed."""
 
 
+class ResilienceError(ReproError):
+    """Base class for resilience-layer signals (deadlines, breakers).
+
+    These are not failures of the system under test: they are the
+    resilience layer refusing or abandoning work *on purpose* so callers
+    get a typed, bounded outcome instead of an unbounded wait or a raw
+    ``OSError``.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A call chain's monotonic time budget ran out before it finished."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the guarded dependency has been failing
+    and calls are refused without touching it until the reset timeout."""
+
+
 class StorageError(ReproError):
     """Base class for storage-layer failures (KV store, block files)."""
 
@@ -68,6 +91,21 @@ class BlockFileError(StorageError):
 
 class ClosedStoreError(StorageError):
     """An operation was attempted on a store that has been closed."""
+
+
+class QuarantinedError(StorageError):
+    """Reads refused because a corrupt SSTable was quarantined on open.
+
+    The store isolated a CRC-failing table instead of dying, but until a
+    higher layer acknowledges the quarantine (and schedules a rebuild of
+    the lost range -- the ledger replays its chain), answering reads
+    would silently drop the quarantined keys.
+    """
+
+    def __init__(self, message: str, tables: tuple = ()) -> None:
+        super().__init__(message)
+        #: File names of the quarantined tables, for diagnostics.
+        self.tables = tuple(tables)
 
 
 class RecoveryError(StorageError):

@@ -47,6 +47,7 @@ KV_WRITES = "kv.writes"
 KV_SSTABLE_READS = "kv.sstable_reads"
 KV_COMPACTIONS = "kv.compactions"
 WAL_RECORDS = "kv.wal_records"
+STATE_TABLES_QUARANTINED = "kv.tables_quarantined"
 
 GHFK_SECONDS = "query.ghfk_seconds"
 COMMIT_SECONDS = "ledger.commit_seconds"

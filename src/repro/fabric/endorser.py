@@ -8,7 +8,7 @@ so one endorsement satisfies the policy.)
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Tuple
 
 from repro.common.errors import EndorsementError, FaultInjectionError, ReproError
 from repro.fabric import crypto
@@ -39,7 +39,7 @@ class Endorser:
         self._side_db = side_db
         self._collection_policy = collection_policy
         self._chaincodes: Dict[str, Chaincode] = {}
-        self._tx_counter = 0
+        self._tx_occurrences: Dict[Tuple[str, int], int] = {}
 
     def install(self, chaincode: Chaincode) -> None:
         self._chaincodes[chaincode.name] = chaincode
@@ -106,6 +106,18 @@ class Endorser:
         return self._identity.verify(tx.signable_payload(), tx.signature)
 
     def _next_tx_id(self, creator: str, timestamp: int) -> str:
-        self._tx_counter += 1
-        seed = f"{creator}|{timestamp}|{self._tx_counter}".encode("utf-8")
+        """Deterministic tx id: hash of (creator, timestamp, occurrence).
+
+        The occurrence counter is *per (creator, timestamp)*, not a
+        session-global counter: a proposal's id depends only on what was
+        proposed and how many times this client proposed it, so a
+        workload replayed after a crash produces byte-identical
+        transactions (and therefore byte-identical block hashes) -- the
+        invariant the chaos-soak harness checks.  Within a session an
+        MVCC resubmission of the same proposal still gets a fresh id
+        (occurrence 2), as Fabric's nonce-based ids would.
+        """
+        occurrence = self._tx_occurrences.get((creator, timestamp), 0) + 1
+        self._tx_occurrences[(creator, timestamp)] = occurrence
+        seed = f"{creator}|{timestamp}|{occurrence}".encode("utf-8")
         return crypto.sha256_hex(seed)[:32]

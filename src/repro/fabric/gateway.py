@@ -11,6 +11,7 @@ import threading
 import time
 from typing import Any, Callable, List, Optional
 
+from repro.common.resilience import RetryPolicy
 from repro.fabric.block import MVCC_READ_CONFLICT
 from repro.fabric.identity import Identity
 from repro.fabric.orderer import SoloOrderer
@@ -36,10 +37,13 @@ class Gateway:
     With ``max_retries > 0`` the gateway resubmits a transaction whose
     commit was invalidated by an MVCC read conflict -- Fabric's standard
     client-side answer to concurrent writers -- re-endorsing against the
-    fresh state each attempt, with bounded exponential backoff between
-    attempts.  A conflict is only observable when the submission itself
-    cut (and therefore committed) a block; a transaction still queued at
-    the orderer has no verdict yet and is never retried.
+    fresh state each attempt.  Backoff between attempts comes from a
+    :class:`~repro.common.resilience.RetryPolicy`: bounded exponential
+    with seeded jitter, so the delay schedule is deterministic under a
+    seed instead of timing-flaky.  A conflict is only observable when the
+    submission itself cut (and therefore committed) a block; a
+    transaction still queued at the orderer has no verdict yet and is
+    never retried.
     """
 
     def __init__(
@@ -50,19 +54,34 @@ class Gateway:
         max_retries: int = 0,
         backoff_base: float = 0.01,
         backoff_cap: float = 0.5,
+        backoff_jitter: float = 0.0,
+        backoff_seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
+        """``retry_policy`` wins over the individual backoff knobs; the
+        knobs exist so config-driven construction stays flat."""
         self._peer = peer
         self._orderer = orderer
         self._identity = identity
-        self._max_retries = max_retries
-        self._backoff_base = backoff_base
-        self._backoff_cap = backoff_cap
-        self._sleep = sleep
+        self._policy = retry_policy or RetryPolicy(
+            max_retries=max_retries,
+            base=backoff_base,
+            cap=backoff_cap,
+            jitter=backoff_jitter,
+            seed=backoff_seed,
+            sleep=sleep,
+        )
         # One gateway is shared by concurrent client threads (parallel
-        # ingestion); the lock covers the mutable statistics.
+        # ingestion); the lock covers the mutable statistics.  The retry
+        # sleep always happens *outside* it (CONC003 polices this).
         self._lock = threading.Lock()
         self.retries_attempted = 0
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The backoff policy resubmissions follow."""
+        return self._policy
 
     def submit_transaction(
         self,
@@ -76,6 +95,7 @@ class Gateway:
         The block containing the transaction commits when the orderer cuts
         it (batch full) or on :meth:`flush`.
         """
+        delays = self._policy.delays()
         attempt = 0
         while True:
             tx, response = self._peer.endorse(
@@ -87,15 +107,13 @@ class Gateway:
             # the block containing it commits.
             if (
                 tx.validation_code != MVCC_READ_CONFLICT
-                or attempt >= self._max_retries
+                or attempt >= self._policy.max_retries
             ):
                 return SubmitResult(tx_id=tx.tx_id, response=response)
-            delay = min(self._backoff_cap, self._backoff_base * (2 ** attempt))
             attempt += 1
             with self._lock:
                 self.retries_attempted += 1
-            if delay > 0:
-                self._sleep(delay)
+            self._policy.sleep(next(delays))
 
     def evaluate_transaction(
         self,

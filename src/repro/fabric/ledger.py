@@ -81,7 +81,12 @@ class Ledger:
         """Rebuild derived state after reopening an existing ledger.
 
         The history index is always rebuilt from the chain; the state-db is
-        replayed from the savepoint forward (normally a no-op).
+        replayed from the savepoint forward (normally a no-op).  When the
+        state-db opened with quarantined tables (an SSTable failed its
+        checksum), the savepoint and any surviving entries are untrusted:
+        the loss is acknowledged and every state is rebuilt by replaying
+        the chain from block 0 -- the chain, not the derived store, is
+        authoritative.
         """
         if self.block_store.base_hash:
             # Snapshot-bootstrapped ledger: the chain head before any
@@ -89,7 +94,15 @@ class Ledger:
             self._last_header_hash = self.block_store.base_hash
         if self.block_store.height == 0:
             return
-        savepoint = self.state_db.savepoint()
+        quarantined = self.state_db.quarantined_tables()
+        if quarantined:
+            self.state_db.acknowledge_quarantine()
+            self._metrics.increment(
+                metric_names.STATE_TABLES_QUARANTINED, len(quarantined)
+            )
+            savepoint: Optional[int] = None
+        else:
+            savepoint = self.state_db.savepoint()
         replay_from = 0 if savepoint is None else savepoint + 1
         for block in self.block_store.iter_blocks():
             self.history_db.index_block(block)

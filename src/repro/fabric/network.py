@@ -116,6 +116,14 @@ class FabricNetwork:
         """
         self.orderer.register_consumer(callback)
 
+    def remove_block_listener(self, callback) -> bool:
+        """Deregister a block listener; returns whether it was registered.
+
+        Safe to call from inside a listener: the in-flight delivery
+        completes over a snapshot, removal applies from the next block.
+        """
+        return self.orderer.remove_consumer(callback)
+
     def on_chaincode_event(self, chaincode_name: str, callback) -> None:
         """Register a chaincode-event listener.
 
@@ -148,6 +156,8 @@ class FabricNetwork:
             "max_retries": self.config.max_retries,
             "backoff_base": self.config.retry_backoff_base,
             "backoff_cap": self.config.retry_backoff_cap,
+            "backoff_jitter": self.config.retry_backoff_jitter,
+            "backoff_seed": self.config.retry_backoff_seed,
         }
         kwargs.update(overrides)
         return Gateway(

@@ -136,6 +136,26 @@ class StateDB:
             return None
         return self._decode_state(raw).value
 
+    # -- quarantine ----------------------------------------------------------
+
+    def quarantined_tables(self) -> Tuple[str, ...]:
+        """Backend storage units isolated after failing integrity checks.
+
+        Non-empty means reads raise
+        :class:`~repro.common.errors.QuarantinedError`; the ledger's
+        recovery path acknowledges the loss and rebuilds every state by
+        replaying the chain (see ``Ledger._recover``).
+        """
+        return self._store.quarantined_tables()
+
+    def acknowledge_quarantine(self) -> Tuple[str, ...]:
+        """Accept quarantined-table data loss; returns what was lost."""
+        return self._store.acknowledge_quarantine()
+
+    def scrub(self) -> Tuple[str, ...]:
+        """Re-verify backend integrity; returns names newly quarantined."""
+        return self._store.scrub()
+
     # -- bookkeeping ---------------------------------------------------------
 
     def state_count(self) -> int:

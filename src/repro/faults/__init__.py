@@ -26,7 +26,7 @@ from repro.faults.crashpoints import (
     active_plan,
     crash_point,
 )
-from repro.faults.fs import REAL_FS, FaultyFS, FileSystem
+from repro.faults.fs import REAL_FS, FaultyFS, FaultyReadFile, FileSystem
 from repro.faults.manifest import RunManifest
 from repro.faults.plan import FaultPlan
 
@@ -38,6 +38,7 @@ __all__ = [
     "crash_point",
     "REAL_FS",
     "FaultyFS",
+    "FaultyReadFile",
     "FileSystem",
     "RunManifest",
     "FaultPlan",

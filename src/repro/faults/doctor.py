@@ -17,6 +17,12 @@ it is not, is the damage repairable?*  It layers four groups of checks:
 
 Everything is reported as findings (never an exception for damage), so
 operators see the whole picture in one run.
+
+The doctor also reads chaos-soak manifests
+(:func:`check_soak_manifest`): the record
+:func:`repro.faults.chaos.run_chaos_soak` leaves behind, summarizing the
+injected faults, which invariants held after each one, and the last
+block height that verified against the fault-free reference.
 """
 
 from __future__ import annotations
@@ -53,11 +59,17 @@ class DoctorReport:
 
     def render(self) -> str:
         status = "consistent" if self.ok else "INCONSISTENT"
-        lines = [
-            f"doctor: {self.path} [{self.backend} state-db] -> {status}",
-            f"  chain height {self.height}, wal records {self.wal_records}, "
-            f"sstables verified {self.sstables_checked}",
-        ]
+        if self.backend == "chaos-soak":
+            lines = [
+                f"doctor: {self.path} [chaos-soak manifest] -> {status}",
+                f"  last verified block height {self.height}",
+            ]
+        else:
+            lines = [
+                f"doctor: {self.path} [{self.backend} state-db] -> {status}",
+                f"  chain height {self.height}, wal records {self.wal_records}, "
+                f"sstables verified {self.sstables_checked}",
+            ]
         lines.extend(f"  {finding}" for finding in self.findings)
         return "\n".join(lines)
 
@@ -121,6 +133,72 @@ def run_doctor(
             f"run manifest {manifest_path} exists: an M1 indexing run was "
             "interrupted; rerun the same range to resume it",
         )
+    return report
+
+
+def check_soak_manifest(manifest_path: str | Path) -> DoctorReport:
+    """Summarize a chaos-soak manifest as doctor findings.
+
+    Every failed per-round invariant becomes an error finding (so the
+    CLI exits non-zero on a soak that observed damage), an interrupted
+    soak becomes a warning, and the injected-event summary plus the last
+    verified block height are reported as info findings.
+    """
+    path = Path(manifest_path)
+    report = DoctorReport(path=str(path), backend="chaos-soak")
+    from repro.faults.manifest import RunManifest
+
+    try:
+        state = RunManifest(path).load()
+    except ReproError as exc:
+        report.add("error", "soak-manifest-corrupt", str(exc))
+        return report
+    if state is None:
+        report.add("error", "no-such-manifest", f"{path} does not exist")
+        return report
+    if state.get("kind") != "chaos-soak":
+        report.add(
+            "error", "not-a-soak-manifest",
+            f"{path} is a {state.get('kind', 'unknown')!r} manifest, "
+            "not a chaos-soak record",
+        )
+        return report
+
+    report.height = int(state.get("last_verified_height", 0))
+    rounds = list(state.get("events") or [])
+    final = state.get("final")
+    by_kind: dict[str, int] = {}
+    observed = 0
+    for record in rounds:
+        kind = str(record.get("kind", "unknown"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if record.get("fired") or record.get("delays_applied"):
+            observed += 1
+    summary = ", ".join(f"{count}x {kind}" for kind, count in sorted(by_kind.items()))
+    report.add(
+        "info", "soak-summary",
+        f"seed {state.get('seed')}: {len(rounds)} injected events "
+        f"({summary or 'none'}), {observed} observed in-round",
+    )
+    for record in rounds + ([final] if final else []):
+        label = record.get("round", "?")
+        kind = record.get("kind", "fault-free")
+        for name, passed in sorted((record.get("invariants") or {}).items()):
+            if not passed:
+                report.add(
+                    "error", "soak-invariant-failed",
+                    f"round {label} ({kind}): invariant {name!r} failed",
+                )
+    if not state.get("complete", False):
+        report.add(
+            "warning", "soak-incomplete",
+            "the soak never reached its final fault-free verification "
+            "round; rerun it to completion before trusting the ledger",
+        )
+    report.add(
+        "info", "soak-verified-height",
+        f"last block height verified against the reference: {report.height}",
+    )
     return report
 
 

@@ -23,12 +23,13 @@ The write model mirrors what the OS actually guarantees:
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import IO, Dict, List, Union
 
 from repro.common.errors import FaultInjectionError
 
-__all__ = ["FileSystem", "FaultyFS", "FaultyFile", "REAL_FS"]
+__all__ = ["FileSystem", "FaultyFS", "FaultyFile", "FaultyReadFile", "REAL_FS"]
 
 
 class FileSystem:
@@ -74,6 +75,13 @@ class FaultyFile:
         # simulated OS has; Python adds no hidden second buffer.
         self._real = open(path, mode, buffering=0)
         self._buffer = bytearray()
+        # The kernel serializes operations on one file description, and
+        # CPython's buffered writer holds an internal lock, so a reader
+        # thread forcing a visibility flush while the committer appends
+        # is safe on a real handle.  This userspace buffer must give the
+        # same guarantee; RLock because the plan's write hook may drain
+        # re-entrantly (torn-write injection).
+        self._lock = threading.RLock()
         self._flushed_size = self._real.seek(0, os.SEEK_END)
         self.synced_size = self._flushed_size
         self.closed = False
@@ -82,63 +90,71 @@ class FaultyFile:
 
     def write(self, data: bytes) -> int:
         """Buffer ``data`` (after the fault plan's mutations, if any)."""
-        self._check_alive()
-        data = self._fs.plan.on_write(self, bytes(data))
-        self._buffer.extend(data)
-        return len(data)
+        with self._lock:
+            self._check_alive()
+            data = self._fs.plan.on_write(self, bytes(data))
+            self._buffer.extend(data)
+            return len(data)
 
     def tell(self) -> int:
         """Logical end-of-file position (flushed bytes + buffered bytes)."""
-        self._check_alive()
-        return self._flushed_size + len(self._buffer)
+        with self._lock:
+            self._check_alive()
+            return self._flushed_size + len(self._buffer)
 
     def flush(self) -> None:
-        self._check_alive()
-        self._fs.plan.on_flush(self)
-        self._drain_buffer()
+        with self._lock:
+            self._check_alive()
+            self._fs.plan.on_flush(self)
+            self._drain_buffer()
 
     def fileno(self) -> int:
         """The underlying OS file descriptor."""
         return self._real.fileno()
 
     def close(self) -> None:
-        if self.closed:
-            return
-        self._drain_buffer()
-        self._real.close()
-        self.closed = True
+        with self._lock:
+            if self.closed:
+                return
+            self._drain_buffer()
+            self._real.close()
+            self.closed = True
         self._fs.forget(self)
 
     # -- harness hooks ----------------------------------------------------
 
     def _drain_buffer(self) -> None:
-        if self._buffer:
-            self._real.write(bytes(self._buffer))
-            self._flushed_size += len(self._buffer)
-            self._buffer.clear()
+        with self._lock:
+            if self._buffer:
+                self._real.write(bytes(self._buffer))
+                self._flushed_size += len(self._buffer)
+                self._buffer.clear()
 
     def force_partial_flush(self, keep: int) -> None:
         """Flush only the first ``keep`` buffered bytes (a torn write)."""
-        torn = bytes(self._buffer[:keep])
-        if torn:
-            self._real.write(torn)
-            self._flushed_size += len(torn)
-        self._buffer.clear()
+        with self._lock:
+            torn = bytes(self._buffer[:keep])
+            if torn:
+                self._real.write(torn)
+                self._flushed_size += len(torn)
+            self._buffer.clear()
 
     def mark_synced(self) -> None:
         """Record the current flushed size as the power-loss-safe mark."""
-        self.synced_size = self._flushed_size
+        with self._lock:
+            self.synced_size = self._flushed_size
 
     def kill(self, power_loss: bool) -> None:
         """Simulate the process dying: buffered bytes vanish; on power
         loss the file is also truncated back to its fsync watermark."""
-        if self.closed:
-            return
-        self._buffer.clear()
-        if power_loss and self._flushed_size > self.synced_size:
-            self._real.truncate(self.synced_size)
-        self._real.close()
-        self.closed = True
+        with self._lock:
+            if self.closed:
+                return
+            self._buffer.clear()
+            if power_loss and self._flushed_size > self.synced_size:
+                self._real.truncate(self.synced_size)
+            self._real.close()
+            self.closed = True
 
     def _check_alive(self) -> None:
         if self.closed:
@@ -147,12 +163,67 @@ class FaultyFile:
             )
 
 
+class FaultyReadFile:
+    """A read handle consulting the fault plan before every read.
+
+    This is how intermittent ``EIO``-style media errors
+    (:meth:`FaultPlan.fail_reads`) and slow-disk latency
+    (:meth:`FaultPlan.delay`) reach the storage layer: the plan's
+    :meth:`~repro.faults.plan.FaultPlan.on_read` hook runs before each
+    ``read`` and may sleep or raise ``OSError``.  Everything else passes
+    straight through to a real handle -- read handles hold no buffered
+    state, so a kill only forbids further use.
+    """
+
+    def __init__(self, fs: "FaultyFS", path: Path, mode: str) -> None:
+        self._fs = fs
+        self.path = path
+        self._real = open(path, mode)
+        self.closed = False
+
+    def read(self, size: int = -1):
+        """Read up to ``size`` bytes, consulting the fault plan first."""
+        self._fs._check_alive()
+        self._fs.plan.on_read(self.path)
+        return self._real.read(size)
+
+    def readline(self, size: int = -1):
+        """Read one line, consulting the fault plan first."""
+        self._fs._check_alive()
+        self._fs.plan.on_read(self.path)
+        return self._real.readline(size)
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Reposition the underlying handle (never faults on its own)."""
+        return self._real.seek(offset, whence)
+
+    def tell(self) -> int:
+        """Current position of the underlying handle."""
+        return self._real.tell()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._real.close()
+            self.closed = True
+
+    def __iter__(self):
+        return iter(self._real)
+
+    def __enter__(self) -> "FaultyReadFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class FaultyFS(FileSystem):
     """Filesystem wrapper that owns every write handle it hands out.
 
-    Binary write/append handles become :class:`FaultyFile`; reads stay
-    real (read-side corruption is injected by mutating files directly,
-    see :meth:`FaultPlan.corrupt_file`).  After :meth:`kill` the
+    Binary write/append handles become :class:`FaultyFile`; plain read
+    handles become :class:`FaultyReadFile` so the plan can inject
+    latency and intermittent read errors.  (Read-side *corruption* is
+    still injected by flipping bits in the write path -- detection by
+    checksum is the property under test.)  After :meth:`kill` the
     filesystem is dead: any further I/O raises
     :class:`FaultInjectionError`, catching code that incorrectly keeps
     running after a simulated crash.
@@ -169,6 +240,8 @@ class FaultyFS(FileSystem):
             handle = FaultyFile(self, Path(path), mode)
             self._files.append(handle)
             return handle  # type: ignore[return-value]
+        if "r" in mode and "+" not in mode:
+            return FaultyReadFile(self, Path(path), mode)  # type: ignore[return-value]
         return open(path, mode)
 
     def replace(self, src: Union[str, Path], dst: Union[str, Path]) -> None:

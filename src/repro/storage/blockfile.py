@@ -91,7 +91,9 @@ class BlockFileManager:
         # The write handle buffers; make appended data visible to readers.
         if location.file_num == self._current_num:
             self._writer.flush()
-        with open(file_path, "rb") as handle:
+        handle = None
+        try:
+            handle = self._fs.open(file_path, "rb")
             handle.seek(location.offset)
             header = handle.read(_HEADER.size)
             if len(header) != _HEADER.size:
@@ -105,6 +107,15 @@ class BlockFileManager:
                     f"index says {location.length}, file says {length}"
                 )
             payload = handle.read(length)
+        except OSError as exc:
+            # Injected or genuine read fault (EIO): typed, never a
+            # silently wrong block.
+            raise BlockFileError(
+                f"read failed at {file_path.name}:{location.offset}: {exc}"
+            ) from exc
+        finally:
+            if handle is not None:
+                handle.close()
         if len(payload) != length:
             raise BlockFileError(
                 f"truncated block payload at {file_path.name}:{location.offset}"

@@ -70,6 +70,34 @@ class KVStore(ABC):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- quarantine (corruption isolation) -----------------------------
+    #
+    # Backends with on-disk structure (the LSM store) override these to
+    # isolate files that fail integrity checks instead of serving from
+    # them.  The defaults describe a backend with nothing to quarantine.
+
+    def quarantined_tables(self) -> Tuple[str, ...]:
+        """Names of storage units isolated after failing integrity checks.
+
+        Non-empty means reads raise
+        :class:`~repro.common.errors.QuarantinedError` until a recovery
+        layer calls :meth:`acknowledge_quarantine` and rebuilds the lost
+        range from an authoritative source (the block chain).
+        """
+        return ()
+
+    def acknowledge_quarantine(self) -> Tuple[str, ...]:
+        """Accept the data loss and resume serving; returns what was lost.
+
+        Only a caller that can rebuild the missing entries (e.g. the
+        ledger replaying the chain) should acknowledge.
+        """
+        return ()
+
+    def scrub(self) -> Tuple[str, ...]:
+        """Re-verify on-disk integrity; returns names newly quarantined."""
+        return ()
+
     # -- convenience ----------------------------------------------------
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:

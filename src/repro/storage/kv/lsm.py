@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
 from repro.common import metrics as metric_names
-from repro.common.errors import StorageError
+from repro.common.errors import QuarantinedError, SSTableError, StorageError
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.faults.crashpoints import LSM_POST_SSTABLE, LSM_PRE_SSTABLE, crash_point
 from repro.faults.fs import REAL_FS, FileSystem
@@ -34,6 +34,11 @@ from repro.storage.kv.wal import WriteAheadLog, replay
 _SST_PREFIX = "sst-"
 _SST_SUFFIX = ".sst"
 _WAL_NAME = "wal.log"
+
+#: Subdirectory corrupt tables are moved into.  Keeping the bytes (rather
+#: than deleting) preserves forensic evidence and keeps the quarantined
+#: file out of the live-table glob, so a reopen does not re-trip on it.
+QUARANTINE_DIR = "quarantine"
 
 
 class LSMStore(KVStore):
@@ -88,6 +93,7 @@ class LSMStore(KVStore):
         self._memtable = Memtable()
         self._tables: List[Tuple[int, SSTableReader]] = []  # newest last
         self._next_sequence = 0
+        self._quarantined: List[str] = []
         with self._lock:
             self._load_tables_locked()
         self._wal = WriteAheadLog(self.path / _WAL_NAME, fsync=self._fsync, fs=fs)
@@ -102,9 +108,35 @@ class LSMStore(KVStore):
             stray.unlink()
         for file in sorted(self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}")):
             sequence = int(file.name[len(_SST_PREFIX) : -len(_SST_SUFFIX)])
-            self._tables.append((sequence, SSTableReader(file)))
+            try:
+                reader = SSTableReader(file, fs=self._fs)
+            except SSTableError:
+                # Scrub-and-quarantine: a table failing its CRC (bit rot,
+                # torn bytes, injected flip) is isolated rather than
+                # served from or silently dropped.  Reads raise
+                # QuarantinedError until a recovery layer that can
+                # rebuild the range acknowledges the loss.
+                self._quarantine_file_locked(file)
+                self._next_sequence = max(self._next_sequence, sequence + 1)
+                continue
+            self._tables.append((sequence, reader))
             self._next_sequence = max(self._next_sequence, sequence + 1)
         self._tables.sort(key=lambda pair: pair[0])
+
+    def _quarantine_file_locked(self, file: Path) -> None:
+        quarantine = self.path / QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        file.rename(quarantine / file.name)
+        self._quarantined.append(file.name)
+
+    def _check_quarantine(self) -> None:
+        if self._quarantined:
+            raise QuarantinedError(
+                f"store has quarantined tables {sorted(self._quarantined)}; "
+                "rebuild from the authoritative source and call "
+                "acknowledge_quarantine() before reading",
+                tables=tuple(self._quarantined),
+            )
 
     def _replay_wal(self) -> None:
         for op, key, value in replay(self.path / _WAL_NAME):
@@ -165,7 +197,7 @@ class LSMStore(KVStore):
                 fs=self._fs, fsync=self._fsync,
             )
             crash_point(LSM_POST_SSTABLE)
-            self._tables.append((sequence, SSTableReader(table_path)))
+            self._tables.append((sequence, SSTableReader(table_path, fs=self._fs)))
             self._memtable.clear()
             self._wal.truncate()
             if len(self._tables) >= self._compaction_trigger:
@@ -203,7 +235,7 @@ class LSMStore(KVStore):
         table_path = self._table_path(sequence)
         write_sstable(table_path, merged, fs=self._fs, fsync=self._fsync)
         old_paths = [reader.path for _, reader in victims]
-        self._tables = survivors + [(sequence, SSTableReader(table_path))]
+        self._tables = survivors + [(sequence, SSTableReader(table_path, fs=self._fs))]
         for old in old_paths:
             old.unlink(missing_ok=True)
 
@@ -211,6 +243,7 @@ class LSMStore(KVStore):
 
     def get(self, key: bytes) -> Optional[bytes]:
         self._check_open()
+        self._check_quarantine()
         self._check_key(key)
         key = bytes(key)
         self._metrics.increment(metric_names.KV_READS)
@@ -228,6 +261,7 @@ class LSMStore(KVStore):
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
         self._check_open()
+        self._check_quarantine()
         yield from (
             (key, value)
             for key, value in self._merged_entries(
@@ -292,6 +326,44 @@ class LSMStore(KVStore):
             self.flush()
             self._wal.close()
             self._closed = True
+
+    # -- quarantine --------------------------------------------------------
+
+    def quarantined_tables(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._quarantined)
+
+    def acknowledge_quarantine(self) -> Tuple[str, ...]:
+        """Accept the loss of quarantined tables and resume serving.
+
+        The caller owns rebuilding the lost entries from an
+        authoritative source (the ledger replays the block chain); the
+        store itself cannot conjure them back.  Returns the names that
+        were quarantined.
+        """
+        with self._lock:
+            lost = tuple(self._quarantined)
+            self._quarantined = []
+            return lost
+
+    def scrub(self) -> Tuple[str, ...]:
+        """Re-verify every live table's checksum; quarantine failures.
+
+        Returns the names newly quarantined (empty when all tables are
+        healthy).  A non-empty result leaves the store in the same
+        read-blocked state as corruption found at open.
+        """
+        with self._lock:
+            healthy: List[Tuple[int, SSTableReader]] = []
+            newly: List[str] = []
+            for sequence, reader in self._tables:
+                try:
+                    healthy.append((sequence, SSTableReader(reader.path, fs=self._fs)))
+                except SSTableError:
+                    self._quarantine_file_locked(reader.path)
+                    newly.append(reader.path.name)
+            self._tables = healthy
+            return tuple(newly)
 
     @property
     def sstable_count(self) -> int:

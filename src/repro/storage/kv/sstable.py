@@ -124,10 +124,20 @@ class SSTableReader:
     scale) but only the sparse index is parsed eagerly.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, fs: FileSystem = REAL_FS) -> None:
         self.path = Path(path)
-        with open(self.path, "rb") as handle:
+        handle = None
+        try:
+            handle = fs.open(self.path, "rb")
             self._raw = handle.read()
+        except OSError as exc:
+            # An injected or genuine I/O fault (EIO) while loading the
+            # table surfaces as the same typed error as corruption: the
+            # caller's quarantine/degrade handling covers both.
+            raise SSTableError(f"{self.path.name}: read failed: {exc}") from exc
+        finally:
+            if handle is not None:
+                handle.close()
         if len(self._raw) < _FOOTER.size:
             raise SSTableError(f"{self.path.name}: file too small for footer")
         index_offset, bloom_offset, count, crc, magic = _FOOTER.unpack_from(

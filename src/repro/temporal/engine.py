@@ -13,6 +13,22 @@ deltas are identical either way -- the executor returns results in key
 order regardless of worker completion order, and every shared structure
 underneath (metrics registry, block cache, history index) is
 lock-guarded.
+
+Resilience (opt-in, never changing default semantics):
+
+* ``run_join(..., deadline=...)`` threads a
+  :class:`~repro.common.resilience.Deadline` through the executor, so a
+  query abandons its remaining per-key fetches once the budget dies
+  instead of draining them all.
+* ``run_join(..., degrade=True)`` turns index-probe failures on M1/M2
+  (corrupt index state, quarantined SSTable, window beyond the indexed
+  range) into a *degraded* answer: the query falls back to a TQF chain
+  scan -- always correct, since TQF reads only the block chain -- and
+  the result carries a typed :class:`DegradedResult` marker instead of
+  silently pretending the index answered.  A per-index-model
+  :class:`~repro.common.resilience.CircuitBreaker` stops hammering an
+  index that keeps failing; while the breaker is open, queries skip the
+  probe entirely and degrade immediately.
 """
 
 from __future__ import annotations
@@ -22,8 +38,9 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.common import metrics as metric_names
 from repro.common.config import default_query_workers
-from repro.common.errors import TemporalQueryError
+from repro.common.errors import StorageError, TemporalQueryError
 from repro.common.metrics import MetricsRegistry
+from repro.common.resilience import CircuitBreaker, Deadline
 from repro.common.timeutils import Stopwatch
 from repro.fabric.ledger import Ledger
 from repro.temporal.events import Event
@@ -33,6 +50,11 @@ from repro.temporal.join import JoinRow, temporal_join
 from repro.temporal.m1 import M1QueryEngine
 from repro.temporal.m2 import M2QueryEngine
 from repro.temporal.tqf import TQFEngine
+
+#: The model every degraded query falls back to.  TQF derives answers
+#: from the block chain alone -- no auxiliary index to be corrupt -- so
+#: it stays correct whenever the ledger itself is intact.
+FALLBACK_MODEL = "tqf"
 
 
 @dataclass(frozen=True)
@@ -52,6 +74,25 @@ class QueryModel(Protocol):
     def list_keys(self, prefix: str) -> List[str]: ...
 
     def fetch_events(self, key: str, window: TimeInterval) -> List[Event]: ...
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Typed marker: the query answered, but not on the requested model.
+
+    Attached to :class:`JoinResult` when ``degrade=True`` rescued an
+    index failure.  Rows are still correct -- they came from the
+    fallback chain scan -- but slower, and callers that care (the chaos
+    soak, dashboards) can tell a degraded answer from a healthy one.
+    """
+
+    requested_model: str
+    fallback_model: str
+    #: Human-readable cause (breaker open, index probe error message).
+    reason: str
+    #: Class name of the triggering exception, or ``"CircuitOpenError"``
+    #: when the probe was skipped because the breaker was already open.
+    error_type: str
 
 
 @dataclass
@@ -95,6 +136,9 @@ class JoinResult:
     stats: QueryStats
     shipment_events: Dict[str, List[Event]] = field(default_factory=dict)
     container_events: Dict[str, List[Event]] = field(default_factory=dict)
+    #: Set when the query fell back to TQF after an index failure
+    #: (``stats.model`` then names the model that actually executed).
+    degraded: Optional[DegradedResult] = None
 
 
 class TemporalQueryEngine:
@@ -124,6 +168,13 @@ class TemporalQueryEngine:
             "m1": M1QueryEngine(ledger, metrics=metrics),
             "m2": M2QueryEngine(ledger, metrics=metrics),
         }
+        #: Per-index-model circuit breakers consulted by degraded-mode
+        #: queries.  TQF has none: it is the fallback, not a probe.
+        self.breakers: Dict[str, CircuitBreaker] = {
+            model: CircuitBreaker(name=f"index:{model}")
+            for model in self._engines
+            if model != FALLBACK_MODEL
+        }
 
     def engine(self, model: str) -> QueryModel:
         """The per-model query engine (``tqf``, ``m1`` or ``m2``)."""
@@ -135,16 +186,23 @@ class TemporalQueryEngine:
             ) from None
 
     def fetch_window_events(
-        self, model: str, window: TimeInterval
+        self,
+        model: str,
+        window: TimeInterval,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[Dict[str, List[Event]], Dict[str, List[Event]]]:
         """Per-key events inside ``window`` for all shipments and containers.
 
         The per-key fetches run through the configured executor --
         possibly on several threads at once -- but the returned dicts
         are always built in ``list_keys`` order, so result layout is
-        independent of scheduling.
+        independent of scheduling.  With a ``deadline``, remaining
+        fetches are abandoned once the budget expires and
+        :class:`~repro.common.errors.DeadlineExceededError` propagates.
         """
         engine = self.engine(model)
+        if deadline is not None:
+            deadline.check("entity enumeration")
         shipment_keys = engine.list_keys(self.namespace.shipment_prefix)
         container_keys = engine.list_keys(self.namespace.container_prefix)
         # One fan-out over both entity sets keeps the pool saturated
@@ -152,22 +210,76 @@ class TemporalQueryEngine:
         results: List[Tuple[str, List[Event]]] = self.executor.map(
             lambda key: (key, engine.fetch_events(key, window)),
             shipment_keys + container_keys,
+            deadline=deadline,
         )
         shipment_events = dict(results[: len(shipment_keys)])
         container_events = dict(results[len(shipment_keys):])
         return shipment_events, container_events
 
     def run_join(
-        self, model: str, window: TimeInterval, keep_events: bool = False
+        self,
+        model: str,
+        window: TimeInterval,
+        keep_events: bool = False,
+        deadline: Optional[Deadline] = None,
+        degrade: bool = False,
     ) -> JoinResult:
         """Run query Q on ``model`` over ``window``, fully instrumented.
 
         The measured region covers exactly what the paper measures: entity
         enumeration, event retrieval and the in-memory join.
+
+        With ``degrade=True``, an index-probe failure on M1/M2 (typed
+        :class:`~repro.common.errors.TemporalQueryError` or
+        :class:`~repro.common.errors.StorageError`) re-runs the query on
+        TQF and tags the result with :class:`DegradedResult` instead of
+        raising; repeated failures trip the model's circuit breaker so
+        later queries skip the doomed probe.  Deadline expiry and
+        injected-fault sentinels are *never* treated as index failures
+        -- they propagate regardless of ``degrade``.
         """
+        requested = model
+        degraded: Optional[DegradedResult] = None
+        breaker = self.breakers.get(model)
+
+        if degrade and breaker is not None and not breaker.allow():
+            degraded = DegradedResult(
+                requested_model=requested,
+                fallback_model=FALLBACK_MODEL,
+                reason=f"circuit breaker for {requested!r} is open",
+                error_type="CircuitOpenError",
+            )
+            model = FALLBACK_MODEL
+
         before = self._metrics.snapshot()
         watch = Stopwatch().start()
-        shipment_events, container_events = self.fetch_window_events(model, window)
+        if degraded is None and degrade and breaker is not None:
+            try:
+                shipment_events, container_events = self.fetch_window_events(
+                    model, window, deadline=deadline
+                )
+            except (TemporalQueryError, StorageError) as exc:
+                # An index that cannot answer.  Record the failure (the
+                # breaker may trip), then answer from the chain instead.
+                # DeadlineExceededError and the fault harness's crash
+                # sentinel are not StorageErrors and propagate above.
+                breaker.record_failure()
+                degraded = DegradedResult(
+                    requested_model=requested,
+                    fallback_model=FALLBACK_MODEL,
+                    reason=str(exc),
+                    error_type=type(exc).__name__,
+                )
+                model = FALLBACK_MODEL
+                shipment_events, container_events = self.fetch_window_events(
+                    model, window, deadline=deadline
+                )
+            else:
+                breaker.record_success()
+        else:
+            shipment_events, container_events = self.fetch_window_events(
+                model, window, deadline=deadline
+            )
         rows = temporal_join(shipment_events, container_events, window)
         join_seconds = watch.stop()
         delta = self._metrics.snapshot().diff(before)
@@ -194,4 +306,5 @@ class TemporalQueryEngine:
             stats=stats,
             shipment_events=shipment_events if keep_events else {},
             container_events=container_events if keep_events else {},
+            degraded=degraded,
         )

@@ -21,6 +21,15 @@ Two invariants make the choice invisible to everything downstream:
   M1's :class:`~repro.common.errors.TemporalQueryError` for an
   unindexed window).
 
+Both executors accept an optional
+:class:`~repro.common.resilience.Deadline`.  The serial executor checks
+it between items; the thread pool additionally *cancels* not-yet-started
+futures and bounds its waits by the remaining budget, so an expired
+query stops consuming workers instead of draining every queued fetch.
+Items already running when the budget dies check the deadline themselves
+before starting and are awaited during pool teardown -- no worker is
+ever abandoned mid-fetch (metrics deltas stay whole).
+
 Worker threads bump the same :class:`~repro.common.metrics.MetricsRegistry`
 and read through the same :class:`~repro.fabric.blockstore.BlockStore`;
 both are lock-guarded, so counter deltas around a parallel region stay
@@ -30,10 +39,12 @@ exact.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, DeadlineExceededError
+from repro.common.resilience import Deadline
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
@@ -50,8 +61,14 @@ class QueryExecutor(ABC):
         self,
         fn: Callable[[ItemT], ResultT],
         items: Iterable[ItemT],
+        deadline: Optional[Deadline] = None,
     ) -> List[ResultT]:
-        """Apply ``fn`` to every item, returning results in input order."""
+        """Apply ``fn`` to every item, returning results in input order.
+
+        With a ``deadline``, abandon remaining work and raise
+        :class:`~repro.common.errors.DeadlineExceededError` once the
+        budget runs out.
+        """
 
     @property
     def workers(self) -> int:
@@ -68,8 +85,14 @@ class SerialExecutor(QueryExecutor):
         self,
         fn: Callable[[ItemT], ResultT],
         items: Iterable[ItemT],
+        deadline: Optional[Deadline] = None,
     ) -> List[ResultT]:
-        return [fn(item) for item in items]
+        results: List[ResultT] = []
+        for item in items:
+            if deadline is not None:
+                deadline.check("per-key fetch")
+            results.append(fn(item))
+        return results
 
 
 class ThreadPoolQueryExecutor(QueryExecutor):
@@ -79,8 +102,9 @@ class ThreadPoolQueryExecutor(QueryExecutor):
     so the executor itself carries no cross-query mutable state and a
     facade holding one never needs an explicit ``close()``.  Results are
     collected by submission index -- never completion order -- and the
-    first exception re-raises after the pool drains (workers already
-    running are not abandoned mid-fetch, keeping metrics deltas whole).
+    first exception re-raises after cancelling everything not yet
+    started and draining what is (workers already running are not
+    abandoned mid-fetch, keeping metrics deltas whole).
     """
 
     name = "thread-pool"
@@ -101,19 +125,56 @@ class ThreadPoolQueryExecutor(QueryExecutor):
         self,
         fn: Callable[[ItemT], ResultT],
         items: Iterable[ItemT],
+        deadline: Optional[Deadline] = None,
     ) -> List[ResultT]:
         work: Sequence[ItemT] = list(items)
         if len(work) <= 1:
-            return [fn(item) for item in work]
+            results: List[ResultT] = []
+            for item in work:
+                if deadline is not None:
+                    deadline.check("per-key fetch")
+                results.append(fn(item))
+            return results
+
+        def guarded(item: ItemT) -> ResultT:
+            # Worker-side cancellation: an item whose turn comes after
+            # the budget died refuses to start (already-running items
+            # finish; their results are simply never read).
+            if deadline is not None:
+                deadline.check("per-key fetch")
+            return fn(item)
+
         with ThreadPoolExecutor(
             max_workers=min(self._workers, len(work)),
             thread_name_prefix="repro-query",
         ) as pool:
-            futures = [pool.submit(fn, item) for item in work]
-            # The pool's __exit__ waits for every future, so even when an
-            # early future raises below, no worker is still mutating
-            # shared state by the time the caller sees the exception.
-            return [future.result() for future in futures]
+            futures: List[Future[ResultT]] = [
+                pool.submit(guarded, item) for item in work
+            ]
+            # The pool's __exit__ waits for every non-cancelled future,
+            # so even when an early future raises below, no worker is
+            # still mutating shared state by the time the caller sees
+            # the exception.
+            try:
+                if deadline is None:
+                    return [future.result() for future in futures]
+                collected: List[ResultT] = []
+                for future in futures:
+                    try:
+                        collected.append(future.result(timeout=deadline.remaining()))
+                    except FutureTimeoutError:
+                        raise DeadlineExceededError(
+                            f"query fan-out abandoned: deadline of "
+                            f"{deadline.budget:g}s exceeded with "
+                            f"{len(collected)}/{len(futures)} fetches done"
+                        ) from None
+                return collected
+            except BaseException:
+                # Propagate cancellation: anything not yet started stays
+                # unstarted, so a dead query stops consuming the pool.
+                for future in futures:
+                    future.cancel()
+                raise
 
 
 def build_executor(workers: int) -> QueryExecutor:

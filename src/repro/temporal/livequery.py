@@ -10,11 +10,20 @@ This is pure client-side maintenance -- no extra ledger state -- and is
 exactly the consumer the chaincode-event/block-listener machinery exists
 for.  The window may be anchored (fixed ``(t_s, t_e]``) or *sliding*
 (always the trailing ``width`` of logical time).
+
+Delivery robustness: :meth:`on_block` is *idempotent by block number* --
+a block at or below the high-water mark is ignored -- and *transactional*
+per block: events are staged and only folded in once the whole block
+decoded, so a crash (or injected fault) mid-delivery leaves the query
+exactly as if the block never arrived.  :meth:`catch_up` then replays the
+missed suffix from the ledger; between the two, a delivery interrupted at
+any point either lands exactly once or not at all -- never a partial or
+double count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.errors import TemporalQueryError
 from repro.fabric.block import VALID, Block
@@ -58,17 +67,43 @@ class LiveJoinQuery:
         self._dirty = True
         self._cached_rows: List[JoinRow] = []
         self.blocks_seen = 0
+        #: Highest block number folded in (-1 = none); the idempotence
+        #: high-water mark for redelivery and :meth:`catch_up`.
+        self.last_block = -1
+        self._network: Optional[Any] = None
 
     # -- wiring ---------------------------------------------------------------
 
     def subscribe(self, network) -> "LiveJoinQuery":
         """Register on ``network``'s block stream; returns self."""
         network.on_block(self.on_block)
+        self._network = network
         return self
 
+    def unsubscribe(self) -> bool:
+        """Detach from the subscribed network's block stream.
+
+        Returns whether a registration was removed.  Safe to call from
+        inside :meth:`on_block` (delivery of the current block to other
+        listeners proceeds; this query simply stops receiving the next).
+        """
+        network, self._network = self._network, None
+        if network is None:
+            return False
+        return network.remove_block_listener(self.on_block)
+
     def on_block(self, block: Block) -> None:
-        """Fold one committed block's events in (the listener callback)."""
-        self.blocks_seen += 1
+        """Fold one committed block's events in (the listener callback).
+
+        Exactly-once per block: a block numbered at or below
+        :attr:`last_block` is ignored (a crashed-and-replayed delivery
+        cannot double-count), and events are staged before any state
+        changes, so an exception mid-decode leaves the query untouched
+        and the block eligible for clean redelivery.
+        """
+        if block.number <= self.last_block:
+            return
+        staged: List[Event] = []
         for tx in block.transactions:
             if tx.validation_code != VALID:
                 continue
@@ -78,7 +113,28 @@ class LiveJoinQuery:
                 value = write.value
                 if not isinstance(value, dict) or {"o", "t", "e"} - set(value):
                     continue
-                self._add_event(Event.from_value(key, value))
+                staged.append(Event.from_value(key, value))
+        # Commit point: nothing above mutated state, everything below is
+        # pure in-memory appends that cannot fail on well-formed events.
+        self.blocks_seen += 1
+        self.last_block = block.number
+        for event in staged:
+            self._add_event(event)
+
+    def catch_up(self, ledger) -> int:
+        """Replay committed blocks this query missed; returns how many.
+
+        Recovery after a crashed delivery or a late subscription: folds
+        every block in ``ledger`` above :attr:`last_block`, in order.
+        Together with :meth:`on_block`'s high-water mark this converges
+        to exactly-once folding no matter how delivery was interrupted.
+        """
+        replayed = 0
+        for block in ledger.block_store.iter_blocks():
+            if block.number > self.last_block:
+                self.on_block(block)
+                replayed += 1
+        return replayed
 
     def _add_event(self, event: Event) -> None:
         if event.key.startswith(self._shipment_prefix):

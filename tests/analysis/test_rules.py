@@ -508,6 +508,38 @@ class TestMutationAcceptance:
         assert conc, result.render_text()
         assert "_counters" in conc[0].message
 
+    def test_sleep_under_lock_fails_the_lint(self, real_tree):
+        # The resilience layer's contract: backoff sleeps happen outside
+        # any lock.  A helper that naps while holding its lock -- the
+        # classic way one slow retry stalls every other thread -- must
+        # fire CONC003 with no allowlist entry absorbing it.
+        bad = real_tree / "src" / "repro" / "storage" / "napping.py"
+        bad.write_text(
+            '"""A cache that backs off while holding its lock."""\n\n'
+            "import threading\n"
+            "import time\n\n\n"
+            "class NappingCache:\n"
+            '    """Serializes writers, then sleeps on their time."""\n\n'
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._data = {}\n\n"
+            "    def put(self, key, value):\n"
+            '        """Stores after an in-lock settle delay."""\n'
+            "        with self._lock:\n"
+            "            time.sleep(0.05)\n"
+            "            self._data[key] = value\n"
+        )
+        result = run_lint([real_tree / "src"], root=real_tree)
+        conc = [
+            finding
+            for finding in result.new_findings
+            if finding.rule_id == "CONC003"
+            and finding.path.endswith("napping.py")
+        ]
+        assert conc, result.render_text()
+        assert "time.sleep" in conc[0].message
+        assert find_lines(result.new_findings, "CONC003") == [17]
+
     def test_leaked_seam_handle_fails_the_lint(self, real_tree):
         leaky = real_tree / "src" / "repro" / "common" / "leaky.py"
         leaky.write_text(

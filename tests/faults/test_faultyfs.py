@@ -184,3 +184,129 @@ def test_schedules_reject_nonpositive_counts(bad):
         FaultPlan().crash_on_replace("f", nth=bad)
     with pytest.raises(ValueError):
         FaultPlan().flip_bit("f", nth_write=bad)
+
+
+# -- read-side faults: intermittent errors and latency ---------------------
+
+
+def test_fail_reads_fires_on_exactly_the_nth_read(tmp_path):
+    path = tmp_path / "blockfile_000000"
+    path.write_bytes(b"0123456789")
+    plan = FaultPlan().fail_reads("blockfile_*", nth=3)
+    fs = FaultyFS(plan)
+    handle = fs.open(path, "rb")
+    assert handle.read(2) == b"01"
+    assert handle.read(2) == b"23"
+    with pytest.raises(OSError) as excinfo:
+        handle.read(2)
+    assert excinfo.value.errno == 5  # EIO
+    assert plan.fired == "read:blockfile_000000"
+    # Intermittent, like real media errors: the next read succeeds.
+    assert handle.read(2) == b"45"
+    handle.close()
+
+
+def test_fail_reads_counts_from_when_it_was_scheduled(tmp_path):
+    # Recovery replay at open absorbs reads before the harness arms the
+    # plan; the scheduled nth must count only reads after arming.
+    path = tmp_path / "blockfile_000000"
+    path.write_bytes(b"0123456789")
+    plan = FaultPlan()
+    fs = FaultyFS(plan)
+    handle = fs.open(path, "rb")
+    handle.read(1)
+    handle.read(1)  # two pre-arm reads (the "recovery")
+    plan.fail_reads("blockfile_*", nth=1)
+    with pytest.raises(OSError):
+        handle.read(1)
+    handle.close()
+
+
+def test_fail_reads_ignores_non_matching_files(tmp_path):
+    victim = tmp_path / "blockfile_000000"
+    bystander = tmp_path / "wal.log"
+    victim.write_bytes(b"xx")
+    bystander.write_bytes(b"yy")
+    plan = FaultPlan().fail_reads("blockfile_*", nth=1)
+    fs = FaultyFS(plan)
+    with fs.open(bystander, "rb") as handle:
+        assert handle.read() == b"yy"  # never faulted
+    with fs.open(victim, "rb") as handle:
+        with pytest.raises(OSError):
+            handle.read()
+
+
+def test_delay_sleeps_every_matching_read_without_changing_data(tmp_path):
+    path = tmp_path / "blockfile_000000"
+    path.write_bytes(b"abcdef")
+    naps = []
+    plan = FaultPlan(sleep=naps.append).delay("blockfile_*", ms=5.0)
+    fs = FaultyFS(plan)
+    with fs.open(path, "rb") as handle:
+        assert handle.read(3) == b"abc"
+        assert handle.read(3) == b"def"
+    assert naps == [0.005, 0.005]
+    assert plan.delays_applied == 2
+    assert plan.fired is None  # latency is not a data fault
+
+
+def test_faulty_read_file_protocol_passthrough(tmp_path):
+    path = tmp_path / "blockfile_000000"
+    path.write_bytes(b"line-1\nline-2\n")
+    fs = FaultyFS(FaultPlan())
+    with fs.open(path, "rb") as handle:
+        assert handle.readline() == b"line-1\n"
+        position = handle.tell()
+        assert handle.read() == b"line-2\n"
+        handle.seek(position)
+        assert handle.read() == b"line-2\n"
+    # Iteration also passes through to the real handle.
+    with fs.open(path, "rb") as handle:
+        assert list(handle) == [b"line-1\n", b"line-2\n"]
+
+
+# -- thread-safety of the userspace write buffer ---------------------------
+
+
+def test_concurrent_writes_and_flushes_never_corrupt_the_file(tmp_path):
+    """A reader thread forcing a visibility flush while the committer
+    appends is exactly what the block store does under concurrent
+    queries; the kernel makes that safe on a real handle, so FaultyFile
+    must too.  Without the handle's internal lock this loses or
+    duplicates buffered bytes."""
+    import threading
+
+    plan = FaultPlan()
+    fs = FaultyFS(plan)
+    handle = fs.open(tmp_path / "blockfile_000000", "ab")
+    records = 400
+    payload = b"R" * 64
+
+    def writer():
+        for index in range(records):
+            handle.write(index.to_bytes(4, "big") + payload)
+
+    def flusher(stop):
+        while not stop.is_set():
+            handle.flush()
+
+    stop = threading.Event()
+    write_thread = threading.Thread(target=writer)
+    flush_threads = [
+        threading.Thread(target=flusher, args=(stop,)) for _ in range(2)
+    ]
+    write_thread.start()
+    for thread in flush_threads:
+        thread.start()
+    write_thread.join()
+    stop.set()
+    for thread in flush_threads:
+        thread.join()
+    handle.close()
+
+    blob = read_bytes(tmp_path / "blockfile_000000")
+    record_size = 4 + len(payload)
+    assert len(blob) == records * record_size
+    for index in range(records):
+        chunk = blob[index * record_size:(index + 1) * record_size]
+        assert chunk == index.to_bytes(4, "big") + payload

@@ -113,3 +113,106 @@ class TestSlidingWindow:
             {row.truck for row in live.rows() if row.shipment == shipment}
         )
         assert live.trucks_for(shipment) == expected
+
+
+class TestChurn:
+    """Subscription churn and interrupted deliveries: the standing query
+    must land every committed block exactly once -- or not at all and
+    then replay it cleanly -- never a partial or double count."""
+
+    def test_commits_during_result_iteration_do_not_mutate_snapshots(
+        self, network, workload
+    ):
+        window = TimeInterval(0, CONFIG.t_max)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        half = len(workload.events) // 2
+        gateway = network.gateway("ingestor")
+        ingest(gateway, workload.events[:half], "supplychain")
+        snapshot = live.rows()
+        held = list(snapshot)
+        # A dashboard iterating `snapshot` while new blocks commit must
+        # not see it change under its feet: recomputes rebind the cache,
+        # they never mutate the list a reader already holds.
+        ingest(gateway, workload.events[half:], "supplychain")
+        assert snapshot == held
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        assert live.rows() == facade.run_join("tqf", window).rows
+
+    def test_unsubscribe_during_delivery_finishes_the_current_block(
+        self, network, workload
+    ):
+        window = TimeInterval(0, CONFIG.t_max)
+        live = LiveJoinQuery(window=window)
+        # Registered before `live`, so it runs first in the same
+        # delivery: the current block must still reach `live` (the
+        # orderer snapshots its consumer list), only later ones stop.
+        def drop_after_two(block):
+            if block.number == 1:
+                assert live.unsubscribe()
+        network.on_block(drop_after_two)
+        live.subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        assert live.blocks_seen == 2
+        assert live.last_block == 1
+        assert not live.unsubscribe()  # already detached: reports False
+        # The missed suffix replays exactly once.
+        replayed = live.catch_up(network.ledger)
+        assert replayed == network.ledger.height - 2
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        assert live.rows() == facade.run_join("tqf", window).rows
+
+    def test_crash_inside_on_block_leaves_query_replayable(
+        self, network, workload, monkeypatch
+    ):
+        from repro.temporal import livequery as livequery_module
+
+        window = TimeInterval(0, CONFIG.t_max)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        gateway = network.gateway("ingestor")
+        half = len(workload.events) // 2
+        ingest(gateway, workload.events[:half], "supplychain")
+        seen_before = live.blocks_seen
+        rows_before = list(live.rows())
+
+        # The next delivery dies mid-decode (a fault inside the
+        # listener), *after* the peer already committed the block.
+        def explode(key, value):
+            raise RuntimeError("injected fault inside on_block")
+
+        monkeypatch.setattr(livequery_module.Event, "from_value", explode)
+        with pytest.raises(RuntimeError, match="injected fault"):
+            ingest(gateway, workload.events[half:], "supplychain")
+        monkeypatch.undo()
+
+        # Staging is transactional: the interrupted block left no trace.
+        assert live.blocks_seen == seen_before
+        assert live.last_block == seen_before - 1
+        assert live.rows() == rows_before
+        # Ledger and query reconverge once the missed suffix replays.
+        live.catch_up(network.ledger)
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        assert live.rows() == facade.run_join("tqf", window).rows
+
+    def test_redelivered_blocks_never_double_count(self, network, workload):
+        window = TimeInterval(0, CONFIG.t_max)
+        blocks = []
+        network.on_block(blocks.append)
+        live = LiveJoinQuery(window=window).subscribe(network)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        rows = list(live.rows())
+        seen = live.blocks_seen
+        # At-least-once delivery replays the whole stream; the high-water
+        # mark absorbs every duplicate.
+        for block in blocks:
+            live.on_block(block)
+        assert live.blocks_seen == seen
+        assert live.rows() == rows
+
+    def test_late_subscription_catches_up_exactly_once(self, network, workload):
+        window = TimeInterval(0, CONFIG.t_max)
+        ingest(network.gateway("ingestor"), workload.events, "supplychain")
+        live = LiveJoinQuery(window=window)
+        assert live.catch_up(network.ledger) == network.ledger.height
+        assert live.catch_up(network.ledger) == 0  # idempotent
+        facade = TemporalQueryEngine(network.ledger, network.metrics)
+        assert live.rows() == facade.run_join("tqf", window).rows
