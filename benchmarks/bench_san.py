@@ -1,0 +1,134 @@
+"""Sanitizer overhead benchmark (machine-readable, CI-gated).
+
+Measures what ``REPRO_SAN=1`` actually costs: a fixed tier-1 slice
+(``tests/common`` + ``tests/fabric`` -- lock- and metrics-heavy, so it
+is the *unfavourable* end of the suite) runs twice in subprocesses,
+once plain and once under the session-wide sanitizer, and the
+wall-clock ratio must stay under 3x.  A second gate runs the ``repro
+san`` scenario suite in-process and requires the unmutated tree to be
+race-clean.
+
+``BENCH_san.json`` records both timings, the ratio, and the scenario
+verdict.  ``REPRO_SEED`` seeds the sanitized runs (recorded in the
+report); the output path defaults to ``BENCH_san.json``
+(``REPRO_BENCH_SAN_OUT`` overrides).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.common.config import repro_seed
+from repro.sanitizer.scenarios import SCENARIOS, run_scenarios
+
+#: Wall-clock budget: sanitized / plain must stay below this.
+MAX_OVERHEAD_RATIO = 3.0
+#: The fixed tier-1 slice both modes run (relative to the repo root).
+TEST_SLICE = ("tests/common", "tests/fabric")
+WORKERS = 8
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _timed_pytest(sanitize: bool, report_path: str) -> float:
+    """One subprocess pytest run over the slice; returns wall seconds."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src")
+    env.pop("REPRO_SAN", None)
+    if sanitize:
+        env["REPRO_SAN"] = "1"
+        env["REPRO_SAN_REPORT"] = report_path
+    started = time.monotonic()
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider"]
+        + list(TEST_SLICE),
+        cwd=_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.monotonic() - started
+    if completed.returncode != 0:
+        mode = "sanitized" if sanitize else "plain"
+        raise AssertionError(
+            f"{mode} tier-1 slice failed (exit {completed.returncode}):\n"
+            f"{completed.stdout[-4000:]}"
+        )
+    return elapsed
+
+
+def run_bench(out_path: str | None = None) -> Dict[str, Any]:
+    """Time both modes, run the scenario gate, write the JSON report."""
+    out_path = out_path or os.environ.get(
+        "REPRO_BENCH_SAN_OUT", "BENCH_san.json"
+    )
+    seed = repro_seed(0)
+
+    with tempfile.TemporaryDirectory(prefix="bench-san-") as tmp:
+        report_path = str(Path(tmp) / "race-report.json")
+        plain_seconds = _timed_pytest(sanitize=False, report_path=report_path)
+        sanitized_seconds = _timed_pytest(
+            sanitize=True, report_path=report_path
+        )
+        slice_report = json.loads(Path(report_path).read_text())
+
+    scenario_report = run_scenarios(workers=WORKERS, seed=seed, fuzz_rounds=1)
+
+    ratio = (
+        sanitized_seconds / plain_seconds
+        if plain_seconds > 0
+        else float("inf")
+    )
+    document: Dict[str, Any] = {
+        "workload": {
+            "test_slice": list(TEST_SLICE),
+            "scenarios": sorted(SCENARIOS),
+            "workers": WORKERS,
+            "seed": seed,
+        },
+        "plain_seconds": round(plain_seconds, 6),
+        "sanitized_seconds": round(sanitized_seconds, 6),
+        "overhead_ratio": round(ratio, 3),
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "slice_events_traced": slice_report["events_traced"],
+        "slice_races": len(slice_report["races"]),
+        "scenario_events_traced": scenario_report.events_traced,
+        "scenario_races": len(scenario_report.races),
+        "lock_order_cycles": len(scenario_report.lock_order_cycles)
+        + len(slice_report["lock_order_cycles"]),
+        "ok": (
+            ratio < MAX_OVERHEAD_RATIO
+            and slice_report["ok"]
+            and scenario_report.ok
+        ),
+    }
+    with open(out_path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return document
+
+
+def test_sanitizer_overhead_bench():
+    """Pytest entry point: emit BENCH_san.json and gate both invariants."""
+    document = run_bench()
+    assert document["slice_races"] == 0 and document["scenario_races"] == 0, (
+        "sanitizer found races on the unmutated tree; replay with "
+        f"REPRO_SEED={document['workload']['seed']} (see BENCH_san.json)"
+    )
+    assert document["lock_order_cycles"] == 0, (
+        "sanitizer found dynamic lock-order cycles; see BENCH_san.json"
+    )
+    assert document["overhead_ratio"] < MAX_OVERHEAD_RATIO, (
+        f"sanitizer overhead {document['overhead_ratio']}x exceeds the "
+        f"{MAX_OVERHEAD_RATIO}x budget; see BENCH_san.json"
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

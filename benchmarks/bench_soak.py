@@ -30,23 +30,27 @@ import shutil
 import tempfile
 from typing import Any, Dict, List, Optional
 
+from repro.common.config import SEED_ENV_VAR, repro_seed
 from repro.faults.chaos import ChaosConfig, run_chaos_soak
 
+#: Default fault-schedule seed; override with ``REPRO_SEED`` to replay a
+#: failing soak from its report (``workload.seed`` records what ran).
 SOAK_SEED = 3
 
 
 def _scaled_config() -> ChaosConfig:
     """Map ``REPRO_SCALE`` onto a soak size (0 = CI smoke)."""
+    seed = repro_seed(SOAK_SEED)
     try:
         scale = float(os.environ.get("REPRO_SCALE", "0"))
     except ValueError:
         scale = 0.0
     if scale <= 0:
-        return ChaosConfig(seed=SOAK_SEED)
+        return ChaosConfig(seed=seed)
     rounds = max(4, round(4 * scale * 2))
     events_per_key = max(8, 2 * round(4 * scale * 2))
     return ChaosConfig(
-        seed=SOAK_SEED, rounds=rounds, events_per_key=events_per_key
+        seed=seed, rounds=rounds, events_per_key=events_per_key
     )
 
 
@@ -100,6 +104,9 @@ def run_bench(out_path: Optional[str] = None) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "workload": {
             "seed": cfg.seed,
+            "seed_source": (
+                SEED_ENV_VAR if os.environ.get(SEED_ENV_VAR) else "default"
+            ),
             "rounds": cfg.rounds,
             "total_events": state["reference"]["total_events"],
             "reference_height": state["reference"]["height"],

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.analysis.findings import Finding
 
@@ -53,6 +53,35 @@ def save_baseline(path: Path, findings: List[Finding]) -> None:
         "findings": [finding.to_json() for finding in sorted(findings)],
     }
     path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def prune_baseline(
+    baseline: List[Finding],
+    root: Path,
+    known_rules: Iterable[str],
+) -> Tuple[List[Finding], List[Tuple[Finding, str]]]:
+    """Split a loaded baseline into (usable, dropped-with-reason).
+
+    An entry whose rule id is no longer registered, or whose file no
+    longer exists under the project root, can never match a finding
+    again -- keeping it would hide the fact that the baseline has
+    rotted.  Such entries are dropped with a reason the runner surfaces
+    as a warning, so the committed file gets cleaned up instead of
+    accumulating dead weight.
+    """
+    rules = set(known_rules)
+    kept: List[Finding] = []
+    dropped: List[Tuple[Finding, str]] = []
+    for entry in baseline:
+        if entry.rule_id not in rules:
+            dropped.append(
+                (entry, f"rule {entry.rule_id} is no longer registered")
+            )
+        elif not (root / entry.path).exists():
+            dropped.append((entry, f"file {entry.path} no longer exists"))
+        else:
+            kept.append(entry)
+    return kept, dropped
 
 
 def apply_baseline(

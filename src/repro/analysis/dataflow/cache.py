@@ -27,14 +27,15 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding
 
 #: Bump to invalidate every existing cache (rule or format changes).
 #: 2: the CFG/lockset layer landed (CONC002-004, TEMP001 rewrite) --
 #: results from schema-1 runs no longer reflect the rule set.
-CACHE_SCHEMA = 2
+#: 3: results gained ``dropped_baseline`` (pruned stale entries).
+CACHE_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,7 @@ class CachedResult:
     new_findings: List[Finding]
     baselined: List[Finding]
     stale_baseline: List[Finding]
+    dropped_baseline: List[Tuple[Finding, str]]
     suppressed: List[Finding]
     files_checked: int
 
@@ -157,6 +159,10 @@ class LintCache:
                 new_findings=_findings(result["new_findings"]),
                 baselined=_findings(result["baselined"]),
                 stale_baseline=_findings(result["stale_baseline"]),
+                dropped_baseline=[
+                    (Finding.from_json(entry), str(entry.get("reason", "")))
+                    for entry in result.get("dropped_baseline", [])
+                ],
                 suppressed=_findings(result["suppressed"]),
                 files_checked=int(result["files_checked"]),
             )
@@ -179,6 +185,10 @@ class LintCache:
                 "new_findings": [f.to_json() for f in result.new_findings],
                 "baselined": [f.to_json() for f in result.baselined],
                 "stale_baseline": [f.to_json() for f in result.stale_baseline],
+                "dropped_baseline": [
+                    {**entry.to_json(), "reason": reason}
+                    for entry, reason in result.dropped_baseline
+                ],
                 "suppressed": [f.to_json() for f in result.suppressed],
                 "files_checked": result.files_checked,
             },

@@ -134,6 +134,17 @@ class ModuleInfo:
 
 _LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
 
+#: The project's concurrency seam (``repro.common.locks``): lock-carrying
+#: classes construct their primitives through these factory functions so
+#: the dynamic sanitizer can trace them.  The static model maps each back
+#: to the ``threading`` primitive it hands out, keeping CONC001-004's
+#: view of lock-carrying classes identical to the pre-seam tree.
+_SEAM_FACTORIES = {
+    "repro.common.locks.make_lock": "Lock",
+    "repro.common.locks.make_rlock": "RLock",
+    "repro.common.locks.make_condition": "Condition",
+}
+
 
 class SymbolTable:
     """Modules, functions and classes of one project, fully indexed."""
@@ -332,18 +343,20 @@ class SymbolTable:
         func = call.func
         if isinstance(func, ast.Attribute):
             dotted = dotted_path(func, module.aliases)
-            if dotted is not None and (
-                dotted.startswith("threading.") and func.attr in _LOCK_FACTORIES
-            ):
+            if dotted is None:
+                return None
+            if dotted.startswith("threading.") and func.attr in _LOCK_FACTORIES:
                 return func.attr
-            return None
+            return _SEAM_FACTORIES.get(dotted)
         if isinstance(func, ast.Name):
             dotted = module.aliases.get(func.id)
-            if dotted is not None and dotted.startswith("threading."):
+            if dotted is None:
+                return None
+            if dotted.startswith("threading."):
                 name = dotted.rsplit(".", 1)[-1]
                 if name in _LOCK_FACTORIES:
                     return name
-            return None
+            return _SEAM_FACTORIES.get(dotted)
         return None
 
     @classmethod

@@ -5,9 +5,14 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    save_baseline,
+)
 from repro.analysis.dataflow.cache import (
     CachedResult,
     LintCache,
@@ -22,7 +27,7 @@ from repro.analysis.project import (
     discover_files,
     find_project_root,
 )
-from repro.analysis.registry import instantiate
+from repro.analysis.registry import all_rules, instantiate
 
 
 @dataclass
@@ -39,6 +44,9 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     #: Baseline entries that matched nothing (the baseline should shrink).
     stale_baseline: List[Finding] = field(default_factory=list)
+    #: Baseline entries dropped before matching because their file or
+    #: rule no longer exists, each with the reason (warned, non-fatal).
+    dropped_baseline: List[Tuple[Finding, str]] = field(default_factory=list)
     #: Findings silenced by ``# repro-lint: disable=...`` comments.
     suppressed: List[Finding] = field(default_factory=list)
     files_checked: int = 0
@@ -57,6 +65,13 @@ class LintResult:
             lines.append("stale baseline entries (fixed findings -- remove them):")
             for entry in self.stale_baseline:
                 lines.append(f"  {entry.render()}")
+        if self.dropped_baseline:
+            lines.append("")
+            lines.append(
+                "warning: dropped baseline entries (remove them from the file):"
+            )
+            for entry, reason in self.dropped_baseline:
+                lines.append(f"  {entry.render()} -- {reason}")
         summary = (
             f"repro-lint: {self.files_checked} files, "
             f"{len(self.new_findings)} new finding(s)"
@@ -82,6 +97,10 @@ class LintResult:
                 "baselined": [finding.to_json() for finding in self.baselined],
                 "stale_baseline": [
                     entry.to_json() for entry in self.stale_baseline
+                ],
+                "dropped_baseline": [
+                    {**entry.to_json(), "reason": reason}
+                    for entry, reason in self.dropped_baseline
                 ],
                 "suppressed": [finding.to_json() for finding in self.suppressed],
             },
@@ -140,6 +159,7 @@ def run_lint(
                 from_cache=True,
                 baselined=cached.baselined,
                 stale_baseline=cached.stale_baseline,
+                dropped_baseline=cached.dropped_baseline,
                 suppressed=cached.suppressed,
                 files_checked=cached.files_checked,
             )
@@ -176,8 +196,11 @@ def run_lint(
         )
 
     baseline: List[Finding] = []
+    dropped: List[Tuple[Finding, str]] = []
     if baseline_path is not None and baseline_path.exists():
-        baseline = load_baseline(baseline_path)
+        baseline, dropped = prune_baseline(
+            load_baseline(baseline_path), project.root, all_rules()
+        )
     new, stale = apply_baseline(active, baseline)
     absorbed = [finding for finding in active if finding not in new]
     result = LintResult(
@@ -185,6 +208,7 @@ def run_lint(
         new_findings=new,
         baselined=absorbed,
         stale_baseline=stale,
+        dropped_baseline=dropped,
         suppressed=suppressed,
         files_checked=len(project.files),
     )
@@ -196,6 +220,7 @@ def run_lint(
                 new_findings=result.new_findings,
                 baselined=result.baselined,
                 stale_baseline=result.stale_baseline,
+                dropped_baseline=result.dropped_baseline,
                 suppressed=result.suppressed,
                 files_checked=result.files_checked,
             ),

@@ -20,6 +20,13 @@ SCALE_ENV_VAR = "REPRO_SCALE"
 #: ``REPRO_QUERY_WORKERS=8`` so every query path is exercised in parallel.
 QUERY_WORKERS_ENV_VAR = "REPRO_QUERY_WORKERS"
 
+#: Environment variable overriding every replayable seed: the chaos
+#: soak's fault schedule, the sanitizer's fuzzed interleavings, and the
+#: ``repro san`` CLI default.  One variable, recorded in every manifest
+#: and report those runs emit, so a red run is replayable from its
+#: artifact alone: ``REPRO_SEED=<seed from the artifact> <same command>``.
+SEED_ENV_VAR = "REPRO_SEED"
+
 
 def _require_positive(value: int | float, name: str) -> None:
     if value <= 0:
@@ -204,6 +211,25 @@ class FabricConfig:
                 f"retry_backoff_jitter must be in [0, 1), got "
                 f"{self.retry_backoff_jitter}"
             )
+
+
+def repro_seed(default: int) -> int:
+    """The run's replay seed: ``REPRO_SEED`` when set, else ``default``.
+
+    Every seeded harness (chaos soak, sanitizer fuzzing, ``repro san``)
+    resolves its seed through this one helper and records the resolved
+    value in its output, so any failure is replayable by exporting the
+    recorded seed and re-running the same command.
+    """
+    raw = os.environ.get(SEED_ENV_VAR)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{SEED_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
 
 
 def default_scale() -> float:

@@ -21,12 +21,13 @@ executor performs *precisely* the same block accesses as the serial path.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping
 
+from repro.common.locks import make_lock
 from repro.common.timeutils import Stopwatch
+from repro.sanitizer.shared import sanitize_shared
 
 # Canonical metric names.  Keeping them in one place avoids typo'd strings
 # silently creating new counters.
@@ -82,6 +83,7 @@ class MetricsSnapshot:
         )
 
 
+@sanitize_shared("_counters", "_timers", racy_ok=("__repr__",))
 class MetricsRegistry:
     """A mutable bag of named counters and accumulated timers.
 
@@ -92,7 +94,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock")
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, float] = {}
 
@@ -156,7 +158,28 @@ class MetricsRegistry:
         return f"MetricsRegistry(counters={self._counters}, timers={self._timers})"
 
 
+class _NullMetricsRegistry(MetricsRegistry):
+    """A write-discarding registry for callers that pass no registry.
+
+    The old default was a plain shared :class:`MetricsRegistry`: a
+    process-global accumulator nobody ever read, whose counters bled
+    across tests and whose lock -- created at import time, before any
+    sanitizer session -- was invisible to the race sanitizer.  A null
+    sink has no mutable traffic at all: increments and timings return
+    their would-be values and drop them, reads always see zero.
+    """
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Discard the increment; pretend the counter started at zero."""
+        return amount
+
+    def add_time(self, name: str, seconds: float) -> float:
+        """Discard the timing; pretend the timer started at zero."""
+        return seconds
+
+
 #: A registry used when callers do not supply one; keeps call sites simple
 #: without making instrumentation globally stateful (each component can
-#: still be given its own registry).
-NULL_REGISTRY = MetricsRegistry()
+#: still be given its own registry).  A discarding sink: see
+#: :class:`_NullMetricsRegistry`.
+NULL_REGISTRY = _NullMetricsRegistry()

@@ -25,7 +25,6 @@ resilience test ever waits on a wall clock.
 from __future__ import annotations
 
 import random
-import threading
 import time
 from typing import Callable, Iterator, List, Optional, Tuple, Type, TypeVar
 
@@ -34,6 +33,8 @@ from repro.common.errors import (
     ConfigError,
     DeadlineExceededError,
 )
+from repro.common.locks import make_lock
+from repro.sanitizer.shared import sanitize_shared
 
 __all__ = ["RetryPolicy", "Deadline", "CircuitBreaker"]
 
@@ -172,6 +173,7 @@ OPEN = "open"
 HALF_OPEN = "half-open"
 
 
+@sanitize_shared("_state", "_outcomes", "_opened_at", "_probe_in_flight", "trips")
 class CircuitBreaker:
     """Closed / open / half-open breaker over a failure-rate window.
 
@@ -218,7 +220,7 @@ class CircuitBreaker:
         self._window = window
         self._reset_timeout = reset_timeout
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock")
         self._state = CLOSED
         self._outcomes: List[bool] = []  # True = success, sliding window
         self._opened_at = 0.0
@@ -252,9 +254,12 @@ class CircuitBreaker:
         """:meth:`allow` as an exception: refuse with :class:`CircuitOpenError`."""
         if not self.allow():
             label = self.name or "dependency"
+            with self._lock:
+                failures = self._failures_in_window()
+                total = len(self._outcomes)
             raise CircuitOpenError(
                 f"circuit breaker for {label} is {OPEN}: "
-                f"{self._failures_in_window()}/{len(self._outcomes)} recent "
+                f"{failures}/{total} recent "
                 "calls failed; retry after the reset timeout"
             )
 

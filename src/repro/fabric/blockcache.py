@@ -26,16 +26,18 @@ the cached path so the paper's cost metric remains honest.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Callable, Dict, Hashable, Tuple
 
 from repro.common import metrics as metric_names
 from repro.common.errors import ConfigError
+from repro.common.locks import make_lock
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.sanitizer.shared import sanitize_shared
 
 
+@sanitize_shared("_entries", "_inflight")
 class BlockCache:
     """Lock-guarded LRU over decoded blocks, shared across threads.
 
@@ -56,7 +58,7 @@ class BlockCache:
             )
         self.capacity = capacity
         self._metrics = metrics
-        self._lock = threading.Lock()
+        self._lock = make_lock("BlockCache._lock")
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._inflight: Dict[Hashable, "Future[object]"] = {}
 

@@ -7,11 +7,12 @@ peer without submitting anything (Fabric's query path).
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Callable, List, Optional
 
+from repro.common.locks import make_lock
 from repro.common.resilience import RetryPolicy
+from repro.sanitizer.shared import sanitize_shared
 from repro.fabric.block import MVCC_READ_CONFLICT
 from repro.fabric.identity import Identity
 from repro.fabric.orderer import SoloOrderer
@@ -31,6 +32,7 @@ class SubmitResult:
         return f"SubmitResult(tx_id={self.tx_id!r})"
 
 
+@sanitize_shared("retries_attempted")
 class Gateway:
     """A client connection bound to one identity.
 
@@ -75,7 +77,7 @@ class Gateway:
         # One gateway is shared by concurrent client threads (parallel
         # ingestion); the lock covers the mutable statistics.  The retry
         # sleep always happens *outside* it (CONC003 polices this).
-        self._lock = threading.Lock()
+        self._lock = make_lock("Gateway._lock")
         self.retries_attempted = 0
 
     @property

@@ -11,12 +11,13 @@ query's end timestamp) never pay for the remaining blocks.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.common import metrics as metric_names
+from repro.common.locks import make_rlock
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.sanitizer.shared import sanitize_shared
 from repro.fabric.block import Block, VALID
 from repro.fabric.blockstore import BlockStore
 
@@ -35,6 +36,7 @@ class HistoryEntry:
     tx_id: str
 
 
+@sanitize_shared("_locations")
 class HistoryDB:
     """Per-key index of write locations ``(block_num, tx_num)``.
 
@@ -50,7 +52,7 @@ class HistoryDB:
     """
 
     def __init__(self, metrics: MetricsRegistry = NULL_REGISTRY) -> None:
-        self._lock = threading.RLock()
+        self._lock = make_rlock("HistoryDB._lock")
         self._locations: Dict[str, List[Tuple[int, int]]] = {}
         self._metrics = metrics
 

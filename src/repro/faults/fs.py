@@ -23,11 +23,12 @@ The write model mirrors what the OS actually guarantees:
 from __future__ import annotations
 
 import os
-import threading
 from pathlib import Path
 from typing import IO, Dict, List, Union
 
 from repro.common.errors import FaultInjectionError
+from repro.common.locks import make_rlock
+from repro.sanitizer.shared import sanitize_shared
 
 __all__ = ["FileSystem", "FaultyFS", "FaultyFile", "FaultyReadFile", "REAL_FS"]
 
@@ -57,6 +58,7 @@ class FileSystem:
 REAL_FS = FileSystem()
 
 
+@sanitize_shared("_buffer", "_flushed_size", "synced_size", "closed")
 class FaultyFile:
     """A write handle whose buffer the harness can destroy.
 
@@ -81,7 +83,7 @@ class FaultyFile:
         # is safe on a real handle.  This userspace buffer must give the
         # same guarantee; RLock because the plan's write hook may drain
         # re-entrantly (torn-write injection).
-        self._lock = threading.RLock()
+        self._lock = make_rlock("FaultyFile._lock")
         self._flushed_size = self._real.seek(0, os.SEEK_END)
         self.synced_size = self._flushed_size
         self.closed = False

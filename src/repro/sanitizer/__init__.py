@@ -1,0 +1,60 @@
+"""repro-san: a dynamic happens-before / lockset race sanitizer.
+
+The static CONC001-004 rules (:mod:`repro.analysis.rules.concurrency`)
+prove lock *discipline* -- every write under a lock, no ordering cycles,
+no blocking under a lock.  They cannot see data races on lock-free
+paths, atomicity violations across a release/reacquire, or bugs that
+only exist under some interleavings.  This package is the dynamic
+complement, in the FastTrack + Eraser tradition:
+
+* a **happens-before engine** (:mod:`repro.sanitizer.runtime`) keeps a
+  vector clock per thread, with edges from lock release -> acquire,
+  thread fork/join, and the query executor's task handoffs
+  (:func:`repro.common.locks.wrap_task` / ``join_task``);
+* **lockset tracking** records which traced locks each thread holds;
+  an access pair is a race only when the clocks say *concurrent* AND
+  the locksets are *disjoint* -- combining the two kills each one's
+  false positives;
+* **shadow state** lives per ``(object, attribute)`` on classes that
+  opt in with :func:`~repro.sanitizer.shared.sanitize_shared`; both
+  attribute rebinds and first-level container operations (dict/list
+  reads and mutations) are events;
+* the **traced lock seam** (:mod:`repro.sanitizer.locks`) implements
+  :class:`~repro.common.locks.ConcurrencyFactory`, so every product
+  lock construction routes through it permanently and the sanitizer
+  can be switched on at any point in the process lifetime;
+* a **schedule fuzzer** (:mod:`repro.sanitizer.fuzz`) perturbs thread
+  interleavings at lock/seam boundaries from one seed, flushing out
+  schedule-dependent bugs the default schedule never hits.
+
+Entry points: ``repro san`` (CLI, runs the built-in concurrency
+scenarios), ``REPRO_SAN=1 pytest`` (whole-suite mode via
+``tests/conftest.py``), and ``repro lint --dynamic-witness
+race-report.json`` (cross-checks dynamic races against static CONC
+findings).  See docs/static-analysis.md for the static<->dynamic
+coverage matrix and the race-report runbook.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizer.report import AccessWitness, RaceReport, SanitizerReport
+from repro.sanitizer.runtime import (
+    Sanitizer,
+    active,
+    disable,
+    enable,
+    sanitized,
+)
+from repro.sanitizer.shared import sanitize_shared
+
+__all__ = [
+    "AccessWitness",
+    "RaceReport",
+    "SanitizerReport",
+    "Sanitizer",
+    "active",
+    "disable",
+    "enable",
+    "sanitized",
+    "sanitize_shared",
+]

@@ -1,0 +1,292 @@
+"""Canned concurrency workloads that exercise every instrumented seam.
+
+Each scenario drives one lock-carrying class the way its production
+callers do -- shared instance, many threads, mixed read/write traffic --
+while a sanitizer session records happens-before and lockset evidence.
+On a correct tree every scenario is race-free; the mutation-acceptance
+tests subclass the same classes with the lock removed and prove the
+sanitizer pinpoints the seeded bug.
+
+:func:`run_scenarios` is the engine behind ``repro san``: it runs the
+chosen scenarios once without schedule fuzzing, then ``fuzz_rounds``
+more times with per-round derived seeds perturbing the interleavings,
+and merges everything into one deduplicated
+:class:`~repro.sanitizer.report.SanitizerReport`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from types import SimpleNamespace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.sanitizer import runtime
+from repro.sanitizer.fuzz import FuzzSchedule, derive_seed
+from repro.sanitizer.report import RaceReport, SanitizerReport
+
+#: A scenario takes the worker count and runs its workload to completion.
+Scenario = Callable[[int], None]
+
+
+def _run_threads(workers: int, target: Callable[[int], None]) -> None:
+    """Start ``workers`` threads running ``target(index)`` and join all.
+
+    ``threading.Thread`` start/join are patched by the active sanitizer,
+    so this helper is also what gives every scenario its fork/join
+    happens-before edges.
+    """
+    threads = [
+        threading.Thread(target=target, args=(index,), name=f"scenario-{index}")
+        for index in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def _scenario_metrics(workers: int) -> None:
+    """Concurrent counter increments and timer observations."""
+    from repro.common.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+
+    def work(index: int) -> None:
+        for step in range(40):
+            registry.increment("scenario.ops")
+            registry.add_time("scenario.latency", 0.001 * ((index + step) % 5))
+        registry.counter("scenario.ops")
+        registry.snapshot()
+
+    _run_threads(workers, work)
+
+
+def _scenario_blockcache(workers: int) -> None:
+    """Overlapping single-flight loads with eviction pressure."""
+    from repro.fabric.blockcache import BlockCache
+
+    cache = BlockCache(capacity=4)
+
+    def work(index: int) -> None:
+        for step in range(30):
+            key = (index + step) % 10
+            cache.get_or_load(key, lambda key=key: f"block-{key}")
+
+    _run_threads(workers, work)
+
+
+def _fake_block(number: int, keys: Sequence[str]) -> SimpleNamespace:
+    """A structurally Block-like object for index-only traffic.
+
+    ``HistoryDB.index_block`` only reads ``number``, ``transactions``,
+    each transaction's ``validation_code`` and ``rw_set.writes`` keys --
+    a namespace is enough, and keeps the scenario free of serialization.
+    """
+    from repro.fabric.block import VALID
+
+    transactions = [
+        SimpleNamespace(
+            validation_code=VALID,
+            rw_set=SimpleNamespace(writes={key: None}),
+        )
+        for key in keys
+    ]
+    return SimpleNamespace(number=number, transactions=transactions)
+
+
+def _scenario_historydb(workers: int) -> None:
+    """Index writers racing location readers on a shared HistoryDB."""
+    from repro.fabric.historydb import HistoryDB
+
+    history = HistoryDB()
+
+    def work(index: int) -> None:
+        for step in range(25):
+            block_num = index * 100 + step
+            history.index_block(
+                _fake_block(block_num, [f"key-{(index + step) % 6}"])
+            )
+            history.locations_for_key(f"key-{step % 6}")
+            history.block_count_for_key(f"key-{(step + 1) % 6}")
+            history.key_count()
+
+    _run_threads(workers, work)
+
+
+def _scenario_lsm(workers: int) -> None:
+    """Writers forcing memtable flushes while readers get/scan."""
+    from repro.storage.kv.lsm import LSMStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-san-lsm-") as tmp:
+        store = LSMStore(tmp, memtable_limit=8, compaction_trigger=4)
+
+        def work(index: int) -> None:
+            for step in range(20):
+                key = f"k{(index + step) % 12:03d}".encode()
+                if index % 2 == 0:
+                    store.put(key, f"v{index}.{step}".encode())
+                else:
+                    store.get(key)
+                    if step % 5 == 0:
+                        list(store.scan(b"k000", b"k006"))
+
+        _run_threads(workers, work)
+
+
+def _scenario_breaker(workers: int) -> None:
+    """Half-open probe contention: many threads, one probe allowed."""
+    from repro.common.resilience import CircuitBreaker
+
+    now = [0.0]
+    breaker = CircuitBreaker(
+        name="scenario",
+        failure_threshold=0.5,
+        min_calls=2,
+        window=4,
+        reset_timeout=1.0,
+        clock=lambda: now[0],
+    )
+    for _ in range(4):
+        breaker.record_failure()
+    now[0] = 2.0  # past the reset timeout: next allow() goes half-open
+
+    allowed: List[bool] = [False] * workers
+    barrier = threading.Barrier(workers)
+
+    def work(index: int) -> None:
+        barrier.wait()
+        # No outcome is recorded inside the race: until the probe's
+        # result comes back, every other caller must stay refused.
+        allowed[index] = breaker.allow()
+
+    _run_threads(workers, work)
+    if sum(allowed) != 1:
+        raise AssertionError(
+            f"half-open breaker allowed {sum(allowed)} probes, expected 1"
+        )
+    breaker.record_success()
+    if breaker.state != "closed":
+        raise AssertionError("probe success should close the breaker")
+
+
+def _scenario_executor(workers: int) -> None:
+    """The thread-pool executor's fork/join seam over shared metrics."""
+    from repro.common.metrics import MetricsRegistry
+    from repro.temporal.executor import ThreadPoolQueryExecutor
+
+    registry = MetricsRegistry()
+    executor = ThreadPoolQueryExecutor(workers=max(2, workers))
+
+    def fetch(item: int) -> int:
+        registry.increment("scenario.fetches")
+        return item * 2
+
+    results = executor.map(fetch, list(range(24)))
+    if results != [item * 2 for item in range(24)]:
+        raise AssertionError("executor returned out-of-order results")
+    if registry.counter("scenario.fetches") != 24:
+        raise AssertionError("executor lost metric increments")
+
+
+def _scenario_faultyfile(workers: int) -> None:
+    """Concurrent writes and flushes through one fault-injected handle."""
+    from repro.faults.fs import FaultyFS
+    from repro.faults.plan import FaultPlan
+
+    with tempfile.TemporaryDirectory(prefix="repro-san-fs-") as tmp:
+        fs = FaultyFS(FaultPlan(seed=7))
+        handle = fs.open(f"{tmp}/scenario.bin", "wb")
+        try:
+
+            def work(index: int) -> None:
+                for step in range(15):
+                    handle.write(bytes([index % 256]) * 8)
+                    if step % 4 == 0:
+                        handle.flush()
+
+            _run_threads(workers, work)
+        finally:
+            handle.close()
+
+
+#: Name -> workload; ``repro san --list`` prints these with docstrings.
+SCENARIOS: Dict[str, Scenario] = {
+    "metrics": _scenario_metrics,
+    "blockcache": _scenario_blockcache,
+    "historydb": _scenario_historydb,
+    "lsm": _scenario_lsm,
+    "breaker": _scenario_breaker,
+    "executor": _scenario_executor,
+    "faultyfile": _scenario_faultyfile,
+}
+
+
+def _race_key(race: RaceReport) -> Tuple[str, str, str, str, str]:
+    """Dedup key across rounds: same cell, kind and both sites."""
+    return (race.kind, race.cls, race.attr, race.first.site(), race.second.site())
+
+
+def run_scenarios(
+    names: Optional[Sequence[str]] = None,
+    workers: int = 8,
+    seed: int = 0,
+    fuzz_rounds: int = 0,
+) -> SanitizerReport:
+    """Run scenarios under the sanitizer and merge rounds into one report.
+
+    Round 0 runs with the plain scheduler; rounds ``1..fuzz_rounds`` run
+    with a :class:`~repro.sanitizer.fuzz.FuzzSchedule` seeded by
+    :func:`~repro.sanitizer.fuzz.derive_seed` so each round explores a
+    different interleaving while staying replayable from ``seed`` alone.
+    """
+    chosen = list(names) if names else list(SCENARIOS)
+    unknown = [name for name in chosen if name not in SCENARIOS]
+    if unknown:
+        raise ConfigError(
+            f"unknown scenario(s) {unknown}; available: {sorted(SCENARIOS)}"
+        )
+    if workers < 2:
+        raise ConfigError(f"scenarios need >= 2 workers, got {workers}")
+
+    races: List[RaceReport] = []
+    seen: set = set()
+    cycles: List[dict] = []
+    cycle_keys: set = set()
+    events = 0
+    started = time.monotonic()
+    for round_index in range(fuzz_rounds + 1):
+        fuzz = (
+            FuzzSchedule(derive_seed(seed, round_index))
+            if round_index > 0
+            else None
+        )
+        with runtime.sanitized(seed=seed, fuzz=fuzz) as sanitizer:
+            for name in chosen:
+                SCENARIOS[name](workers)
+            round_report = sanitizer.build_report()
+        events += round_report.events_traced
+        for race in round_report.races:
+            key = _race_key(race)
+            if key not in seen:
+                seen.add(key)
+                races.append(race)
+        for cycle in round_report.lock_order_cycles:
+            key = tuple(cycle.get("locks", ()))
+            if key not in cycle_keys:
+                cycle_keys.add(key)
+                cycles.append(cycle)
+
+    return SanitizerReport(
+        seed=seed,
+        workers=workers,
+        fuzz_rounds=fuzz_rounds,
+        source="scenarios",
+        scenarios=chosen,
+        races=races,
+        lock_order_cycles=cycles,
+        events_traced=events,
+        duration_seconds=time.monotonic() - started,
+    )

@@ -1,0 +1,52 @@
+"""Vector-clock primitives for the happens-before engine.
+
+Clocks are plain ``dict[int, int]`` -- thread id to logical timestamp --
+mutated in place on the hot path.  The FastTrack observation this engine
+borrows: an access can be summarized by its *epoch* ``(tid, stamp)``
+(the accessing thread's own component at access time), and the access
+happens-before thread ``T``'s current point iff ``T``'s clock covers
+that epoch.  Full clocks only live on threads and locks; shadow cells
+store epochs, keeping the per-access cost O(1) instead of O(threads).
+
+Thread ids are allocated from one process-global counter, never reused,
+so stamps from a previous sanitizer session can never be confused with
+a live thread's (a fresh session's cells start empty; stale clock
+entries on long-lived locks are keyed by tids no new access carries).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator
+
+Clock = Dict[int, int]
+
+#: Process-global thread-id source (see module docstring on reuse).
+_TIDS: Iterator[int] = itertools.count(1)
+
+
+def fresh_tid() -> int:
+    """A never-before-used thread id."""
+    return next(_TIDS)
+
+
+def new_clock(tid: int) -> Clock:
+    """A newborn thread's clock: one tick on its own component."""
+    return {tid: 1}
+
+
+def join_into(target: Clock, source: Clock) -> None:
+    """Pointwise max, mutating ``target`` (the happens-before join)."""
+    for tid, stamp in source.items():
+        if target.get(tid, 0) < stamp:
+            target[tid] = stamp
+
+
+def advance(clock: Clock, tid: int) -> None:
+    """Tick ``clock``'s own component (after a release or a fork)."""
+    clock[tid] = clock.get(tid, 0) + 1
+
+
+def covers(clock: Clock, tid: int, stamp: int) -> bool:
+    """Whether the epoch ``(tid, stamp)`` happens-before ``clock``."""
+    return clock.get(tid, 0) >= stamp

@@ -17,13 +17,14 @@ guarantees they were never visible as live tables.
 from __future__ import annotations
 
 import heapq
-import threading
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
 
 from repro.common import metrics as metric_names
 from repro.common.errors import QuarantinedError, SSTableError, StorageError
+from repro.common.locks import make_rlock
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.sanitizer.shared import sanitize_shared
 from repro.faults.crashpoints import LSM_POST_SSTABLE, LSM_PRE_SSTABLE, crash_point
 from repro.faults.fs import REAL_FS, FileSystem
 from repro.storage.kv.api import OP_PUT, KVStore
@@ -41,8 +42,21 @@ _WAL_NAME = "wal.log"
 QUARANTINE_DIR = "quarantine"
 
 
+@sanitize_shared("_memtable", "_tables", "_next_sequence", "_quarantined")
 class LSMStore(KVStore):
-    """File-backed sorted KV store (memtable + WAL + SSTables)."""
+    """File-backed sorted KV store (memtable + WAL + SSTables).
+
+    Readers never hold the lock across I/O: :meth:`get` and :meth:`scan`
+    take it only long enough to snapshot the memtable reference, the
+    table list and the quarantine state, then read from the snapshot.
+    :meth:`flush` *rebinds* a fresh memtable instead of clearing the old
+    one in place, so a reader's snapshot stays internally consistent (it
+    sees either the pre-flush memtable with the old table list, or --
+    on its next operation -- the fresh pair); the previous check-then-act
+    pattern (unlocked reads of ``_memtable``/``_tables`` racing the
+    flush's ``clear()``) could observe an empty memtable *and* miss the
+    not-yet-appended table, dropping acknowledged writes from a read.
+    """
 
     def __init__(
         self,
@@ -81,7 +95,7 @@ class LSMStore(KVStore):
         # One store instance serves concurrent readers and writers
         # (parallel ingestion); the reentrant lock serializes every
         # structural mutation (memtable swap, table list, sequences).
-        self._lock = threading.RLock()
+        self._lock = make_rlock("LSMStore._lock")
         self._compaction = compaction
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
@@ -197,8 +211,14 @@ class LSMStore(KVStore):
                 fs=self._fs, fsync=self._fsync,
             )
             crash_point(LSM_POST_SSTABLE)
-            self._tables.append((sequence, SSTableReader(table_path, fs=self._fs)))
-            self._memtable.clear()
+            # Append-then-rebind: a reader snapshotting between these
+            # statements sees the new table *and* the old memtable --
+            # duplicated entries are harmless (newest-wins), a window
+            # where the records exist nowhere would not be.
+            self._tables = self._tables + [
+                (sequence, SSTableReader(table_path, fs=self._fs))
+            ]
+            self._memtable = Memtable()
             self._wal.truncate()
             if len(self._tables) >= self._compaction_trigger:
                 self._compact_locked()
@@ -225,7 +245,7 @@ class LSMStore(KVStore):
         survivors = self._tables[: len(self._tables) - len(victims)]
         merged = self._merged_entries(
             sources=[reader for _, reader in victims],
-            include_memtable=False,
+            memtable=None,
             start=None,
             end=None,
             keep_tombstones=bool(survivors),
@@ -241,16 +261,26 @@ class LSMStore(KVStore):
 
     # -- read path ---------------------------------------------------------
 
+    def _read_snapshot(self) -> Tuple[Memtable, Tuple[SSTableReader, ...]]:
+        """A consistent ``(memtable, tables)`` pair, captured under the
+        lock.  Reads then proceed lock-free against the snapshot: the
+        memtable object is never cleared in place (flush rebinds a fresh
+        one) and table lists are rebound, never mutated, so the snapshot
+        stays coherent however many flushes land mid-read."""
+        with self._lock:
+            self._check_quarantine()
+            return self._memtable, tuple(reader for _, reader in self._tables)
+
     def get(self, key: bytes) -> Optional[bytes]:
         self._check_open()
-        self._check_quarantine()
         self._check_key(key)
         key = bytes(key)
         self._metrics.increment(metric_names.KV_READS)
-        found, value = self._memtable.lookup(key)
+        memtable, tables = self._read_snapshot()
+        found, value = memtable.lookup(key)
         if found:
             return value
-        for _, reader in reversed(self._tables):  # newest first
+        for reader in reversed(tables):  # newest first
             self._metrics.increment(metric_names.KV_SSTABLE_READS)
             found, value = reader.lookup(key)
             if found:
@@ -261,12 +291,12 @@ class LSMStore(KVStore):
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
         self._check_open()
-        self._check_quarantine()
+        memtable, tables = self._read_snapshot()
         yield from (
             (key, value)
             for key, value in self._merged_entries(
-                sources=[reader for _, reader in self._tables],
-                include_memtable=True,
+                sources=list(tables),
+                memtable=memtable,
                 start=start,
                 end=end,
                 keep_tombstones=False,
@@ -277,7 +307,7 @@ class LSMStore(KVStore):
     def _merged_entries(
         self,
         sources: List[SSTableReader],
-        include_memtable: bool,
+        memtable: Optional[Memtable],
         start: Optional[bytes],
         end: Optional[bytes],
         keep_tombstones: bool,
@@ -292,8 +322,8 @@ class LSMStore(KVStore):
         iterators: List[Tuple[int, Iterator[Tuple[bytes, Optional[bytes]]]]] = []
         for priority, reader in enumerate(sources):
             iterators.append((priority, reader.scan(start, end)))
-        if include_memtable:
-            iterators.append((len(sources), self._memtable.scan(start, end)))
+        if memtable is not None:
+            iterators.append((len(sources), memtable.scan(start, end)))
 
         heap: List[Tuple[bytes, int, Optional[bytes], int]] = []
         for priority, iterator in iterators:
@@ -368,11 +398,13 @@ class LSMStore(KVStore):
     @property
     def sstable_count(self) -> int:
         """Number of live SSTables (exposed for tests and ablations)."""
-        return len(self._tables)
+        with self._lock:
+            return len(self._tables)
 
     @property
     def memtable_size(self) -> int:
-        return len(self._memtable)
+        with self._lock:
+            return len(self._memtable)
 
     def verify_integrity(self) -> None:
         """Cheap invariant check used by tests: scan yields sorted keys."""

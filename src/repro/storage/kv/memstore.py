@@ -7,9 +7,9 @@ test; keeps benchmark setup fast while preserving ordering semantics.
 from __future__ import annotations
 
 import bisect
-import threading
 from typing import Iterator, Optional, Tuple
 
+from repro.common.locks import make_lock
 from repro.storage.kv.api import KVStore
 
 
@@ -22,7 +22,7 @@ class MemStore(KVStore):
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("MemStore._lock")
         self._values: dict[bytes, bytes] = {}
         self._sorted_keys: list[bytes] = []
 

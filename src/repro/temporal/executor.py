@@ -41,8 +41,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.common import locks as conc
 from repro.common.errors import ConfigError, DeadlineExceededError
 from repro.common.resilience import Deadline
 
@@ -148,26 +149,38 @@ class ThreadPoolQueryExecutor(QueryExecutor):
             max_workers=min(self._workers, len(work)),
             thread_name_prefix="repro-query",
         ) as pool:
+            # Each submission crosses the concurrency seam: under the
+            # race sanitizer, wrap_task snapshots the submitter's vector
+            # clock (fork edge) and join_task merges the worker's clock
+            # back after its result is read (join edge).  The default
+            # factory makes both free.
+            tasks: List[Callable[..., Any]] = [
+                conc.wrap_task(guarded) for _ in work
+            ]
             futures: List[Future[ResultT]] = [
-                pool.submit(guarded, item) for item in work
+                pool.submit(task, item) for task, item in zip(tasks, work)
             ]
             # The pool's __exit__ waits for every non-cancelled future,
             # so even when an early future raises below, no worker is
             # still mutating shared state by the time the caller sees
             # the exception.
             try:
-                if deadline is None:
-                    return [future.result() for future in futures]
                 collected: List[ResultT] = []
-                for future in futures:
-                    try:
-                        collected.append(future.result(timeout=deadline.remaining()))
-                    except FutureTimeoutError:
-                        raise DeadlineExceededError(
-                            f"query fan-out abandoned: deadline of "
-                            f"{deadline.budget:g}s exceeded with "
-                            f"{len(collected)}/{len(futures)} fetches done"
-                        ) from None
+                for index, future in enumerate(futures):
+                    if deadline is None:
+                        collected.append(future.result())
+                    else:
+                        try:
+                            collected.append(
+                                future.result(timeout=deadline.remaining())
+                            )
+                        except FutureTimeoutError:
+                            raise DeadlineExceededError(
+                                f"query fan-out abandoned: deadline of "
+                                f"{deadline.budget:g}s exceeded with "
+                                f"{len(collected)}/{len(futures)} fetches done"
+                            ) from None
+                    conc.join_task(tasks[index])
                 return collected
             except BaseException:
                 # Propagate cancellation: anything not yet started stays

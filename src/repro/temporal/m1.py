@@ -21,7 +21,6 @@ each -- the bundle -- leaving the deletion marker's block untouched
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -29,7 +28,9 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.common import metrics as metric_names
 from repro.common.errors import IndexingError, TemporalQueryError
+from repro.common.locks import make_lock
 from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.sanitizer.shared import sanitize_shared
 from repro.common.timeutils import Stopwatch
 from repro.fabric.gateway import Gateway
 from repro.fabric.ledger import Ledger
@@ -364,6 +365,7 @@ class M1Indexer:
         return written, bundled
 
 
+@sanitize_shared("_bundle_cache")
 class M1QueryEngine:
     """Temporal queries over Model M1 indexes.
 
@@ -387,7 +389,7 @@ class M1QueryEngine:
         self._ledger = ledger
         self._metrics = metrics
         self._cache_size = bundle_cache_size
-        self._cache_lock = threading.Lock()
+        self._cache_lock = make_lock("M1QueryEngine._cache_lock")
         self._bundle_cache: "OrderedDict[str, List[Event]]" = OrderedDict()
 
     # -- index metadata ---------------------------------------------------

@@ -9,7 +9,12 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import run_lint
-from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    save_baseline,
+)
 from repro.analysis.findings import Finding
 from tests.analysis.helpers import FIXTURES, find_lines
 
@@ -109,3 +114,79 @@ def test_baseline_matching_is_multiset():
     new, stale = apply_baseline([finding, twin], baseline)
     assert len(new) == 1  # the second instance is genuinely new
     assert not stale
+
+
+def test_write_baseline_output_is_deterministic(tmp_path):
+    # The committed file must be byte-identical no matter what order the
+    # rules emitted findings in, or diffs churn on every rewrite.
+    findings = [
+        Finding(path="src/b.py", line=9, rule_id="ERR001", message="m2"),
+        Finding(path="src/a.py", line=3, rule_id="DUR001", message="m1"),
+        Finding(path="src/a.py", line=1, rule_id="DUR001", message="m0"),
+    ]
+    first, second = tmp_path / "one.json", tmp_path / "two.json"
+    save_baseline(first, findings)
+    save_baseline(second, list(reversed(findings)))
+    assert first.read_bytes() == second.read_bytes()
+    paths = [entry["path"] for entry in json.loads(first.read_text())["findings"]]
+    assert paths == sorted(paths)
+
+
+def test_prune_baseline_drops_unknown_rules_and_missing_files(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "a.py").write_text('"""Exists."""\n')
+    live = Finding(path="src/a.py", line=3, rule_id="ERR001", message="m")
+    gone_file = Finding(path="src/gone.py", line=1, rule_id="ERR001", message="m")
+    gone_rule = Finding(path="src/a.py", line=5, rule_id="ZZZ999", message="m")
+    kept, dropped = prune_baseline(
+        [live, gone_file, gone_rule], tmp_path, known_rules=["ERR001"]
+    )
+    assert kept == [live]
+    reasons = {entry.rule_id: reason for entry, reason in dropped}
+    assert "no longer exists" in reasons["ERR001"]
+    assert "no longer registered" in reasons["ZZZ999"]
+
+
+def test_stale_entries_for_vanished_files_warn_and_do_not_absorb(project):
+    # Regression: an entry pointing at a deleted file used to sit in the
+    # baseline silently.  It must now surface as a dropped-entry warning
+    # -- and, critically, not spend its absorption budget on a finding
+    # from some *other* file with the same rule and message.
+    baseline = project / "lint-baseline.json"
+    lint(project, baseline_path=baseline, write_baseline=True)
+    entries = load_baseline(baseline)
+    ghosts = [
+        Finding(
+            path="src/deleted.py",
+            line=entry.line,
+            rule_id=entry.rule_id,
+            message=entry.message,
+        )
+        for entry in entries
+    ] + [Finding(path="src/a.py", line=1, rule_id="NOPE001", message="m")]
+    save_baseline(baseline, ghosts)
+    result = lint(project, baseline_path=baseline)
+    # The ghosts were dropped, so the real findings are new again.
+    assert not result.ok
+    assert len(result.new_findings) == 3
+    assert len(result.dropped_baseline) == 4
+    text = result.render_text()
+    assert "dropped baseline entries" in text
+    assert "src/deleted.py" in text and "no longer exists" in text
+    assert "NOPE001" in text and "no longer registered" in text
+
+
+def test_dropped_entries_round_trip_through_the_lint_cache(project):
+    baseline = project / "lint-baseline.json"
+    cache = project / ".lint-cache.json"
+    save_baseline(
+        baseline,
+        [Finding(path="src/gone.py", line=1, rule_id="ERR001", message="m")],
+    )
+    cold = lint(project, baseline_path=baseline, cache_path=cache)
+    warm = lint(project, baseline_path=baseline, cache_path=cache)
+    assert warm.from_cache and not cold.from_cache
+    assert [
+        (entry.path, reason) for entry, reason in warm.dropped_baseline
+    ] == [(entry.path, reason) for entry, reason in cold.dropped_baseline]
+    assert "no longer exists" in warm.render_text()

@@ -496,6 +496,7 @@ class TestMutationAcceptance:
                 "    def hard_reset(self):\n"
                 '        """Racy rebind of the counter dict (unlocked)."""\n'
                 "        self._counters = {}\n\n" + anchor,
+                1,  # the null-registry subclass re-declares increment()
             )
         )
         result = run_lint([real_tree / "src"], root=real_tree)
@@ -564,9 +565,11 @@ class TestMutationAcceptance:
         text = target.read_text()
         anchor = "    def increment(self"
         assert anchor in text
+        anchor_import = "from contextlib import contextmanager\n"
+        assert anchor_import in text
         text = text.replace(
-            "import threading\n",
-            "import threading\n\nfrom repro.fabric.blockcache import BlockCache\n",
+            anchor_import,
+            anchor_import + "\nfrom repro.fabric.blockcache import BlockCache\n",
             1,
         )
         text = text.replace(
@@ -575,6 +578,7 @@ class TestMutationAcceptance:
             '        """Deliberate inversion: registry lock, then cache lock."""\n'
             "        with self._lock:\n"
             '            cache.invalidate("genesis")\n\n' + anchor,
+            1,  # the null-registry subclass re-declares increment()
         )
         target.write_text(text)
         inversion_line = 1 + text.splitlines().index(
@@ -599,8 +603,10 @@ class TestMutationAcceptance:
         text = target.read_text()
         anchor = "        with self._lock:\n            value = self._counters.get(name, 0) + amount\n"
         assert anchor in text
+        anchor_import = "from contextlib import contextmanager\n"
+        assert anchor_import in text
         text = text.replace(
-            "import threading\n", "import threading\nimport time\n", 1
+            anchor_import, "import time\n\n" + anchor_import, 1
         )
         text = text.replace(
             anchor,
@@ -637,6 +643,7 @@ class TestMutationAcceptance:
             "        if self._counters:\n"
             "            with self._lock:\n"
             "                self._counters = {}\n\n" + anchor,
+            1,  # the null-registry subclass re-declares increment()
         )
         target.write_text(text)
         check_line = 1 + text.splitlines().index("        if self._counters:")

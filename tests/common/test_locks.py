@@ -1,0 +1,119 @@
+"""The concurrency-seam factory: defaults, install/reset, task passthrough."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common import locks
+
+
+@pytest.fixture(autouse=True)
+def _default_factory():
+    # Pin the plain-threading default for the duration of each test so
+    # the module's "default behaviour" assertions hold even under the
+    # REPRO_SAN=1 leg (where the session installs the sanitizer's
+    # factory); restore whatever was installed afterwards.
+    previous = locks.current_factory()
+    locks.reset_factory()
+    yield
+    locks.install_factory(previous)
+
+
+def test_default_locks_are_working_threading_primitives():
+    lock = locks.make_lock("test.lock")
+    with lock:
+        assert not lock.acquire(blocking=False)
+    assert lock.acquire(blocking=False)
+    lock.release()
+
+    rlock = locks.make_rlock("test.rlock")
+    with rlock:
+        with rlock:  # re-entrant
+            pass
+
+
+def test_default_condition_wait_notify():
+    cond = locks.make_condition(name="test.cond")
+    ready = []
+
+    def waiter() -> None:
+        with cond:
+            while not ready:
+                cond.wait(timeout=5)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    with cond:
+        ready.append(True)
+        cond.notify()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+
+
+def test_default_condition_accepts_an_explicit_lock():
+    lock = locks.make_lock("test.lock")
+    cond = locks.make_condition(lock, "test.cond")
+    with cond:
+        pass
+    # The condition really wraps *that* lock, not a private one.
+    with lock:
+        pass
+
+
+def test_default_wrap_task_is_identity_and_join_is_a_noop():
+    def fn() -> int:
+        return 1
+
+    assert locks.wrap_task(fn) is fn
+    locks.join_task(fn)
+
+
+def test_install_factory_swaps_future_constructions_only():
+    class Recording:
+        def __init__(self) -> None:
+            self.names = []
+
+        def make_lock(self, name):
+            self.names.append(name)
+            return threading.Lock()
+
+        def make_rlock(self, name):
+            self.names.append(name)
+            return threading.RLock()
+
+        def make_condition(self, lock, name):
+            self.names.append(name)
+            return threading.Condition(lock)
+
+        def wrap_task(self, fn):
+            return fn
+
+        def join_task(self, task):
+            return None
+
+    before = locks.make_lock("pre-install")
+    factory = Recording()
+    previous = locks.install_factory(factory)
+    try:
+        assert locks.current_factory() is factory
+        locks.make_lock("a")
+        locks.make_rlock("b")
+        locks.make_condition(None, "c")
+        assert factory.names == ["a", "b", "c"]
+        # The pre-install lock is untouched by the swap.
+        with before:
+            pass
+    finally:
+        locks.install_factory(previous)
+    assert locks.current_factory() is previous
+
+
+def test_reset_factory_restores_the_default():
+    sentinel = object()
+    locks.install_factory(sentinel)  # type: ignore[arg-type]
+    locks.reset_factory()
+    assert locks.current_factory() is not sentinel
+    with locks.make_lock("after-reset"):
+        pass

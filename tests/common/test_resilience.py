@@ -8,6 +8,7 @@ from a wall clock.
 from __future__ import annotations
 
 import itertools
+import threading
 
 import pytest
 
@@ -196,6 +197,42 @@ class TestCircuitBreaker:
         assert breaker.state == "half-open"
         assert breaker.allow()  # the probe
         assert not breaker.allow()  # everyone else waits for its outcome
+
+    def test_half_open_probe_is_single_under_thread_contention(self):
+        # The single-probe guarantee must hold against real threads, not
+        # just sequential calls: _probe_in_flight flips under the breaker
+        # lock, so of N workers released simultaneously into allow()
+        # exactly one wins the probe slot.  No outcome is recorded until
+        # every worker has answered -- a probe success would close the
+        # breaker and let latecomers through legitimately.
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == "half-open"
+
+        workers = 16
+        barrier = threading.Barrier(workers)
+        allowed = [False] * workers
+
+        def contend(index: int) -> None:
+            barrier.wait()
+            allowed[index] = breaker.allow()
+
+        threads = [
+            threading.Thread(target=contend, args=(index,))
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(allowed) == 1, f"{sum(allowed)} probes escaped"
+        # The winner reports back; only then does traffic resume.
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
 
     def test_probe_success_closes_and_resets_window(self):
         clock = FakeClock()

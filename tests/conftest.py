@@ -1,12 +1,61 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and the opt-in sanitizer session mode.
+
+``REPRO_SAN=1`` runs the whole test session inside one dynamic race
+sanitizer session: every lock built through the
+:mod:`repro.common.locks` seam is traced, every ``@sanitize_shared``
+class's attribute traffic feeds the happens-before/lockset engine, and
+at session end the combined race report is written (default
+``race-report.json``; override with ``REPRO_SAN_REPORT``).  Any race
+turns a green test run red -- this is the CI leg that catches
+interleaving bugs the assertions themselves never look for.
+
+``REPRO_SEED`` seeds the session (recorded in the report) so a failing
+run replays.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.common.metrics import MetricsRegistry
 
+_SAN_ENABLED = os.environ.get("REPRO_SAN") == "1"
+
 
 @pytest.fixture
 def metrics() -> MetricsRegistry:
     return MetricsRegistry()
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    """Start the session-wide sanitizer when ``REPRO_SAN=1``."""
+    if not _SAN_ENABLED:
+        return
+    from repro.common.config import repro_seed
+    from repro.sanitizer import runtime
+
+    runtime.enable(seed=repro_seed(0))
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Write the race report and fail the session on any race."""
+    if not _SAN_ENABLED:
+        return
+    from repro.sanitizer import runtime
+
+    sanitizer = runtime.active()
+    if sanitizer is None:
+        # A test left the session disabled (the lifecycle tests manage
+        # their own sessions and restore ours; if one failed mid-way
+        # there is nothing to report).
+        return
+    runtime.disable()
+    workers = int(os.environ.get("REPRO_QUERY_WORKERS", "1"))
+    report = sanitizer.build_report(source="pytest", workers=workers)
+    report.save(os.environ.get("REPRO_SAN_REPORT", "race-report.json"))
+    if not report.ok:
+        print()
+        print(report.render())
+        session.exitstatus = 1

@@ -1,0 +1,146 @@
+"""The static<->dynamic bridge: races cross-checked against CONC findings."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dynamic_witness import cross_check
+from repro.sanitizer.report import (
+    AccessWitness,
+    RaceReport,
+    SanitizerReport,
+)
+
+#: A class CONC001 flags: it owns a lock but writes an attribute
+#: without taking it.
+_RACY_SOURCE = """\
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        self._value = self._value + 1
+"""
+
+#: The same shape with the lock taken: no findings.
+_CLEAN_SOURCE = """\
+import threading
+
+
+class SafeCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value = self._value + 1
+"""
+
+
+def _witness(path: str, line: int, locks=()) -> AccessWitness:
+    return AccessWitness(
+        thread="worker-0",
+        op="attr-write",
+        path=path,
+        line=line,
+        function="bump",
+        locks=tuple(locks),
+    )
+
+
+def _race(path: str, line: int = 10) -> RaceReport:
+    return RaceReport(
+        kind="write-write",
+        cls="Counter",
+        attr="_value",
+        first=_witness(path, line),
+        second=_witness(path, line),
+    )
+
+
+@pytest.fixture
+def project(tmp_path: Path) -> Path:
+    (tmp_path / "racy.py").write_text(_RACY_SOURCE, encoding="utf-8")
+    (tmp_path / "also_racy.py").write_text(
+        _RACY_SOURCE.replace("Counter", "OtherCounter"), encoding="utf-8"
+    )
+    (tmp_path / "clean.py").write_text(_CLEAN_SOURCE, encoding="utf-8")
+    return tmp_path
+
+
+def _saved_report(tmp_path: Path, races) -> Path:
+    report = SanitizerReport(seed=5, workers=8, source="test", races=races)
+    path = tmp_path / "race-report.json"
+    report.save(path)
+    return path
+
+
+def test_race_in_a_flagged_file_confirms_the_finding(project: Path):
+    report_path = _saved_report(project, [_race("racy.py")])
+    result = cross_check(report_path, [project], root=project)
+    assert [finding.path for finding, _ in result.confirmed] == ["racy.py"]
+    # The other file's finding had no witness; the clean file is silent.
+    assert [f.path for f in result.unwitnessed] == ["also_racy.py"]
+    assert result.invisible == []
+    assert not result.ok  # a race always fails the run
+    assert "CONFIRMED" in result.render_text()
+    assert "UNWITNESSED" in result.render_text()
+
+
+def test_race_in_an_unflagged_file_is_statically_invisible(project: Path):
+    report_path = _saved_report(project, [_race("clean.py", line=12)])
+    result = cross_check(report_path, [project], root=project)
+    assert result.confirmed == []
+    assert len(result.invisible) == 1
+    assert "STATICALLY-INVISIBLE" in result.render_text()
+    document = json.loads(result.render_json())
+    assert document["ok"] is False
+    assert document["invisible"][0]["attr"] == "_value"
+
+
+def test_clean_report_over_findings_is_all_unwitnessed(project: Path):
+    report_path = _saved_report(project, [])
+    result = cross_check(report_path, [project], root=project)
+    assert result.confirmed == []
+    assert result.invisible == []
+    assert len(result.unwitnessed) == 2
+    # No race, but the static findings still fail lint semantics.
+    assert result.report.ok and not result.lint.ok and not result.ok
+
+
+def test_report_save_load_round_trip(tmp_path: Path):
+    original = SanitizerReport(
+        seed=9,
+        workers=4,
+        fuzz_rounds=2,
+        source="pytest",
+        scenarios=["metrics"],
+        races=[_race("racy.py")],
+        lock_order_cycles=[{"locks": ["A", "B", "A"], "witnesses": []}],
+        events_traced=123,
+        duration_seconds=1.5,
+    )
+    path = tmp_path / "report.json"
+    original.save(path)
+    loaded = SanitizerReport.load(path)
+    assert loaded.to_json() == original.to_json()
+    assert loaded.races[0] == original.races[0]
+    assert not loaded.ok
+
+
+def test_unsupported_report_version_is_rejected(tmp_path: Path):
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps({"version": 999}), encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported format"):
+        SanitizerReport.load(path)
+    path.write_text("not json {", encoding="utf-8")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        SanitizerReport.load(path)

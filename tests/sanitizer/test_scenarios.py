@@ -1,0 +1,50 @@
+"""The false-positive gate: the unmutated tree runs race-clean.
+
+``run_scenarios`` drives every instrumented seam with 8 workers -- the
+acceptance bar from the issue -- and must report zero races and zero
+lock-order cycles, or the sanitizer would cry wolf in CI.  The
+complementary false-negative gate lives in
+``test_mutation_acceptance.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sanitizer.scenarios import SCENARIOS, run_scenarios
+
+
+def test_unmutated_tree_is_race_clean_at_eight_workers():
+    report = run_scenarios(workers=8, seed=0, fuzz_rounds=1)
+    assert report.races == [], "\n".join(
+        race.render() for race in report.races
+    )
+    assert report.lock_order_cycles == []
+    assert report.events_traced > 0
+    assert report.ok
+
+
+def test_single_scenario_selection_runs_only_that_scenario():
+    report = run_scenarios(["metrics"], workers=2, seed=3)
+    assert report.scenarios == ["metrics"]
+    assert report.workers == 2
+    assert report.seed == 3
+    assert report.ok
+
+
+def test_unknown_scenario_name_is_a_config_error():
+    with pytest.raises(ConfigError, match="unknown scenario"):
+        run_scenarios(["no-such-scenario"], workers=2)
+
+
+def test_too_few_workers_is_a_config_error():
+    # A single worker cannot interleave; silently "passing" would make
+    # the race-clean gate meaningless.
+    with pytest.raises(ConfigError, match="workers"):
+        run_scenarios(["metrics"], workers=1)
+
+
+def test_every_scenario_has_a_docstring_for_the_cli_listing():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.__doc__, f"scenario {name} needs a docstring"

@@ -1,0 +1,68 @@
+"""Unit tests for the FastTrack-style vector-clock primitives."""
+
+from __future__ import annotations
+
+from repro.sanitizer.vectorclock import (
+    advance,
+    covers,
+    fresh_tid,
+    join_into,
+    new_clock,
+)
+
+
+def test_fresh_tids_are_never_reused():
+    seen = {fresh_tid() for _ in range(100)}
+    assert len(seen) == 100
+    assert fresh_tid() not in seen
+
+
+def test_new_clock_covers_only_its_own_first_tick():
+    tid = fresh_tid()
+    clock = new_clock(tid)
+    assert covers(clock, tid, 1)
+    assert not covers(clock, tid, 2)
+    assert not covers(clock, fresh_tid(), 1)
+
+
+def test_advance_ticks_one_component():
+    tid, other = fresh_tid(), fresh_tid()
+    clock = new_clock(tid)
+    advance(clock, tid)
+    assert covers(clock, tid, 2)
+    assert not covers(clock, other, 1)
+
+
+def test_join_into_is_pointwise_max():
+    a, b = fresh_tid(), fresh_tid()
+    target = {a: 3, b: 1}
+    join_into(target, {a: 2, b: 5})
+    assert target == {a: 3, b: 5}
+
+
+def test_join_models_fork_join_ordering():
+    # Parent forks child (child joins parent's snapshot), both work,
+    # parent joins child's finish clock: the child's accesses are then
+    # covered, a stranger's are not.
+    parent, child, stranger = fresh_tid(), fresh_tid(), fresh_tid()
+    parent_clock = new_clock(parent)
+    child_clock = new_clock(child)
+    join_into(child_clock, dict(parent_clock))  # fork edge
+    advance(child_clock, child)  # child does work
+    join_into(parent_clock, child_clock)  # join edge
+    assert covers(parent_clock, child, 2)
+    assert not covers(parent_clock, stranger, 1)
+
+
+def test_release_acquire_edge_through_a_lock_clock():
+    # Thread A releases (publishes to the lock), thread B acquires
+    # (joins the lock clock in): A's prior accesses become ordered
+    # before B's subsequent ones.
+    a, b = fresh_tid(), fresh_tid()
+    a_clock, b_clock = new_clock(a), new_clock(b)
+    lock_clock: dict = {}
+    join_into(lock_clock, a_clock)  # A's release
+    advance(a_clock, a)
+    join_into(b_clock, lock_clock)  # B's acquire
+    assert covers(b_clock, a, 1)
+    assert not covers(a_clock, b, 1)
