@@ -35,7 +35,7 @@ from repro.analysis.findings import Finding
 #: 2: the CFG/lockset layer landed (CONC002-004, TEMP001 rewrite) --
 #: results from schema-1 runs no longer reflect the rule set.
 #: 3: results gained ``dropped_baseline`` (pruned stale entries).
-CACHE_SCHEMA = 3
+CACHE_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -104,13 +104,22 @@ def baseline_digest(baseline_path: Optional[Path]) -> str:
 
 
 def run_fingerprint(
-    stamps: Sequence[FileStamp], select: Sequence[str], baseline: str
+    stamps: Sequence[FileStamp],
+    select: Sequence[str],
+    baseline: str,
+    witness: str = "absent",
 ) -> str:
-    """One hash covering everything that can change the run's outcome."""
+    """One hash covering everything that can change the run's outcome.
+
+    ``witness`` is the digest of the dynamic footprint-witness report
+    (``footprint-report.json``): KEY003's findings are a function of
+    that file's bytes, so a cached result must not outlive it.
+    """
     digest = hashlib.sha256()
     digest.update(f"schema={CACHE_SCHEMA}\n".encode())
     digest.update(f"select={','.join(sorted(select))}\n".encode())
     digest.update(f"baseline={baseline}\n".encode())
+    digest.update(f"witness={witness}\n".encode())
     for stamp in stamps:
         digest.update(f"{stamp.relpath}={stamp.sha256}\n".encode())
     return digest.hexdigest()

@@ -1,0 +1,27 @@
+"""Interprocedural chaincode key-footprint inference.
+
+Computes, per chaincode entry point (dispatch arm), a conservative
+summary of the state-key namespaces it can read and write -- exact
+literal keys, literal-prefix namespaces, client-argument-determined
+keys, or ⊤ -- and exports them for the KEY rule family, for human
+inspection (``repro lint --footprint``), and for the runtime parallel
+validator (:mod:`repro.fabric.footprint`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.footprint.inference import (
+    EntryFootprint,
+    FootprintAnalysis,
+    footprint_for,
+)
+from repro.analysis.footprint.namespaces import KeyPattern, matches, overlaps
+
+__all__ = [
+    "EntryFootprint",
+    "FootprintAnalysis",
+    "KeyPattern",
+    "footprint_for",
+    "matches",
+    "overlaps",
+]

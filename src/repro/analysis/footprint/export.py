@@ -1,0 +1,293 @@
+"""Footprint report formats and the static/dynamic bridge.
+
+Two consumers, two formats:
+
+* ``repro lint --footprint json`` -- the machine-readable per-entry-point
+  summary.  This is also the file the runtime loads
+  (:class:`repro.fabric.footprint.ChaincodeFootprint`) to drive
+  dependency-aware parallel validation, so its schema is versioned.
+* ``repro lint --footprint dot`` -- a bipartite entry-point/namespace
+  graph for eyeballing which chaincode functions share key space.
+
+The bridge (consumed by KEY003) follows the race sanitizer's
+cross-check pattern: a dynamic witness file (``footprint-report.json``,
+written by :class:`repro.fabric.footprint.FootprintRecorder` at
+endorsement time) is compared against the static footprints.
+
+* **CONFIRMED** -- a witnessed key falls inside a static namespace: the
+  static pass predicted this access.
+* **STATICALLY-INVISIBLE** -- a witnessed key matches *no* static
+  namespace for that function: the inference has a soundness hole (an
+  unrecognized dispatch arm, an unmodeled key construction) and the
+  parallel validator must not trust the footprint for that chaincode.
+* **UNWITNESSED** -- a static namespace no dynamic run ever touched:
+  not an error, but a coverage gap worth knowing when reading reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.footprint.inference import (
+    READ_KINDS,
+    WRITE_KINDS,
+    EntryFootprint,
+    FootprintAnalysis,
+)
+from repro.analysis.footprint.namespaces import KeyPattern, matches
+
+#: Version stamp of the JSON export (bumped on shape changes so the
+#: runtime loader can reject stale files).
+FOOTPRINT_SCHEMA = 1
+
+#: Filename of the dynamic witness report at the project root.
+DYNAMIC_REPORT_NAME = "footprint-report.json"
+
+CONFIRMED = "CONFIRMED"
+INVISIBLE = "STATICALLY-INVISIBLE"
+UNWITNESSED = "UNWITNESSED"
+
+
+def entry_to_json(entry: EntryFootprint) -> Dict[str, Any]:
+    """One entry point's summary as a JSON-ready dict (schema 1)."""
+    return {
+        "class": entry.class_qualname,
+        "chaincode": entry.chaincode,
+        "fn": entry.fn,
+        "path": entry.path,
+        "line": entry.line,
+        "reads": [pattern.to_json() for pattern in entry.reads()],
+        "writes": [pattern.to_json() for pattern in entry.writes()],
+        "hidden_reads": [
+            pattern.to_json() for pattern in entry.hidden_reads()
+        ],
+        "ops": [
+            {
+                "op": op.kind,
+                "line": op.line,
+                "pattern": op.pattern.to_json(),
+                "via": list(op.via),
+            }
+            for op in entry.ops
+        ],
+    }
+
+
+def footprint_json(analysis: FootprintAnalysis) -> Dict[str, Any]:
+    """The full ``--footprint json`` report."""
+    return {
+        "schema": FOOTPRINT_SCHEMA,
+        "entries": [entry_to_json(entry) for entry in analysis.entries],
+    }
+
+
+def footprint_dot(analysis: FootprintAnalysis) -> str:
+    """Bipartite DOT graph: entry points on the left, namespaces on the
+    right, solid edges for writes and dashed for reads."""
+    lines = [
+        "digraph footprint {",
+        "  rankdir=LR;",
+        '  node [fontname="monospace"];',
+    ]
+    namespaces: Dict[str, str] = {}
+
+    def namespace_node(pattern: KeyPattern) -> str:
+        rendered = pattern.render()
+        if rendered not in namespaces:
+            namespaces[rendered] = f"ns{len(namespaces)}"
+            shape = "doubleoctagon" if pattern.kind == "top" else "ellipse"
+            lines.append(
+                f'  {namespaces[rendered]} [label="{_dot_escape(rendered)}", '
+                f"shape={shape}];"
+            )
+        return namespaces[rendered]
+
+    for index, entry in enumerate(analysis.entries):
+        node = f"ep{index}"
+        label = f"{entry.class_name}.{entry.fn}"
+        lines.append(f'  {node} [label="{_dot_escape(label)}", shape=box];')
+        for pattern in entry.writes():
+            lines.append(f"  {node} -> {namespace_node(pattern)};")
+        for pattern in entry.reads():
+            lines.append(
+                f"  {node} -> {namespace_node(pattern)} [style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _dot_escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\x00", "\\\\x00")
+        .replace("\x02", "\\\\x02")
+    )
+
+
+# -- static/dynamic bridge -------------------------------------------------
+
+
+@dataclass
+class BridgeVerdict:
+    """One comparison of a dynamic witness against the static footprint."""
+
+    status: str
+    chaincode: str
+    fn: str
+    detail: str
+    #: Anchor for findings/reports (path/line of the static entry point,
+    #: or of the chaincode's dispatch when the arm itself is missing).
+    path: str = ""
+    line: int = 0
+
+
+def load_dynamic_report(root: Path) -> Optional[Dict[str, Any]]:
+    """The witness report at the project root, or ``None`` if absent or
+    unreadable (the bridge is strictly opt-in)."""
+    path = root / DYNAMIC_REPORT_NAME
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict) or "chaincodes" not in raw:
+        return None
+    return raw
+
+
+def dynamic_report_digest(root: Path) -> str:
+    """Content digest of the witness file (folded into the lint cache
+    fingerprint: KEY003's output depends on this file's bytes)."""
+    import hashlib
+
+    path = root / DYNAMIC_REPORT_NAME
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return "absent"
+
+
+@dataclass
+class _FnFootprint:
+    entry: Optional[EntryFootprint] = None
+    reads: List[KeyPattern] = field(default_factory=list)
+    writes: List[KeyPattern] = field(default_factory=list)
+
+
+def cross_check(
+    analysis: FootprintAnalysis, report: Dict[str, Any]
+) -> List[BridgeVerdict]:
+    """Compare every witnessed key against the static namespaces."""
+    by_fn: Dict[Tuple[str, str], _FnFootprint] = {}
+    by_chaincode: Dict[str, List[EntryFootprint]] = {}
+    for entry in analysis.entries:
+        by_fn[(entry.chaincode, entry.fn)] = _FnFootprint(
+            entry=entry,
+            reads=entry.patterns(READ_KINDS),
+            writes=entry.patterns(WRITE_KINDS),
+        )
+        by_chaincode.setdefault(entry.chaincode, []).append(entry)
+
+    verdicts: List[BridgeVerdict] = []
+    witnessed: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+    chaincodes = report.get("chaincodes", {})
+    if not isinstance(chaincodes, dict):
+        return verdicts
+    for chaincode in sorted(chaincodes):
+        fns = chaincodes[chaincode]
+        if not isinstance(fns, dict):
+            continue
+        anchors = by_chaincode.get(chaincode, [])
+        for fn in sorted(fns):
+            access = fns[fn] if isinstance(fns[fn], dict) else {}
+            static = by_fn.get((chaincode, fn))
+            if static is None:
+                if not anchors:
+                    # The chaincode itself is outside the analyzed tree
+                    # (e.g. constructed dynamically in a test); there is
+                    # nothing to anchor a verdict to.
+                    continue
+                anchor = min(anchors, key=lambda e: e.line)
+                verdicts.append(
+                    BridgeVerdict(
+                        status=INVISIBLE,
+                        chaincode=chaincode,
+                        fn=fn,
+                        detail=(
+                            "dispatch arm was exercised dynamically but "
+                            "not recognized statically"
+                        ),
+                        path=anchor.path,
+                        line=anchor.line,
+                    )
+                )
+                continue
+            entry = static.entry
+            assert entry is not None
+            for side, patterns in (
+                ("reads", static.reads),
+                ("writes", static.writes),
+            ):
+                for key in sorted(set(map(str, access.get(side, ())))):
+                    hit = any(matches(p, key) for p in patterns)
+                    witnessed.setdefault((chaincode, fn), set()).add(
+                        (side, key)
+                    )
+                    verdicts.append(
+                        BridgeVerdict(
+                            status=CONFIRMED if hit else INVISIBLE,
+                            chaincode=chaincode,
+                            fn=fn,
+                            detail=(
+                                f"witnessed {side[:-1]} of {key!r} "
+                                + (
+                                    "falls inside the static footprint"
+                                    if hit
+                                    else "matches no static namespace"
+                                )
+                            ),
+                            path=entry.path,
+                            line=entry.line,
+                        )
+                    )
+    # Coverage gaps: static namespaces no dynamic run touched.
+    for (chaincode, fn), static in sorted(by_fn.items()):
+        if (chaincode, fn) not in witnessed and chaincode in {
+            str(name) for name in chaincodes
+        }:
+            entry = static.entry
+            assert entry is not None
+            if static.reads or static.writes:
+                verdicts.append(
+                    BridgeVerdict(
+                        status=UNWITNESSED,
+                        chaincode=chaincode,
+                        fn=fn,
+                        detail="static footprint never witnessed dynamically",
+                        path=entry.path,
+                        line=entry.line,
+                    )
+                )
+    return verdicts
+
+
+def render_bridge_text(verdicts: List[BridgeVerdict]) -> str:
+    """Human-readable cross-check report, one line per verdict."""
+    lines = []
+    for verdict in verdicts:
+        lines.append(
+            f"[{verdict.status}] {verdict.chaincode}.{verdict.fn}: "
+            f"{verdict.detail} ({verdict.path}:{verdict.line})"
+        )
+    counts: Dict[str, int] = {}
+    for verdict in verdicts:
+        counts[verdict.status] = counts.get(verdict.status, 0) + 1
+    summary = ", ".join(
+        f"{counts.get(status, 0)} {status.lower()}"
+        for status in (CONFIRMED, INVISIBLE, UNWITNESSED)
+    )
+    lines.append(f"bridge: {summary}")
+    return "\n".join(lines) + "\n"

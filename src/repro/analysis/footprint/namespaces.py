@@ -1,0 +1,265 @@
+"""The key-namespace abstract domain footprint inference computes over.
+
+A chaincode builds state keys four ways, and the domain has one shape
+for each:
+
+* a string literal (``stub.put_state("\\x02m1-runs", ...)``) or a class
+  constant -- an exact key, :data:`LIT`;
+* concatenation / f-strings with a literal head
+  (``f"idx\\x00{key}"``) -- a literal *prefix* namespace, :data:`PRE`;
+* a value derived deterministically from the transaction's client
+  arguments (``key, *_ = args``) -- :data:`ARG`: opaque to the static
+  pass but fixed at endorsement time, so the dynamic RWSet witnesses it
+  and the parallel validator can group by the exact keys;
+* everything else -- a value read back from the ledger, a
+  nondeterministic source, unbounded growth -- :data:`TOP`: the
+  chaincode can touch *any* key, which is exactly what KEY001 flags.
+
+Internally the inference works on richer *terms* (concatenations with
+unresolved parameters) so summaries compose across calls; terms
+:func:`normalize` into the four-shape :class:`KeyPattern` lattice when
+they escape into reports, rules or the runtime footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple, Union
+
+#: Caps keeping term growth (and therefore the fixpoint) finite: terms
+#: wider than this collapse to their normalized pattern, and literal
+#: prefixes longer than this are truncated into an open prefix.
+MAX_TERM_PARTS = 12
+MAX_LITERAL_LENGTH = 256
+
+# -- terms (internal representation) --------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A known literal fragment."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Param:
+    """The enclosing function's parameter ``index`` (pre-substitution)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ArgInput:
+    """A value derived from the transaction's client-supplied arguments."""
+
+
+@dataclass(frozen=True)
+class LedgerValue:
+    """A value read back from the ledger (unknowable before execution)."""
+
+
+@dataclass(frozen=True)
+class Unknown:
+    """A value from a nondeterministic source or untracked construct."""
+
+
+@dataclass(frozen=True)
+class Concat:
+    """Ordered concatenation of fragments (f-strings, ``+``, joins)."""
+
+    parts: Tuple["Term", ...]
+
+
+Term = Union[Lit, Param, ArgInput, LedgerValue, Unknown, Concat]
+
+
+def concat(*parts: Term) -> Term:
+    """Build a concatenation, flattening nested ones and folding adjacent
+    literals; collapses to a coarse term when it exceeds the width cap."""
+    flat: list[Term] = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    folded: list[Term] = []
+    for part in flat:
+        if (
+            folded
+            and isinstance(part, Lit)
+            and isinstance(folded[-1], Lit)
+        ):
+            folded[-1] = Lit(folded[-1].text + part.text)
+        else:
+            folded.append(part)
+    if len(folded) == 1:
+        return folded[0]
+    if len(folded) > MAX_TERM_PARTS:
+        return _collapse(folded)
+    return Concat(tuple(folded))
+
+
+def _collapse(parts: list[Term]) -> Term:
+    """Over-approximate an oversized concatenation without losing its
+    literal prefix or its top-ness."""
+    pattern = normalize(Concat(tuple(parts[:MAX_TERM_PARTS])))
+    tail_is_unknown = any(
+        isinstance(part, (LedgerValue, Unknown)) for part in parts
+    )
+    if pattern.kind == LIT:
+        head: Term = Lit(pattern.text)
+    elif pattern.kind == PRE:
+        head = Lit(pattern.text)
+    else:
+        return Unknown() if tail_is_unknown else ArgInput()
+    tail: Term = Unknown() if tail_is_unknown else ArgInput()
+    return Concat((head, tail))
+
+
+def substitute(term: Term, arguments: Dict[int, Term]) -> Term:
+    """Replace :class:`Param` leaves with the caller's argument terms.
+
+    A parameter the caller did not supply stays opaque client input: the
+    polarity errs toward :data:`ARG` (precise enough for reports) rather
+    than :data:`TOP` (which would make every helper call a KEY001 hit).
+    """
+    if isinstance(term, Param):
+        return arguments.get(term.index, ArgInput())
+    if isinstance(term, Concat):
+        return concat(*(substitute(part, arguments) for part in term.parts))
+    return term
+
+
+# -- normalized patterns (exported representation) ------------------------
+
+LIT = "lit"
+PRE = "pre"
+ARG = "arg"
+TOP = "top"
+
+#: Lattice order for reporting: most precise first.
+_KIND_ORDER = {LIT: 0, PRE: 1, ARG: 2, TOP: 3}
+
+
+@dataclass(frozen=True)
+class KeyPattern:
+    """One normalized key namespace: ``lit:<key>``, ``pre:<prefix>``,
+    ``arg`` (client-determined) or ``top`` (unresolvable)."""
+
+    kind: str
+    text: str = ""
+
+    def render(self) -> str:
+        if self.kind in (LIT, PRE):
+            return f"{self.kind}:{self.text!r}"
+        return "⊤" if self.kind == TOP else self.kind
+
+    def to_json(self) -> Dict[str, Any]:
+        """Export shape: ``kind`` plus ``key``/``prefix`` where bound."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        if self.kind in (LIT, PRE):
+            payload["key" if self.kind == LIT else "prefix"] = self.text
+        return payload
+
+    @staticmethod
+    def from_json(raw: Dict[str, Any]) -> "KeyPattern":
+        kind = str(raw.get("kind", TOP))
+        if kind == LIT:
+            return KeyPattern(LIT, str(raw.get("key", "")))
+        if kind == PRE:
+            return KeyPattern(PRE, str(raw.get("prefix", "")))
+        return KeyPattern(kind if kind in (ARG, TOP) else TOP)
+
+    def sort_key(self) -> Tuple[int, str]:
+        """Deterministic ordering: lattice position, then text."""
+        return (_KIND_ORDER.get(self.kind, 9), self.text)
+
+
+def normalize(term: Term) -> KeyPattern:
+    """Collapse a (substitution-free) term into the exported lattice."""
+    if isinstance(term, Lit):
+        if len(term.text) > MAX_LITERAL_LENGTH:
+            return KeyPattern(PRE, term.text[:MAX_LITERAL_LENGTH])
+        return KeyPattern(LIT, term.text)
+    if isinstance(term, (Param, ArgInput)):
+        # Free parameters only escape for functions analyzed outside an
+        # entry-point context; client-input polarity keeps them useful.
+        return KeyPattern(ARG)
+    if isinstance(term, (LedgerValue, Unknown)):
+        return KeyPattern(TOP)
+    parts = term.parts
+    prefix = ""
+    rest = 0
+    for index, part in enumerate(parts):
+        if isinstance(part, Lit):
+            prefix += part.text
+        else:
+            rest = len(parts) - index
+            break
+    else:
+        rest = 0
+    if rest == 0:
+        return normalize(Lit(prefix))
+    tail = parts[len(parts) - rest :]
+    if any(isinstance(part, (LedgerValue, Unknown)) for part in tail):
+        # An unresolvable fragment *after* a literal head still bounds
+        # the namespace; with no head at all the key is unconstrained.
+        return KeyPattern(PRE, prefix[:MAX_LITERAL_LENGTH]) if prefix else KeyPattern(TOP)
+    return KeyPattern(PRE, prefix[:MAX_LITERAL_LENGTH]) if prefix else KeyPattern(ARG)
+
+
+def join_terms(terms: Tuple[Term, ...]) -> Term:
+    """One term standing for "any of ``terms``" (used to cap env growth)."""
+    if not terms:
+        return Unknown()
+    if len(terms) == 1:
+        return terms[0]
+    patterns = [normalize(term) for term in terms]
+    worst = max(patterns, key=lambda p: _KIND_ORDER.get(p.kind, 9))
+    if worst.kind == LIT:
+        common = _common_prefix([p.text for p in patterns])
+        if all(p.text == patterns[0].text for p in patterns):
+            return Lit(patterns[0].text)
+        return Concat((Lit(common), ArgInput())) if common else ArgInput()
+    if worst.kind == PRE:
+        common = _common_prefix(
+            [p.text for p in patterns if p.kind in (LIT, PRE)]
+        )
+        return Concat((Lit(common), ArgInput())) if common else ArgInput()
+    return Unknown() if worst.kind == TOP else ArgInput()
+
+
+def _common_prefix(texts: list[str]) -> str:
+    if not texts:
+        return ""
+    shortest = min(texts, key=len)
+    for index, char in enumerate(shortest):
+        if any(text[index] != char for text in texts):
+            return shortest[:index]
+    return shortest
+
+
+# -- pattern relations -----------------------------------------------------
+
+
+def overlaps(left: KeyPattern, right: KeyPattern) -> bool:
+    """Whether two namespaces can contain a common key (conservative)."""
+    if left.kind in (ARG, TOP) or right.kind in (ARG, TOP):
+        return True
+    if left.kind == LIT and right.kind == LIT:
+        return left.text == right.text
+    if left.kind == LIT:
+        return left.text.startswith(right.text)
+    if right.kind == LIT:
+        return right.text.startswith(left.text)
+    return left.text.startswith(right.text) or right.text.startswith(left.text)
+
+
+def matches(pattern: KeyPattern, key: str) -> bool:
+    """Whether a concrete state key falls inside a namespace."""
+    if pattern.kind == LIT:
+        return key == pattern.text
+    if pattern.kind == PRE:
+        return key.startswith(pattern.text)
+    return True  # arg and top admit any key

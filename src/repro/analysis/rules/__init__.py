@@ -9,6 +9,7 @@ from repro.analysis.rules import (
     determinism,
     durability,
     exceptions,
+    footprint,
     resources,
     temporal_model,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "determinism",
     "durability",
     "exceptions",
+    "footprint",
     "resources",
     "temporal_model",
 ]

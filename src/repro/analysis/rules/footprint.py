@@ -1,0 +1,158 @@
+"""KEY001-003: chaincode key-footprint discipline.
+
+The footprint inference (:mod:`repro.analysis.footprint`) computes, per
+chaincode entry point, the namespaces of state keys it can touch.  Three
+things can go wrong with a chaincode's key behaviour, one rule each:
+
+* **KEY001** -- a write whose key namespace is unresolvable (⊤): the key
+  is derived from a ledger read or a nondeterministic source, so nothing
+  can be said statically about what the function writes.  Such a
+  chaincode defeats footprint-driven parallel validation (every
+  transaction conflicts with everything) and is usually a smell: Fabric
+  keys should be derived from client arguments or constants so the
+  endorsement-time RWSet is decided by the proposal alone.
+* **KEY002** -- a read scheduled *after* a write of an overlapping
+  namespace inside one invocation.  Fabric's simulated reads return the
+  *committed* state, never the invocation's own staged writes, so
+  ``put_state(k, v); get_state(k)`` silently yields the old value -- one
+  of the best-documented chaincode pitfalls.
+* **KEY003** -- the static/dynamic bridge: a key witnessed in an actual
+  endorsement-time RWSet (``footprint-report.json``) that matches *no*
+  static namespace for that function.  This is a soundness hole in the
+  inference or an unrecognized dispatch shape, and it means the parallel
+  validator must not trust the static footprint for that chaincode.
+  Silent when no witness report exists; the report's digest is folded
+  into the lint cache fingerprint so stale results cannot be served.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.footprint.export import (
+    INVISIBLE,
+    cross_check,
+    load_dynamic_report,
+)
+from repro.analysis.footprint.inference import (
+    READ_KINDS,
+    WRITE_KINDS,
+    footprint_for,
+)
+from repro.analysis.footprint.namespaces import TOP, overlaps
+from repro.analysis.project import Project
+from repro.analysis.registry import Rule, register
+
+
+@register
+class UnboundedWriteRule(Rule):
+    """KEY001: every chaincode write must have an inferable namespace."""
+
+    rule_id = "KEY001"
+
+    def check_project(self, project: Project) -> List[Finding]:
+        analysis = footprint_for(project)
+        findings: List[Finding] = []
+        for entry in analysis.entries:
+            seen = set()
+            for op in entry.ops:
+                if op.kind not in WRITE_KINDS or op.pattern.kind != TOP:
+                    continue
+                chain = " -> ".join(op.via) if op.via else "the entry point"
+                key = (op.line, op.kind, chain)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        path=entry.path,
+                        line=op.line,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"chaincode {entry.chaincode!r} fn {entry.fn!r} "
+                            f"performs a {op.kind} whose key namespace is "
+                            f"unresolvable (via {chain}): the key derives "
+                            "from a ledger read or nondeterministic source, "
+                            "so the write set cannot be bounded statically; "
+                            "derive keys from client arguments or constants"
+                        ),
+                    )
+                )
+        return findings
+
+
+@register
+class ReadYourWriteRule(Rule):
+    """KEY002: no read of a namespace the invocation already wrote."""
+
+    rule_id = "KEY002"
+
+    def check_project(self, project: Project) -> List[Finding]:
+        analysis = footprint_for(project)
+        findings: List[Finding] = []
+        for entry in analysis.entries:
+            seen = set()
+            for index, op in enumerate(entry.ops):
+                if op.kind not in WRITE_KINDS:
+                    continue
+                for later in entry.ops[index + 1 :]:
+                    if later.kind not in READ_KINDS:
+                        continue
+                    if not overlaps(op.pattern, later.pattern):
+                        continue
+                    key = (later.line, later.kind, op.line)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        Finding(
+                            path=entry.path,
+                            line=later.line,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"chaincode {entry.chaincode!r} fn "
+                                f"{entry.fn!r} reads namespace "
+                                f"{later.pattern.render()} after writing "
+                                f"{op.pattern.render()} in the same "
+                                "invocation: simulated reads return the "
+                                "committed state, not the staged write, so "
+                                "the read observes the pre-transaction "
+                                "value; restructure to read before writing"
+                            ),
+                        )
+                    )
+        return findings
+
+
+@register
+class FootprintBridgeRule(Rule):
+    """KEY003: dynamically witnessed keys must fall inside the static
+    footprint (silent when no witness report exists)."""
+
+    rule_id = "KEY003"
+
+    def check_project(self, project: Project) -> List[Finding]:
+        report = load_dynamic_report(project.root)
+        if report is None:
+            return []
+        analysis = footprint_for(project)
+        findings: List[Finding] = []
+        for verdict in cross_check(analysis, report):
+            if verdict.status != INVISIBLE or not verdict.path:
+                continue
+            findings.append(
+                Finding(
+                    path=verdict.path,
+                    line=verdict.line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"chaincode {verdict.chaincode!r} fn "
+                        f"{verdict.fn!r}: {verdict.detail}; the static "
+                        "footprint is unsound for this function and must "
+                        "not drive parallel validation until the "
+                        "inference recognizes this key construction"
+                    ),
+                )
+            )
+        return findings

@@ -148,8 +148,13 @@ def run_lint(
             cache_path = resolved_root / cache_path
         cache = LintCache(cache_path)
         stamps = compute_stamps(files, resolved_root, cache.previous_stamps)
+        from repro.analysis.footprint.export import dynamic_report_digest
+
         fingerprint = run_fingerprint(
-            stamps, select, baseline_digest(baseline_path)
+            stamps,
+            select,
+            baseline_digest(baseline_path),
+            witness=dynamic_report_digest(resolved_root),
         )
         cached = cache.lookup(fingerprint)
         if cached is not None:

@@ -170,6 +170,61 @@ class QueryConfig:
             )
 
 
+#: Environment variable controlling the default commit-validation
+#: worker count (1 = the serial validator, Fabric-faithful).
+COMMIT_WORKERS_ENV_VAR = "REPRO_COMMIT_WORKERS"
+
+
+def default_commit_workers() -> int:
+    """Commit-validation worker count from ``REPRO_COMMIT_WORKERS``.
+
+    1 keeps the serial validator.  Any larger value validates
+    key-disjoint conflict groups of each block concurrently (see
+    :class:`repro.fabric.validator.ParallelValidator`); validation codes
+    are byte-identical either way.
+    """
+    raw = os.environ.get(COMMIT_WORKERS_ENV_VAR, "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{COMMIT_WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    return workers
+
+
+@dataclass(frozen=True)
+class CommitConfig:
+    """Commit-path concurrency: parallel validation + pipelined apply.
+
+    Both default off so the serial, Fabric-v1.0-faithful commit path
+    stays the baseline (and the crash sweeps keep their exact crash-point
+    schedule).  The hash chain, validation codes and state fingerprint
+    are byte-identical under every setting -- concurrency here only
+    changes wall-clock time, never ledger contents.
+    """
+
+    #: Validation worker threads (1 = serial validator).
+    workers: int = field(default_factory=default_commit_workers)
+    #: Overlap derived-state application (history index, state-db writes,
+    #: savepoint) of block N with validation of block N+1.  The block
+    #: itself is always appended and synced in the foreground, so the
+    #: chain-durable-before-derived-state recovery invariant holds.
+    pipeline: bool = False
+    #: Optional ``repro lint --footprint json`` export; when set, the
+    #: parallel validator widens conflict groups for chaincodes whose
+    #: access surface the RWSet cannot witness (hidden reads, ⊤ writes).
+    footprint_path: str = ""
+
+    def __post_init__(self) -> None:
+        _require_positive(self.workers, "workers")
+        if self.workers > 128:
+            raise ConfigError(
+                f"workers must be <= 128, got {self.workers} "
+                "(per-group fan-out saturates well before that)"
+            )
+
+
 @dataclass(frozen=True)
 class FabricConfig:
     """Top-level configuration for a simulated Fabric network."""
@@ -178,6 +233,7 @@ class FabricConfig:
     state_db: StateDbConfig = field(default_factory=StateDbConfig)
     block_store: BlockStoreConfig = field(default_factory=BlockStoreConfig)
     query: QueryConfig = field(default_factory=QueryConfig)
+    commit: CommitConfig = field(default_factory=CommitConfig)
     #: Channel name (cosmetic, appears in block headers).
     channel: str = "supply-chain"
     #: How many times a gateway re-endorses and resubmits a transaction

@@ -68,6 +68,13 @@ class KVWrite:
         return KVWrite(key=raw["k"], value=raw["v"], is_delete=bool(raw["d"]))
 
 
+def _read_order(read: KVRead) -> Tuple[str, int, Tuple[int, ...]]:
+    """Deterministic sort key for reads (``None`` versions sort first)."""
+    if read.version is None:
+        return (read.key, 0, ())
+    return (read.key, 1, tuple(read.version))
+
+
 @dataclass
 class RWSet:
     """A transaction's simulated read/write set.
@@ -79,20 +86,37 @@ class RWSet:
 
     reads: List[KVRead] = field(default_factory=list)
     writes: Dict[str, KVWrite] = field(default_factory=dict)
+    #: Mutation counter: bumped by every mutator so payload memoization
+    #: (see :meth:`Transaction.signable_payload`) can detect tampering
+    #: that happens through the RWSet API after signing.
+    _rev: int = field(default=0, repr=False, compare=False)
 
     def add_read(self, key: str, version: Optional[Version]) -> None:
+        self._rev += 1
         self.reads.append(KVRead(key=key, version=version))
 
     def add_write(self, key: str, value: Any) -> None:
+        self._rev += 1
         self.writes[key] = KVWrite(key=key, value=value)
 
     def add_delete(self, key: str) -> None:
+        self._rev += 1
         self.writes[key] = KVWrite(key=key, value=None, is_delete=True)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize with reads and writes in sorted key order.
+
+        Serialization order must be a function of the *contents*, not of
+        the insertion history: the endorser signs these bytes, and a
+        transaction reloaded from the block store re-inserts writes in
+        serialized order.  Sorting here makes the signing bytes -- and
+        every downstream hash -- order-independent.
+        """
         return {
-            "reads": [read.to_dict() for read in self.reads],
-            "writes": [write.to_dict() for write in self.writes.values()],
+            "reads": [read.to_dict() for read in sorted(self.reads, key=_read_order)],
+            "writes": [
+                self.writes[key].to_dict() for key in sorted(self.writes)
+            ],
         }
 
     @staticmethod
@@ -127,6 +151,17 @@ class Transaction:
     private_payloads: Dict[Tuple[str, str], Any] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Memoized ``(rw_set revision, bytes)`` for :meth:`signable_payload`.
+    #: The payload is consumed five times per transaction (endorser
+    #: signature, orderer size estimate, data hash at cut, data-hash
+    #: verify and signature verify at commit) but its inputs are frozen
+    #: once endorsement signs them, so recomputing it is pure waste on
+    #: the ingest hot path.  The cache is keyed by the RWSet's mutation
+    #: counter so tampering through the RWSet API still changes the
+    #: payload (and therefore breaks the data hash, as it must).
+    _payload_cache: Optional[Tuple[int, bytes]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -156,10 +191,22 @@ class Transaction:
         )
 
     def signable_payload(self) -> bytes:
-        """The bytes an endorser signs (RWSet + identity + timestamp)."""
+        """The bytes an endorser signs (RWSet + identity + timestamp).
+
+        Memoized: every field it covers is immutable once the endorser
+        has signed (``validation_code`` and ``private_payloads`` mutate
+        later but are deliberately outside the signed payload).  RWSet
+        mutations bump the set's revision counter and invalidate the
+        cache, so post-signing tampering is still reflected.
+        """
+        if (
+            self._payload_cache is not None
+            and self._payload_cache[0] == self.rw_set._rev
+        ):
+            return self._payload_cache[1]
         import json
 
-        return json.dumps(
+        payload = json.dumps(
             {
                 "rw_set": self.rw_set.to_dict(),
                 "creator": self.creator,
@@ -170,6 +217,8 @@ class Transaction:
             sort_keys=True,
             default=repr,
         ).encode("utf-8")
+        self._payload_cache = (self.rw_set._rev, payload)
+        return payload
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ class Endorser:
         block_store: BlockStore,
         side_db=None,
         collection_policy=None,
+        footprint_recorder=None,
     ) -> None:
         self._identity = identity
         self._state_db = state_db
@@ -38,6 +39,10 @@ class Endorser:
         self._block_store = block_store
         self._side_db = side_db
         self._collection_policy = collection_policy
+        #: Optional :class:`repro.fabric.footprint.FootprintRecorder`:
+        #: when set, every endorsed RWSet's keys are folded into the
+        #: dynamic witness report the KEY003 bridge cross-checks.
+        self._footprint_recorder = footprint_recorder
         self._chaincodes: Dict[str, Chaincode] = {}
         self._tx_occurrences: Dict[Tuple[str, int], int] = {}
 
@@ -88,6 +93,8 @@ class Endorser:
             raise EndorsementError(
                 f"chaincode {chaincode_name!r} fn {fn!r} failed: {exc}"
             ) from exc
+        if self._footprint_recorder is not None:
+            self._footprint_recorder.record(chaincode_name, fn, stub.rw_set)
         tx = Transaction(
             tx_id=tx_id,
             chaincode=chaincode_name,

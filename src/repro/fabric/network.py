@@ -40,6 +40,7 @@ class FabricNetwork:
         metrics: Optional[MetricsRegistry] = None,
         verify_signatures: bool = True,
         fs: FileSystem = REAL_FS,
+        footprint_recorder=None,
     ) -> None:
         self.config = config or FabricConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -59,6 +60,7 @@ class FabricNetwork:
             verify_signatures=verify_signatures,
             collection_policy=self.collection_policy,
             fs=fs,
+            footprint_recorder=footprint_recorder,
         )
         self.peers = {"peer0": self.peer}
         # Resume the chain where the (possibly reopened) ledger left off:

@@ -17,7 +17,6 @@ from repro.fabric.chaincode import Chaincode
 from repro.fabric.endorser import Endorser
 from repro.fabric.identity import Identity
 from repro.fabric.ledger import Ledger
-from repro.fabric.validator import Validator
 from repro.faults.fs import REAL_FS, FileSystem
 
 
@@ -34,10 +33,15 @@ class Peer:
         signature_check: Optional[Callable[[Transaction], bool]] = None,
         collection_policy=None,
         fs: FileSystem = REAL_FS,
+        footprint_recorder=None,
     ) -> None:
         """``signature_check`` overrides the endorsement verification used
         at commit; a secondary peer passes the *endorsing* peer's check
-        (it cannot verify signatures under its own identity)."""
+        (it cannot verify signatures under its own identity).
+        ``footprint_recorder`` (a
+        :class:`repro.fabric.footprint.FootprintRecorder`) captures the
+        keys every endorsement touches, for the KEY003 static/dynamic
+        bridge."""
         from repro.fabric.privatedata import SideDatabase
 
         self.identity = identity
@@ -51,13 +55,15 @@ class Peer:
             block_store=self.ledger.block_store,
             side_db=self.side_db,
             collection_policy=collection_policy,
+            footprint_recorder=footprint_recorder,
         )
         if verify_signatures:
             # Re-wire the ledger's validator with the signature check; the
-            # ledger builds a bare MVCC validator by default.
-            self.ledger._validator = Validator(
-                version_lookup=self.ledger.state_db.get_version,
-                signature_check=signature_check or self.endorser.verify_endorsement,
+            # ledger builds a bare MVCC validator by default.  The rebuild
+            # goes through the ledger so the commit config (parallel
+            # workers, pipeline overlay lookups) is preserved.
+            self.ledger.rewire_validator(
+                signature_check or self.endorser.verify_endorsement
             )
 
     def install_chaincode(self, chaincode: Chaincode) -> None:

@@ -1,0 +1,175 @@
+"""Pipelined commit: overlap derived-state apply with next-block work.
+
+Profiling the ingest path shows where commit time goes under the
+durable (``fsync``) configuration: the state-db's WAL/SSTable fsyncs
+release the GIL while the kernel flushes, and the history index is pure
+CPU bookkeeping.  Neither affects the *chain*: the block store append
+and sync happen first and are what recovery replays from.  The pipeline
+exploits that split:
+
+* **foreground** (``Ledger.commit_block``): hash-chain check, data-hash
+  verify, validation, block append + sync -- everything that decides
+  and durably records the block;
+* **background** (one worker thread, strictly in block order): history
+  indexing, state-db write application, savepoint.
+
+Validation of block N+1 starts while block N's derived state is still
+being applied, so the foreground's MVCC version lookups go through an
+**overlay** of the not-yet-applied writes: for a pending key the
+overlay answers with the version the state-db *will* hold (or ``None``
+for a pending delete); for everything else it falls through to the
+state-db, whose backends are internally locked.  Results are therefore
+byte-identical to the serial path -- the overlay is exactly the
+state-db delta the background still owes.
+
+Crash behaviour is unchanged in kind: a block is only ever
+acknowledged after its chain append is durable, and derived state is
+rebuilt from the chain on recovery (``Ledger._recover``), so a crash
+that loses the background's progress loses nothing the chain cannot
+restore.  A background failure (including an injected crash point) is
+re-raised on the next foreground operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.common import locks as conc
+from repro.fabric.block import VALID, Block, Version
+
+
+class CommitPipeline:
+    """One-deep-by-default queue of blocks awaiting derived-state apply.
+
+    The queue is unbounded in structure but the ledger submits the next
+    block only after its foreground phase, so in practice at most a few
+    blocks are pending; ``drain()`` blocks until the ledger's derived
+    state has fully caught up with its chain.
+    """
+
+    def __init__(self, apply_block: Callable[[Block], None]) -> None:
+        self._apply_block = apply_block
+        self._lock = conc.make_lock("CommitPipeline._lock")
+        self._cond = conc.make_condition(self._lock, "CommitPipeline._cond")
+        self._queue: Deque[Block] = deque()
+        #: Pending writes: key -> (owning block number, version the
+        #: state-db will hold once the background catches up; ``None``
+        #: = the key will be deleted).  The owner lets retirement tell a
+        #: finished block's entry from a later block's overwrite.
+        self._overlay: Dict[str, Tuple[int, Optional[Version]]] = {}
+        self._error: Optional[BaseException] = None
+        self._thread = None
+        self._closed = False
+
+    # -- foreground side ---------------------------------------------------
+
+    def submit(self, block: Block) -> None:
+        """Register ``block``'s valid writes in the overlay and queue it.
+
+        Must be called after the foreground phase (validation + durable
+        chain append): from this point on, version lookups already see
+        the block's writes even though the state-db does not.
+        """
+        self.check()
+        with self._lock:
+            for tx_num, tx in enumerate(block.transactions):
+                if tx.validation_code != VALID:
+                    continue
+                version: Version = (block.number, tx_num)
+                for write in tx.rw_set.writes.values():
+                    self._overlay[write.key] = (
+                        block.number,
+                        None if write.is_delete else version,
+                    )
+            self._queue.append(block)
+            self._ensure_worker_locked()
+            self._cond.notify_all()
+
+    def version_lookup(
+        self, key: str, fallback: Callable[[str], Optional[Version]]
+    ) -> Optional[Version]:
+        """The version ``key`` will have once pending blocks are applied."""
+        with self._lock:
+            if key in self._overlay:
+                return self._overlay[key][1]
+        return fallback(key)
+
+    def drain(self) -> None:
+        """Block until every submitted block's derived state is applied."""
+        with self._lock:
+            while self._queue and self._error is None:
+                self._cond.wait()
+        self.check()
+
+    def check(self) -> None:
+        """Re-raise a background failure on the calling (foreground) thread."""
+        with self._lock:
+            error = self._error
+            self._error = None
+        if error is not None:
+            raise error
+
+    def close(self) -> None:
+        self.drain()
+        with self._lock:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join()
+            with self._lock:
+                self._thread = None
+
+    # -- background side ---------------------------------------------------
+
+    def _ensure_worker_locked(self) -> None:
+        if self._thread is not None:
+            return
+        import threading
+
+        task = conc.wrap_task(self._worker)
+        self._thread = threading.Thread(
+            target=task, name="commit-pipeline", daemon=True
+        )
+        self._thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue and self._closed:
+                    return
+                block = self._queue[0]
+            try:
+                # Applied outside the lock: the state-db and history-db
+                # are internally locked, and overlay lookups for keys
+                # this block writes keep answering from the overlay
+                # until the pop below.
+                self._apply_block(block)
+            # The catch is the forwarding mechanism, not a swallow: the
+            # exception (including SimulatedCrashError from a crash point
+            # inside the apply) is re-raised unchanged on the foreground
+            # thread by the next commit/drain/query -- the only way a
+            # background failure can reach the fault harness at all.
+            except BaseException as exc:  # repro-lint: disable=ERR001
+                with self._lock:
+                    self._error = exc
+                    self._queue.clear()
+                    self._overlay.clear()
+                    self._cond.notify_all()
+                return
+            with self._lock:
+                self._queue.popleft()
+                # Retire overlay entries this block owns; an entry a
+                # later pending block overwrote carries that block's
+                # number and stays until its own apply finishes.
+                for tx in block.transactions:
+                    if tx.validation_code != VALID:
+                        continue
+                    for key in tx.rw_set.writes:
+                        entry = self._overlay.get(key)
+                        if entry is not None and entry[0] == block.number:
+                            del self._overlay[key]
+                self._cond.notify_all()

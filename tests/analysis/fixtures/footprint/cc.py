@@ -1,0 +1,47 @@
+"""Key-footprint fixture chaincode (repro-lint test fixture).
+
+One dispatch arm per key-construction shape the inference must
+classify.  Every ``# expect:`` comment marks a line the KEY rules must
+flag when run with ``--select KEY``; the clean arms pin down that the
+precise namespaces (literal, prefix, client-argument) stay silent.
+"""
+
+from repro.fabric.chaincode import Chaincode
+
+EVENT_PREFIX = "evt~"
+
+
+class FootprintChaincode(Chaincode):
+    """Exercises every namespace kind in the lit/pre/arg/top lattice."""
+
+    name = "fixture-fp"
+    META_KEY = "meta"
+
+    def invoke(self, stub, fn, args):
+        if fn == "put_literal":
+            stub.put_state(self.META_KEY, args[0])
+        elif fn == "put_prefixed":
+            stub.put_state(f"{EVENT_PREFIX}{args[0]}", args[1])
+        elif fn == "put_arg":
+            stub.put_state(args[0], args[1])
+        elif fn == "put_helper":
+            stub.put_state(self._event_key(args[0]), args[1])
+        elif fn == "laundered":
+            pointer = stub.get_state("head")
+            stub.put_state(pointer, args[0])  # expect: KEY001
+        elif fn == "read_back":
+            stub.put_state(f"{EVENT_PREFIX}{args[0]}", args[1])
+            return stub.get_state(f"{EVENT_PREFIX}{args[0]}")  # expect: KEY002
+        elif fn == "helper_write":
+            self._record(stub, args[0], args[1])
+        elif fn == "history":
+            return list(stub.get_history_for_key(self.META_KEY))
+        return []
+
+    def _event_key(self, suffix):
+        """Interprocedural hop the inference must resolve to a prefix."""
+        return f"{EVENT_PREFIX}{suffix}"
+
+    def _record(self, stub, suffix, value):
+        """The state op itself lives one call away from the entry point."""
+        stub.put_state(f"{EVENT_PREFIX}{suffix}", value)

@@ -1,0 +1,523 @@
+"""Key-footprint inference: domain algebra, entry summaries, export,
+the static/dynamic bridge, and the KEY001-003 rules.
+
+The fixture tree at ``fixtures/footprint`` carries ``# expect`` markers
+for the rule tests; the mutation-acceptance class seeds violations into
+a clone of the real source tree and demands the exact file:line, with
+the unmutated tree clean -- the issue's acceptance criteria, verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.footprint import footprint_for
+from repro.analysis.footprint.export import (
+    CONFIRMED,
+    INVISIBLE,
+    UNWITNESSED,
+    cross_check,
+    dynamic_report_digest,
+    footprint_dot,
+    footprint_json,
+    load_dynamic_report,
+    render_bridge_text,
+)
+from repro.analysis.footprint.inference import (
+    HIDDEN_OP,
+    READ_KINDS,
+    WRITE_KINDS,
+)
+from repro.analysis.footprint.namespaces import (
+    ARG,
+    LIT,
+    PRE,
+    TOP,
+    ArgInput,
+    Concat,
+    KeyPattern,
+    LedgerValue,
+    Lit,
+    Param,
+    Unknown,
+    concat,
+    join_terms,
+    matches,
+    normalize,
+    overlaps,
+    substitute,
+)
+from repro.analysis.project import build_project
+from tests.analysis.helpers import (
+    FIXTURES,
+    assert_matches_expectations,
+    find_lines,
+    lint_fixture_tree,
+)
+
+FIXTURE_CC = FIXTURES / "footprint" / "cc.py"
+
+
+class TestNamespaceAlgebra:
+    def test_concat_collapses_adjacent_literals(self):
+        term = concat(Lit("evt"), Lit("~"), ArgInput())
+        assert isinstance(term, Concat)
+        assert term.parts[0] == Lit("evt~")
+        assert normalize(term) == KeyPattern(PRE, "evt~")
+
+    def test_all_literal_concat_is_a_literal(self):
+        assert concat(Lit("a"), Lit("b")) == Lit("ab")
+        assert normalize(concat(Lit("a"), Lit("b"))) == KeyPattern(LIT, "ab")
+
+    def test_normalize_lattice(self):
+        assert normalize(Lit("k")).kind == LIT
+        assert normalize(ArgInput()).kind == ARG
+        assert normalize(Param(index=2)).kind == ARG
+        assert normalize(LedgerValue()).kind == TOP
+        assert normalize(Unknown()).kind == TOP
+
+    def test_literal_head_bounds_an_unresolvable_tail(self):
+        # "pre" even when the tail is ledger-derived: the head still
+        # constrains the namespace.
+        term = concat(Lit("idx~"), LedgerValue())
+        assert normalize(term) == KeyPattern(PRE, "idx~")
+        # ...but with no head at all the key is unconstrained.
+        assert normalize(concat(LedgerValue(), Lit("x"))).kind == TOP
+        # A client-argument tail keeps arg polarity, not top.
+        assert normalize(concat(ArgInput(), Lit("x"))).kind == ARG
+
+    def test_substitute_binds_params_and_defaults_to_arg(self):
+        term = concat(Lit("evt~"), Param(index=1))
+        bound = substitute(term, {1: Lit("abc")})
+        assert bound == Lit("evt~abc")
+        unbound = substitute(term, {})
+        assert normalize(unbound) == KeyPattern(PRE, "evt~")
+
+    def test_join_terms_extracts_the_common_prefix(self):
+        joined = join_terms((Lit("evt~a"), Lit("evt~b")))
+        assert normalize(joined) == KeyPattern(PRE, "evt~")
+        assert join_terms((Lit("same"), Lit("same"))) == Lit("same")
+        assert normalize(join_terms((Lit("a"), Unknown()))).kind == TOP
+        assert normalize(join_terms(())).kind == TOP
+
+    def test_overlap_matrix(self):
+        lit_a = KeyPattern(LIT, "a")
+        assert overlaps(lit_a, KeyPattern(LIT, "a"))
+        assert not overlaps(lit_a, KeyPattern(LIT, "b"))
+        assert overlaps(KeyPattern(PRE, "evt~"), KeyPattern(LIT, "evt~5"))
+        assert not overlaps(KeyPattern(PRE, "evt~"), KeyPattern(LIT, "run~5"))
+        assert overlaps(KeyPattern(PRE, "evt~"), KeyPattern(PRE, "evt~2026"))
+        assert not overlaps(KeyPattern(PRE, "evt~"), KeyPattern(PRE, "run~"))
+        # arg and top conservatively overlap everything.
+        for wild in (KeyPattern(ARG), KeyPattern(TOP)):
+            assert overlaps(wild, lit_a)
+            assert overlaps(lit_a, wild)
+
+    def test_matches_concrete_keys(self):
+        assert matches(KeyPattern(LIT, "meta"), "meta")
+        assert not matches(KeyPattern(LIT, "meta"), "meta2")
+        assert matches(KeyPattern(PRE, "evt~"), "evt~42")
+        assert not matches(KeyPattern(PRE, "evt~"), "run~42")
+        assert matches(KeyPattern(ARG), "anything")
+        assert matches(KeyPattern(TOP), "anything")
+
+    def test_pattern_json_round_trip(self):
+        for pattern in (
+            KeyPattern(LIT, "meta"),
+            KeyPattern(PRE, "evt~"),
+            KeyPattern(ARG),
+            KeyPattern(TOP),
+        ):
+            assert KeyPattern.from_json(pattern.to_json()) == pattern
+        # Unknown kinds decay to top, never crash.
+        assert KeyPattern.from_json({"kind": "banana"}).kind == TOP
+
+
+@pytest.fixture(scope="module")
+def fixture_analysis():
+    project = build_project([FIXTURES / "footprint"], root=FIXTURES)
+    return footprint_for(project)
+
+
+def entry_for(analysis, fn):
+    hits = [e for e in analysis.entries if e.fn == fn]
+    assert len(hits) == 1, f"expected one entry for {fn!r}, got {hits}"
+    return hits[0]
+
+
+class TestInference:
+    def test_every_dispatch_arm_becomes_an_entry_point(self, fixture_analysis):
+        fns = {e.fn for e in fixture_analysis.entries}
+        assert fns == {
+            "put_literal",
+            "put_prefixed",
+            "put_arg",
+            "put_helper",
+            "laundered",
+            "read_back",
+            "helper_write",
+            "history",
+        }
+        assert all(
+            e.chaincode == "fixture-fp" for e in fixture_analysis.entries
+        )
+
+    def test_class_constant_key_resolves_to_a_literal(self, fixture_analysis):
+        entry = entry_for(fixture_analysis, "put_literal")
+        assert entry.writes() == [KeyPattern(LIT, "meta")]
+
+    def test_module_constant_fstring_resolves_to_a_prefix(
+        self, fixture_analysis
+    ):
+        entry = entry_for(fixture_analysis, "put_prefixed")
+        assert entry.writes() == [KeyPattern(PRE, "evt~")]
+
+    def test_client_key_stays_arg_not_top(self, fixture_analysis):
+        entry = entry_for(fixture_analysis, "put_arg")
+        assert entry.writes() == [KeyPattern(ARG)]
+
+    def test_helper_return_value_is_resolved_interprocedurally(
+        self, fixture_analysis
+    ):
+        entry = entry_for(fixture_analysis, "put_helper")
+        assert entry.writes() == [KeyPattern(PRE, "evt~")]
+
+    def test_callee_state_op_is_spliced_with_its_via_chain(
+        self, fixture_analysis
+    ):
+        entry = entry_for(fixture_analysis, "helper_write")
+        assert entry.writes() == [KeyPattern(PRE, "evt~")]
+        write_ops = [op for op in entry.ops if op.kind in WRITE_KINDS]
+        assert write_ops and "_record" in write_ops[0].via
+
+    def test_ledger_derived_key_is_top(self, fixture_analysis):
+        entry = entry_for(fixture_analysis, "laundered")
+        assert [p.kind for p in entry.writes()] == [TOP]
+
+    def test_history_read_is_a_hidden_read(self, fixture_analysis):
+        entry = entry_for(fixture_analysis, "history")
+        assert entry.hidden_reads() == [KeyPattern(LIT, "meta")]
+        assert [op.kind for op in entry.ops] == [HIDDEN_OP]
+
+    def test_ops_preserve_statement_order(self, fixture_analysis):
+        entry = entry_for(fixture_analysis, "read_back")
+        kinds = [op.kind for op in entry.ops]
+        assert kinds == ["write", "read"]
+        assert entry.ops[0].line < entry.ops[1].line
+
+
+class TestExport:
+    def test_json_report_shape(self, fixture_analysis):
+        report = footprint_json(fixture_analysis)
+        assert report["schema"] == 1
+        by_fn = {entry["fn"]: entry for entry in report["entries"]}
+        assert by_fn["put_prefixed"]["writes"] == [
+            {"kind": "pre", "prefix": "evt~"}
+        ]
+        assert by_fn["put_literal"]["writes"] == [{"kind": "lit", "key": "meta"}]
+        assert by_fn["history"]["hidden_reads"] == [
+            {"kind": "lit", "key": "meta"}
+        ]
+        entry = by_fn["laundered"]
+        assert {"kind": "top"} in entry["writes"]
+        assert entry["path"].endswith("cc.py") and entry["line"] > 0
+        # The report is JSON-serializable as-is.
+        json.dumps(report)
+
+    def test_dot_report_shape(self, fixture_analysis):
+        dot = footprint_dot(fixture_analysis)
+        assert dot.startswith("digraph footprint {")
+        assert "shape=box" in dot  # entry points
+        assert "doubleoctagon" in dot  # the ⊤ namespace
+        assert "style=dashed" in dot  # read edges
+
+
+class TestBridge:
+    def verdicts(self, analysis, chaincodes):
+        return cross_check(analysis, {"chaincodes": chaincodes})
+
+    def test_witnessed_key_inside_namespace_is_confirmed(
+        self, fixture_analysis
+    ):
+        verdicts = self.verdicts(
+            fixture_analysis,
+            {"fixture-fp": {"put_prefixed": {"writes": ["evt~42"]}}},
+        )
+        statuses = {v.status for v in verdicts if v.fn == "put_prefixed"}
+        assert statuses == {CONFIRMED}
+
+    def test_witnessed_key_outside_namespace_is_invisible(
+        self, fixture_analysis
+    ):
+        verdicts = self.verdicts(
+            fixture_analysis,
+            {"fixture-fp": {"put_literal": {"writes": ["rogue"]}}},
+        )
+        hits = [v for v in verdicts if v.fn == "put_literal"]
+        assert [v.status for v in hits] == [INVISIBLE]
+        assert hits[0].path.endswith("cc.py") and hits[0].line > 0
+
+    def test_unrecognized_dispatch_arm_is_invisible(self, fixture_analysis):
+        verdicts = self.verdicts(
+            fixture_analysis,
+            {"fixture-fp": {"ghost_fn": {"writes": ["x"]}}},
+        )
+        hits = [v for v in verdicts if v.fn == "ghost_fn"]
+        assert [v.status for v in hits] == [INVISIBLE]
+        assert "not recognized statically" in hits[0].detail
+
+    def test_unwitnessed_fns_of_a_witnessed_chaincode_are_reported(
+        self, fixture_analysis
+    ):
+        verdicts = self.verdicts(
+            fixture_analysis,
+            {"fixture-fp": {"put_literal": {"writes": ["meta"]}}},
+        )
+        unwitnessed = {
+            v.fn for v in verdicts if v.status == UNWITNESSED
+        }
+        assert "put_prefixed" in unwitnessed
+        assert "put_literal" not in unwitnessed
+
+    def test_foreign_chaincodes_without_static_entries_are_skipped(
+        self, fixture_analysis
+    ):
+        verdicts = self.verdicts(
+            fixture_analysis, {"not-analyzed": {"go": {"writes": ["k"]}}}
+        )
+        assert verdicts == []
+
+    def test_render_counts_every_status(self, fixture_analysis):
+        verdicts = self.verdicts(
+            fixture_analysis,
+            {
+                "fixture-fp": {
+                    "put_prefixed": {"writes": ["evt~1"]},
+                    "put_literal": {"writes": ["rogue"]},
+                }
+            },
+        )
+        text = render_bridge_text(verdicts)
+        assert "bridge:" in text
+        assert "1 confirmed" in text and "1 statically-invisible" in text
+
+    def test_report_loader_rejects_garbage(self, tmp_path):
+        assert load_dynamic_report(tmp_path) is None
+        (tmp_path / "footprint-report.json").write_text("not json")
+        assert load_dynamic_report(tmp_path) is None
+        (tmp_path / "footprint-report.json").write_text('{"schema": 1}')
+        assert load_dynamic_report(tmp_path) is None
+        (tmp_path / "footprint-report.json").write_text(
+            '{"schema": 1, "chaincodes": {}}'
+        )
+        assert load_dynamic_report(tmp_path) == {
+            "schema": 1,
+            "chaincodes": {},
+        }
+
+    def test_digest_tracks_the_file_bytes(self, tmp_path):
+        assert dynamic_report_digest(tmp_path) == "absent"
+        report = tmp_path / "footprint-report.json"
+        report.write_text("{}")
+        first = dynamic_report_digest(tmp_path)
+        assert first != "absent"
+        report.write_text('{"changed": true}')
+        assert dynamic_report_digest(tmp_path) != first
+
+
+class TestKeyRules:
+    def test_fixture_markers_match_exactly(self):
+        result = lint_fixture_tree("footprint", select=["KEY"])
+        assert_matches_expectations(result, FIXTURE_CC)
+
+    def test_key001_message_explains_the_unbounded_write(self):
+        result = lint_fixture_tree("footprint", select=["KEY001"])
+        findings = [
+            f for f in result.new_findings if f.rule_id == "KEY001"
+        ]
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "'fixture-fp'" in message and "'laundered'" in message
+        assert "unresolvable" in message
+
+    def test_key002_message_names_both_namespaces(self):
+        result = lint_fixture_tree("footprint", select=["KEY002"])
+        findings = [
+            f for f in result.new_findings if f.rule_id == "KEY002"
+        ]
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "'read_back'" in message
+        assert "pre:'evt~'" in message
+        assert "read before writing" in message
+
+    def test_key003_fires_only_with_a_witness_report(self, tmp_path):
+        clone = tmp_path / "proj"
+        shutil.copytree(FIXTURES / "footprint", clone / "footprint")
+        # No report: silent.
+        result = run_lint([clone], root=clone, select=["KEY003"])
+        assert not result.new_findings
+        # A witnessed write outside the static namespace: one finding at
+        # the entry point.
+        (clone / "footprint-report.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "chaincodes": {
+                        "fixture-fp": {"put_literal": {"writes": ["rogue"]}}
+                    },
+                }
+            )
+        )
+        result = run_lint([clone], root=clone, select=["KEY003"])
+        lines = find_lines(result.new_findings, "KEY003")
+        assert len(lines) == 1
+        assert "matches no static namespace" in result.new_findings[0].message
+
+
+class TestCacheWitness:
+    def test_witness_report_change_invalidates_the_cache(self, tmp_path):
+        """KEY003's input is the report *file*, not a source file: the
+        mtime+SHA cache must refuse to replay a stale result after the
+        report appears, changes, or disappears."""
+        clone = tmp_path / "proj"
+        shutil.copytree(FIXTURES / "footprint", clone / "footprint")
+        cache = clone / ".lintcache.json"
+
+        result = run_lint(
+            [clone], root=clone, select=["KEY003"], cache_path=cache
+        )
+        assert not result.new_findings
+
+        (clone / "footprint-report.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "chaincodes": {
+                        "fixture-fp": {"put_literal": {"writes": ["rogue"]}}
+                    },
+                }
+            )
+        )
+        result = run_lint(
+            [clone], root=clone, select=["KEY003"], cache_path=cache
+        )
+        assert find_lines(result.new_findings, "KEY003"), (
+            "a cached clean result was replayed over a new witness report"
+        )
+
+        (clone / "footprint-report.json").unlink()
+        result = run_lint(
+            [clone], root=clone, select=["KEY003"], cache_path=cache
+        )
+        assert not result.new_findings
+
+
+class TestMutationAcceptance:
+    """Seed a violation into a clone of the real tree; demand the exact
+    rule at the exact file:line, with the unmutated tree clean."""
+
+    @pytest.fixture()
+    def real_tree(self, tmp_path):
+        src = FIXTURES.parent.parent.parent / "src"
+        assert (src / "repro").is_dir()
+        clone = tmp_path / "proj"
+        shutil.copytree(src, clone / "src")
+        return clone
+
+    def lint(self, real_tree, select=("KEY",)):
+        return run_lint(
+            [real_tree / "src"], root=real_tree, select=list(select)
+        )
+
+    def test_clean_clone_has_no_key_findings(self, real_tree):
+        result = self.lint(real_tree)
+        assert not result.new_findings, result.render_text()
+
+    def test_injected_unbounded_write_fails_key001(self, real_tree):
+        target = real_tree / "src" / "repro" / "temporal" / "chaincodes.py"
+        text = target.read_text()
+        base = len(text.splitlines())
+        target.write_text(
+            text
+            + "\n\nclass PointerChaincode(Chaincode):\n"
+            '    """Chases a ledger-resolved pointer (deliberately ⊤)."""\n\n'
+            '    name = "pointer"\n\n'
+            "    def invoke(self, stub, fn, args):\n"
+            '        if fn == "chase":\n'
+            "            head = stub.get_state(\"head\")\n"
+            "            stub.put_state(head, args[0])\n"
+            "        return None\n"
+        )
+        result = self.lint(real_tree)
+        # The put_state line: two blank separator lines, then eight
+        # lines into the class.
+        assert find_lines(result.new_findings, "KEY001") == [base + 11], (
+            result.render_text()
+        )
+
+    def test_injected_read_your_write_fails_key002(self, real_tree):
+        target = real_tree / "src" / "repro" / "temporal" / "chaincodes.py"
+        text = target.read_text()
+        base = len(text.splitlines())
+        target.write_text(
+            text
+            + "\n\nclass EchoChaincode(Chaincode):\n"
+            '    """Reads back its own staged write (deliberate pitfall)."""\n\n'
+            '    name = "echo"\n\n'
+            "    def invoke(self, stub, fn, args):\n"
+            '        if fn == "stash":\n'
+            "            stub.put_state(f\"echo~{args[0]}\", args[1])\n"
+            "            return stub.get_state(f\"echo~{args[0]}\")\n"
+            "        return None\n"
+        )
+        result = self.lint(real_tree)
+        assert find_lines(result.new_findings, "KEY002") == [base + 11], (
+            result.render_text()
+        )
+
+    def test_out_of_footprint_witness_fails_key003(self, real_tree):
+        # m1-index.record_run writes only its literal META_KEY; witness a
+        # write far outside it.
+        (real_tree / "footprint-report.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "chaincodes": {
+                        "m1-index": {"record_run": {"writes": ["rogue-key"]}}
+                    },
+                }
+            )
+        )
+        result = self.lint(real_tree)
+        lines = find_lines(result.new_findings, "KEY003")
+        assert len(lines) == 1, result.render_text()
+        finding = [
+            f for f in result.new_findings if f.rule_id == "KEY003"
+        ][0]
+        assert finding.path.endswith("chaincodes.py")
+
+    def test_in_footprint_witness_stays_clean(self, real_tree):
+        # The same fn witnessed writing its actual key: CONFIRMED, no
+        # finding.
+        (real_tree / "footprint-report.json").write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "chaincodes": {
+                        "m1-index": {
+                            "record_run": {"writes": ["\x02m1-runs"]}
+                        }
+                    },
+                }
+            )
+        )
+        result = self.lint(real_tree)
+        assert not find_lines(result.new_findings, "KEY003"), (
+            result.render_text()
+        )

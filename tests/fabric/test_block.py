@@ -69,8 +69,45 @@ class TestRWSet:
         rw_set.add_write("w", {"nested": [1, 2]})
         rw_set.add_delete("d")
         restored = RWSet.from_dict(rw_set.to_dict())
-        assert restored.reads == rw_set.reads
+        assert sorted(restored.reads, key=repr) == sorted(rw_set.reads, key=repr)
         assert restored.writes == rw_set.writes
+
+    def test_serialization_is_insertion_order_independent(self):
+        """Two RWSets with the same contents serialize identically.
+
+        The endorser signs the serialized RWSet, so serialization order
+        must be a function of contents alone: a transaction reloaded
+        from the block store (which re-inserts writes in serialized
+        order) must reproduce the exact signing bytes.
+        """
+        forward = RWSet()
+        forward.add_read("a", (1, 0))
+        forward.add_read("b", None)
+        forward.add_write("x", "1")
+        forward.add_write("y", "2")
+        backward = RWSet()
+        backward.add_write("y", "2")
+        backward.add_write("x", "1")
+        backward.add_read("b", None)
+        backward.add_read("a", (1, 0))
+        assert forward.to_dict() == backward.to_dict()
+        # Round-tripping is a fixpoint: serialize(parse(serialize(s)))
+        # == serialize(s), which is what keeps signatures verifiable
+        # after a reload.
+        assert RWSet.from_dict(forward.to_dict()).to_dict() == forward.to_dict()
+
+    def test_signing_bytes_stable_across_reload(self):
+        """signable_payload survives a to_dict/from_dict round trip."""
+        tx = make_tx()
+        restored = Transaction.from_dict(tx.to_dict())
+        assert restored.signable_payload() == tx.signable_payload()
+
+    def test_signable_payload_reflects_tampering(self):
+        """The payload memo must not mask post-signing RWSet mutation."""
+        tx = make_tx()
+        before = tx.signable_payload()
+        tx.rw_set.add_write("evil", "tampered")
+        assert tx.signable_payload() != before
 
 
 class TestSerialization:

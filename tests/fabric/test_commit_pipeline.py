@@ -1,0 +1,297 @@
+"""The pipelined commit path: overlay semantics, error forwarding, and
+the end-to-end identity invariant.
+
+The acceptance criterion, verbatim: parallel commit produces a
+byte-identical hash chain and state-db fingerprint vs serial, at
+workers 1/2/8, with and without the validation/commit pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.config import (
+    BlockCuttingConfig,
+    CommitConfig,
+    FabricConfig,
+    StateDbConfig,
+)
+from repro.fabric.block import (
+    GENESIS_PREVIOUS_HASH,
+    MVCC_READ_CONFLICT,
+    VALID,
+    Block,
+    BlockHeader,
+    RWSet,
+    Transaction,
+)
+from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.network import FabricNetwork
+from repro.fabric.pipeline import CommitPipeline
+from repro.temporal.chaincodes import SupplyChainChaincode
+
+
+def make_block(number, writes=(), deletes=()):
+    """A one-transaction block, pre-marked VALID (the pipeline only sees
+    blocks the validator already judged)."""
+    rw_set = RWSet()
+    for key, value in writes:
+        rw_set.add_write(key, value)
+    for key in deletes:
+        rw_set.add_delete(key)
+    tx = Transaction(
+        tx_id=f"t{number}", chaincode="cc", creator="c", timestamp=0, rw_set=rw_set
+    )
+    tx.validation_code = VALID
+    header = BlockHeader(
+        number, GENESIS_PREVIOUS_HASH, Block.compute_data_hash([tx])
+    )
+    return Block(header, [tx])
+
+
+class GatedApply:
+    """An apply_block whose completion the test controls per block."""
+
+    def __init__(self):
+        self.applied = []
+        self._gates = {}
+        self._lock = threading.Lock()
+
+    def gate(self, number):
+        with self._lock:
+            return self._gates.setdefault(number, threading.Event())
+
+    def __call__(self, block):
+        assert self.gate(block.number).wait(timeout=10.0)
+        self.applied.append(block.number)
+
+
+def no_fallback(key):
+    raise AssertionError(f"fallback consulted for pending key {key!r}")
+
+
+class TestOverlay:
+    def test_pending_write_answers_with_its_future_version(self):
+        apply = GatedApply()
+        pipeline = CommitPipeline(apply)
+        try:
+            pipeline.submit(make_block(0, writes=[("k", "v")]))
+            assert pipeline.version_lookup("k", no_fallback) == (0, 0)
+        finally:
+            apply.gate(0).set()
+            pipeline.close()
+
+    def test_pending_delete_answers_none_without_fallback(self):
+        apply = GatedApply()
+        pipeline = CommitPipeline(apply)
+        try:
+            pipeline.submit(make_block(0, deletes=["k"]))
+            assert pipeline.version_lookup("k", no_fallback) is None
+        finally:
+            apply.gate(0).set()
+            pipeline.close()
+
+    def test_unknown_key_falls_through(self):
+        apply = GatedApply()
+        pipeline = CommitPipeline(apply)
+        try:
+            pipeline.submit(make_block(0, writes=[("k", "v")]))
+            assert pipeline.version_lookup("other", {"other": (9, 9)}.get) == (
+                9,
+                9,
+            )
+        finally:
+            apply.gate(0).set()
+            pipeline.close()
+
+    def test_drain_retires_the_overlay(self):
+        apply = GatedApply()
+        pipeline = CommitPipeline(apply)
+        try:
+            pipeline.submit(make_block(0, writes=[("k", "v")]))
+            apply.gate(0).set()
+            pipeline.drain()
+            assert apply.applied == [0]
+            # After the apply, the state-db owns the key again.
+            assert pipeline.version_lookup("k", {"k": (0, 0)}.get) == (0, 0)
+            assert pipeline.version_lookup("k", {}.get) is None
+        finally:
+            pipeline.close()
+
+    def test_later_block_overwrite_survives_earlier_retirement(self):
+        """Block 1 rewrites a key block 0 also wrote: when block 0's
+        apply finishes, the overlay must keep answering with block 1's
+        version, not drop the key."""
+        apply = GatedApply()
+        pipeline = CommitPipeline(apply)
+        try:
+            pipeline.submit(make_block(0, writes=[("k", "old")]))
+            pipeline.submit(make_block(1, writes=[("k", "new")]))
+            assert pipeline.version_lookup("k", no_fallback) == (1, 0)
+            apply.gate(0).set()
+            # Wait until block 0's apply has definitely retired.
+            while 0 not in apply.applied:
+                pass
+            assert pipeline.version_lookup("k", no_fallback) == (1, 0)
+        finally:
+            apply.gate(1).set()
+            pipeline.close()
+
+    def test_invalid_transactions_never_enter_the_overlay(self):
+        apply = GatedApply()
+        pipeline = CommitPipeline(apply)
+        block = make_block(0, writes=[("k", "v")])
+        block.transactions[0].validation_code = MVCC_READ_CONFLICT
+        try:
+            pipeline.submit(block)
+            assert pipeline.version_lookup("k", {}.get) is None
+        finally:
+            apply.gate(0).set()
+            pipeline.close()
+
+
+class TestErrorForwarding:
+    def test_background_failure_reraises_on_drain(self):
+        def explode(block):
+            raise RuntimeError("derived-state apply failed")
+
+        pipeline = CommitPipeline(explode)
+        pipeline.submit(make_block(0, writes=[("k", "v")]))
+        with pytest.raises(RuntimeError, match="derived-state apply failed"):
+            pipeline.drain()
+        # The failure clears the queue and overlay; a later check is clean.
+        pipeline.check()
+        assert pipeline.version_lookup("k", {}.get) is None
+        pipeline.close()
+
+    def test_close_after_failure_does_not_hang(self):
+        def explode(block):
+            raise RuntimeError("boom")
+
+        pipeline = CommitPipeline(explode)
+        pipeline.submit(make_block(0, writes=[("k", "v")]))
+        with pytest.raises(RuntimeError):
+            pipeline.close()
+        pipeline.close()
+
+
+WORKLOAD_CONFIGS = [
+    pytest.param(1, False, id="serial"),
+    pytest.param(2, False, id="workers2"),
+    pytest.param(8, False, id="workers8"),
+    pytest.param(2, True, id="workers2-pipelined"),
+    pytest.param(8, True, id="workers8-pipelined"),
+]
+
+
+def run_workload(path, workers, pipeline):
+    """A deterministic mixed workload: blind supply-chain writes, kv
+    traffic, and a seeded intra-block MVCC conflict pair."""
+    config = FabricConfig(
+        block_cutting=BlockCuttingConfig(max_message_count=5),
+        commit=CommitConfig(workers=workers, pipeline=pipeline),
+        state_db=StateDbConfig(backend="lsm"),
+    )
+    chain = []
+    with FabricNetwork(path, config=config) as network:
+        network.install(SupplyChainChaincode())
+        network.install(KeyValueChaincode())
+        gateway = network.gateway("alice", max_retries=0)
+        gateway.submit_transaction(
+            "supplychain", "record_event", ["c", "ship", 1, "l"], timestamp=1
+        )
+        gateway.flush()
+        for i in range(40):
+            entity = f"e{i % 7}"
+            kind = "l" if (i // 7) % 2 == 0 else "ul"
+            gateway.submit_transaction(
+                "supplychain",
+                "record_event",
+                [entity, f"o{i}", i + 2, kind],
+                timestamp=i + 2,
+            )
+            if i % 5 == 0:
+                gateway.submit_transaction(
+                    "kv", "put", [f"k{i % 3}", {"i": i}], timestamp=100 + i
+                )
+        # Two checked events on the same entity, endorsed back-to-back:
+        # both read the same committed version, the first one's write
+        # invalidates the second at commit.
+        gateway.submit_transaction(
+            "supplychain",
+            "record_event_checked",
+            ["c", "ship", 50, "ul"],
+            timestamp=50,
+        )
+        gateway.submit_transaction(
+            "supplychain",
+            "record_event_checked",
+            ["c", "ship", 51, "ul"],
+            timestamp=51,
+        )
+        gateway.flush()
+        codes = []
+        for block in network.ledger.block_store.iter_blocks():
+            chain.append(block.header.hash())
+            codes.extend(tx.validation_code for tx in block.transactions)
+        return {
+            "height": network.ledger.height,
+            "head": network.ledger.last_header_hash,
+            "chain": chain,
+            "codes": codes,
+            "state": network.ledger.state_fingerprint(),
+        }
+
+
+class TestCommitIdentity:
+    @pytest.fixture(scope="class")
+    def serial_result(self, tmp_path_factory):
+        return run_workload(tmp_path_factory.mktemp("serial"), 1, False)
+
+    def test_workload_is_non_vacuous(self, serial_result):
+        assert serial_result["height"] > 5  # several multi-tx blocks
+        assert MVCC_READ_CONFLICT in serial_result["codes"]
+        assert serial_result["codes"].count(VALID) > 30
+
+    @pytest.mark.parametrize("workers,pipeline", WORKLOAD_CONFIGS)
+    def test_chain_and_state_identical_to_serial(
+        self, tmp_path, serial_result, workers, pipeline
+    ):
+        result = run_workload(tmp_path, workers, pipeline)
+        assert result["height"] == serial_result["height"]
+        assert result["chain"] == serial_result["chain"]
+        assert result["head"] == serial_result["head"]
+        assert result["codes"] == serial_result["codes"]
+        assert result["state"] == serial_result["state"]
+
+    def test_pipelined_ledger_recovers_after_reopen(self, tmp_path, serial_result):
+        first = run_workload(tmp_path, 8, True)
+        # Reopen the same directory serially: recovery replays the chain
+        # and must land on the same state.
+        config = FabricConfig(state_db=StateDbConfig(backend="lsm"))
+        with FabricNetwork(tmp_path, config=config) as network:
+            assert network.ledger.height == first["height"]
+            assert network.ledger.state_fingerprint() == first["state"]
+
+
+class TestPipelinedQueriesDrain:
+    def test_queries_see_pipelined_writes(self, tmp_path):
+        config = FabricConfig(
+            block_cutting=BlockCuttingConfig(max_message_count=2),
+            commit=CommitConfig(workers=2, pipeline=True),
+        )
+        with FabricNetwork(tmp_path, config=config) as network:
+            network.install(KeyValueChaincode())
+            gateway = network.gateway("alice")
+            for i in range(10):
+                gateway.submit_transaction(
+                    "kv", "put", [f"k{i}", {"i": i}], timestamp=i + 1
+                )
+            gateway.flush()
+            # Every query API drains the pipeline before answering.
+            assert network.ledger.get_state("k9") == {"i": 9}
+            assert len(list(network.ledger.get_state_by_range("", ""))) == 10
+            history = list(network.ledger.get_history_for_key("k0"))
+            assert len(history) == 1

@@ -1,0 +1,95 @@
+"""The dynamic side of the KEY003 bridge: the endorsement-time
+FootprintRecorder and the runtime ChaincodeFootprint loader."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.footprint.export import load_dynamic_report
+from repro.fabric.block import RWSet
+from repro.fabric.chaincode import KeyValueChaincode
+from repro.fabric.footprint import (
+    WITNESS_SCHEMA,
+    ChaincodeFootprint,
+    FootprintRecorder,
+    load_footprint,
+)
+from repro.fabric.network import FabricNetwork
+
+
+class TestFootprintRecorder:
+    def test_record_folds_rwset_keys(self):
+        recorder = FootprintRecorder()
+        rw_set = RWSet()
+        rw_set.add_read("a", (1, 0))
+        rw_set.add_write("b", "v")
+        recorder.record("cc", "fn", rw_set)
+        report = recorder.to_json()
+        assert report["schema"] == WITNESS_SCHEMA
+        assert report["chaincodes"] == {
+            "cc": {"fn": {"reads": ["a"], "writes": ["b"]}}
+        }
+
+    def test_report_is_deterministic_and_sorted(self):
+        def build(order):
+            recorder = FootprintRecorder()
+            for chaincode, fn, key in order:
+                rw_set = RWSet()
+                rw_set.add_write(key, 1)
+                recorder.record(chaincode, fn, rw_set)
+            return recorder.to_json()
+
+        rows = [("b", "y", "k2"), ("a", "x", "k1"), ("b", "z", "k0")]
+        assert build(rows) == build(list(reversed(rows)))
+        report = build(rows)
+        assert list(report["chaincodes"]) == ["a", "b"]
+        assert list(report["chaincodes"]["b"]) == ["y", "z"]
+
+    def test_written_report_is_the_key003_input(self, tmp_path):
+        recorder = FootprintRecorder()
+        rw_set = RWSet()
+        rw_set.add_write("k", 1)
+        recorder.record("cc", "fn", rw_set)
+        recorder.write(tmp_path / "footprint-report.json")
+        loaded = load_dynamic_report(tmp_path)
+        assert loaded is not None
+        assert loaded["chaincodes"]["cc"]["fn"]["writes"] == ["k"]
+
+    def test_network_wires_the_recorder_through_endorsement(self, tmp_path):
+        recorder = FootprintRecorder()
+        with FabricNetwork(tmp_path, footprint_recorder=recorder) as network:
+            network.install(KeyValueChaincode())
+            gateway = network.gateway("alice")
+            gateway.submit_transaction("kv", "put", ["k1", "v"], timestamp=1)
+            gateway.flush()
+        report = recorder.to_json()
+        assert report["chaincodes"]["kv"]["put"]["writes"] == ["k1"]
+
+
+class TestLoadFootprint:
+    def test_absent_or_invalid_file_is_none(self, tmp_path):
+        assert load_footprint(tmp_path / "missing.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert load_footprint(bad) is None
+
+    def test_loads_the_lint_export_shape(self, tmp_path):
+        export = {
+            "schema": 1,
+            "entries": [
+                {
+                    "chaincode": "hist",
+                    "fn": "history",
+                    "reads": [],
+                    "writes": [{"kind": "lit", "key": "meta"}],
+                    "hidden_reads": [{"kind": "pre", "prefix": "evt~"}],
+                }
+            ],
+        }
+        path = tmp_path / "footprint.json"
+        path.write_text(json.dumps(export))
+        footprint = load_footprint(path)
+        assert isinstance(footprint, ChaincodeFootprint)
+        assert not footprint.is_conservative("hist")
+        assert footprint.surface_touches("hist", "evt~1")
+        assert footprint.is_conservative("unheard-of")
