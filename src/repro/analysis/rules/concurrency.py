@@ -227,6 +227,63 @@ BLOCKING_ALLOWLIST: Dict[str, Tuple[FrozenSet[str], str]] = {
         "concurrent flush/compaction swapping tables mid-scrub would "
         "misreport a replaced file as corrupt",
     ),
+    # BlockFileManager: the shared append handle and the current-file
+    # number ARE the guarded resource -- every touch (append, rollover,
+    # flush-for-read, sealed-file mapping, tail truncation, sync) must
+    # happen under the manager lock or readers race the committer
+    # (the blockfile-races regression suite exists because they did).
+    "repro.storage.blockfile.BlockFileManager.append": (
+        frozenset({"io"}),
+        "append writes the record and may roll the file under the lock; "
+        "a reader must never observe a half-rolled current handle",
+    ),
+    "repro.storage.blockfile.BlockFileManager._roll_over": (
+        frozenset({"io"}),
+        "closing the full file and opening its successor must be atomic "
+        "w.r.t. readers flushing the shared append handle",
+    ),
+    "repro.storage.blockfile.BlockFileManager._sealed_map": (
+        frozenset({"io"}),
+        "the mmap cache is keyed by file number; mapping outside the lock "
+        "could map a file the committer is still appending to",
+    ),
+    "repro.storage.blockfile.BlockFileManager.truncate_tail": (
+        frozenset({"io"}),
+        "recovery truncation rewrites the current file and rebinds the "
+        "append handle; concurrent reads would see a torn file",
+    ),
+    "repro.storage.blockfile.BlockFileManager.sync": (
+        frozenset({"io"}),
+        "sync must flush/fsync the same handle generation it observed; "
+        "racing a rollover could sync the freshly-closed handle",
+    ),
+    # BTreeStore: WAL-before-tree ordering under the lock, exactly like
+    # the LSM store's entries above.
+    "repro.storage.kv.btree.BTreeStore.put": (
+        frozenset({"io"}),
+        "WAL append must precede the tree write under the lock (recovery "
+        "order); the interval checkpoint shares the same critical section",
+    ),
+    "repro.storage.kv.btree.BTreeStore.delete": (
+        frozenset({"io"}),
+        "WAL append must precede the tree delete under the lock (recovery "
+        "order); the interval checkpoint shares the same critical section",
+    ),
+    "repro.storage.kv.btree.BTreeStore.checkpoint": (
+        frozenset({"io"}),
+        "checkpoint publishes the sstable and truncates the WAL atomically "
+        "w.r.t. writers; a write between the two would be lost on replay",
+    ),
+    "repro.storage.kv.btree.BTreeStore.scrub": (
+        frozenset({"io"}),
+        "scrub verifies the checkpoint against a stable view; a concurrent "
+        "checkpoint replacing the file mid-scrub would misreport corruption",
+    ),
+    "repro.storage.kv.btree.BTreeStore.close": (
+        frozenset({"io"}),
+        "close must drain the final checkpoint before marking the store "
+        "closed",
+    ),
 }
 
 

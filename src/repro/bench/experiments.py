@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.bench.runner import BaseAccessBenchResult, ExperimentRunner
-from repro.common.config import FabricConfig, QueryConfig
+from repro.common.config import FabricConfig
 from repro.common.errors import ConfigError
 from repro.temporal.engine import QueryStats
 from repro.temporal.intervals import TimeInterval
@@ -53,24 +53,45 @@ def dataset_config(
 
 
 def query_fabric_config(
-    workers: Optional[int] = None, cache_blocks: Optional[int] = None
+    workers: Optional[int] = None,
+    cache_blocks: Optional[int] = None,
+    statedb: Optional[str] = None,
+    codec: Optional[str] = None,
+    mmap_io: Optional[bool] = None,
+    ghfk_prefetch: Optional[int] = None,
 ) -> FabricConfig:
     """A :class:`FabricConfig` with the query-execution knobs applied.
 
     ``workers`` selects the executor's parallelism (``None`` keeps the
     ``REPRO_QUERY_WORKERS`` default); ``cache_blocks`` sizes the shared
-    decoded-block LRU (``None`` keeps it off, the paper's cost model).
+    decoded-block LRU (``None`` keeps it off, the paper's cost model);
+    ``statedb`` picks the state-db backend (``None`` keeps the
+    ``REPRO_STATEDB`` default); ``codec``/``mmap_io``/``ghfk_prefetch``
+    adjust the block store's serialization and read path (the shootout's
+    lean-IO cell).
     """
     config = FabricConfig()
-    if workers is not None:
-        config = dataclasses.replace(config, query=QueryConfig(workers=workers))
-    if cache_blocks is not None:
+    if workers is not None or ghfk_prefetch is not None:
+        query = config.query
+        if workers is not None:
+            query = dataclasses.replace(query, workers=workers)
+        if ghfk_prefetch is not None:
+            query = dataclasses.replace(query, ghfk_prefetch=ghfk_prefetch)
+        config = dataclasses.replace(config, query=query)
+    if statedb is not None:
         config = dataclasses.replace(
             config,
-            block_store=dataclasses.replace(
-                config.block_store, cache_blocks=cache_blocks
-            ),
+            state_db=dataclasses.replace(config.state_db, backend=statedb),
         )
+    block_store = config.block_store
+    if cache_blocks is not None:
+        block_store = dataclasses.replace(block_store, cache_blocks=cache_blocks)
+    if codec is not None:
+        block_store = dataclasses.replace(block_store, codec=codec)
+    if mmap_io is not None:
+        block_store = dataclasses.replace(block_store, mmap_io=mmap_io)
+    if block_store is not config.block_store:
+        config = dataclasses.replace(config, block_store=block_store)
     return config
 
 
@@ -132,22 +153,24 @@ def run_table1(
     verify_rows: bool = True,
     workers: Optional[int] = None,
     cache_blocks: Optional[int] = None,
+    statedb: Optional[str] = None,
 ) -> Table1Result:
     """Regenerate one dataset's section of Table I.
 
     DS1 additionally gets the u=50K Model M2 column, as in the paper.
     ``verify_rows`` cross-checks that all models return identical join
     rows on every window (a correctness guard, excluded from timings).
-    ``workers``/``cache_blocks`` run the queries through the parallel
-    executor and/or the shared block cache; both leave the rows (and the
-    verify assertion) untouched.
+    ``workers``/``cache_blocks``/``statedb`` run the queries through the
+    parallel executor, the shared block cache and/or an alternative
+    state-db backend; all leave the rows (and the verify assertion)
+    untouched.
     """
     config = dataset_config(dataset, scale, entity_scale)
     data = generate(config)
     t_max = config.t_max
     small, large = u_small(t_max), u_large(t_max)
     include_large = dataset.lower() == "ds1"
-    fabric_config = query_fabric_config(workers, cache_blocks)
+    fabric_config = query_fabric_config(workers, cache_blocks, statedb=statedb)
 
     result = Table1Result(
         dataset=dataset.upper(),
@@ -227,12 +250,13 @@ def run_table2(
     entity_scale: Optional[float] = None,
     workers: Optional[int] = None,
     cache_blocks: Optional[int] = None,
+    statedb: Optional[str] = None,
 ) -> Table2Result:
     """Table II: DS1, M1 indexes with u in {2K, 10K, 50K} (scaled)."""
     config = dataset_config("ds1", scale, entity_scale)
     data = generate(config)
     t_max = config.t_max
-    fabric_config = query_fabric_config(workers, cache_blocks)
+    fabric_config = query_fabric_config(workers, cache_blocks, statedb=statedb)
     late = TimeInterval(2 * t_max // 15, 9 * t_max // 15)
     early = TimeInterval(0, 4 * t_max // 15)
     result = Table2Result(config=config, late_window=late, early_window=early)

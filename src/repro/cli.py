@@ -55,6 +55,14 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         help="shared decoded-block LRU capacity (default: 0 = off, the "
         "paper's cost model; see docs/temporal-models.md on accounting)",
     )
+    parser.add_argument(
+        "--statedb",
+        default=None,
+        metavar="BACKEND",
+        help="state-db backend: memory, lsm, lsm-mmap or btree "
+        "(default: REPRO_STATEDB or memory; backends change speed, "
+        "never query results)",
+    )
 
 
 def _write_json(results: list, path: str) -> None:
@@ -139,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("path", help="ledger directory (FabricNetwork path)")
     doctor.add_argument(
         "--backend",
-        choices=["auto", "memory", "lsm"],
+        choices=["auto", "memory", "lsm", "lsm-mmap", "btree"],
         default="auto",
         help="state-db backend of the ledger (default: detect from files)",
     )
@@ -323,6 +331,7 @@ def _run_table1(args: argparse.Namespace):
         entity_scale=args.entity_scale,
         workers=args.workers,
         cache_blocks=args.cache_blocks,
+        statedb=args.statedb,
     )
     return result, tables.render_table1(result)
 
@@ -333,6 +342,7 @@ def _run_table2(args: argparse.Namespace):
         entity_scale=args.entity_scale,
         workers=args.workers,
         cache_blocks=args.cache_blocks,
+        statedb=args.statedb,
     )
     return result, tables.render_table2(result)
 
@@ -368,7 +378,9 @@ def _run_verify(args: argparse.Namespace) -> str:
     config = dataclasses.replace(
         ds1(scale=args.scale, entity_scale=args.entity_scale), seed=args.seed
     )
-    fabric_config = query_fabric_config(args.workers, args.cache_blocks)
+    fabric_config = query_fabric_config(
+        args.workers, args.cache_blocks, statedb=args.statedb
+    )
     u = u_small(config.t_max)
     lines = [f"verify: {config.key_count} keys, {config.total_events} events, seed={args.seed}"]
     with ExperimentRunner.build(config, "plain", fabric_config=fabric_config) as plain:

@@ -27,6 +27,22 @@ QUERY_WORKERS_ENV_VAR = "REPRO_QUERY_WORKERS"
 #: artifact alone: ``REPRO_SEED=<seed from the artifact> <same command>``.
 SEED_ENV_VAR = "REPRO_SEED"
 
+#: Environment variable selecting the default state-db backend (any name
+#: registered in :mod:`repro.storage.kv`: ``memory``, ``lsm``,
+#: ``lsm-mmap``, ``btree``, ...).  The CI matrix runs the suite once per
+#: interesting backend so every code path is exercised against each.
+STATEDB_ENV_VAR = "REPRO_STATEDB"
+
+
+def default_statedb_backend() -> str:
+    """State-db backend name from ``REPRO_STATEDB`` (default ``memory``).
+
+    Validation happens in :class:`StateDbConfig` against the backend
+    registry, so a typo'd variable fails loudly at config construction.
+    """
+    # An *empty* variable (e.g. an unset CI matrix cell) means default.
+    return os.environ.get(STATEDB_ENV_VAR) or "memory"
+
 
 def _require_positive(value: int | float, name: str) -> None:
     if value <= 0:
@@ -71,11 +87,19 @@ def _require_durability(value: str) -> None:
 
 @dataclass(frozen=True)
 class StateDbConfig:
-    """Backing store for the state database."""
+    """Backing store for the state database.
 
-    #: ``lsm`` (LevelDB-like, file-backed) or ``memory``.
-    backend: str = "memory"
-    #: Memtable flush threshold for the LSM backend, in entries.
+    ``backend`` names any store registered in :mod:`repro.storage.kv`
+    (``memory``, ``lsm``, ``lsm-mmap``, ``btree``, ...); the remaining
+    fields form the uniform option set every backend factory receives
+    and picks from (e.g. ``memtable_limit`` is the LSM flush threshold
+    *and* the btree checkpoint cadence).
+    """
+
+    #: Registered backend name; defaults from ``REPRO_STATEDB``.
+    backend: str = field(default_factory=default_statedb_backend)
+    #: Memtable flush threshold for the LSM backend, in entries (the
+    #: btree backend reads it as its checkpoint interval).
     memtable_limit: int = 8192
     #: Number of L0 SSTables that triggers a compaction.
     compaction_trigger: int = 6
@@ -87,9 +111,15 @@ class StateDbConfig:
     durability: str = "flush"
 
     def __post_init__(self) -> None:
-        if self.backend not in ("lsm", "memory"):
+        # Imported lazily: the registry populates when repro.storage.kv
+        # imports, and config must stay importable from anywhere without
+        # a cycle through the storage layer.
+        from repro.storage.kv import backend_names
+
+        if self.backend not in backend_names():
             raise ConfigError(
-                f"state-db backend must be 'lsm' or 'memory', got {self.backend!r}"
+                f"state-db backend must be one of {list(backend_names())}, "
+                f"got {self.backend!r}"
             )
         _require_positive(self.memtable_limit, "memtable_limit")
         _require_positive(self.compaction_trigger, "compaction_trigger")
@@ -106,7 +136,8 @@ class BlockStoreConfig:
 
     #: Block files roll over once they exceed this many bytes.
     max_file_bytes: int = 4 * 1024 * 1024
-    #: Codec used to serialize blocks (``json`` or ``binary``).
+    #: Codec used to serialize blocks (``json``, ``binary`` or
+    #: ``compact`` -- binary with string interning).
     codec: str = "json"
     #: Decoded-block LRU cache capacity.  0 (the default) disables caching,
     #: matching the paper's cost model where every GHFK call pays its own
@@ -115,11 +146,18 @@ class BlockStoreConfig:
     #: ``flush`` (default) or ``fsync``: whether the per-commit block file
     #: and block index sync calls ``os.fsync``.
     durability: str = "flush"
+    #: Read *sealed* (rolled-over) block files through memory maps
+    #: instead of seek+read handles; ignored on filesystems that cannot
+    #: map (fault injection).  The active append file is never mapped.
+    mmap_io: bool = False
 
     def __post_init__(self) -> None:
         _require_positive(self.max_file_bytes, "max_file_bytes")
-        if self.codec not in ("json", "binary"):
-            raise ConfigError(f"block codec must be 'json' or 'binary', got {self.codec!r}")
+        if self.codec not in ("json", "binary", "compact"):
+            raise ConfigError(
+                f"block codec must be 'json', 'binary' or 'compact', "
+                f"got {self.codec!r}"
+            )
         if self.cache_blocks < 0:
             raise ConfigError(
                 f"cache_blocks must be non-negative, got {self.cache_blocks}"
@@ -148,6 +186,34 @@ def default_query_workers() -> int:
     return workers
 
 
+#: Environment variable controlling GHFK history-read batching: how many
+#: distinct blocks one ``get_history_for_key`` call fetches from the
+#: block store per round trip (1 = the paper's one-block-at-a-time loop).
+GHFK_PREFETCH_ENV_VAR = "REPRO_GHFK_PREFETCH"
+
+
+def default_ghfk_prefetch() -> int:
+    """GHFK block-prefetch depth from ``REPRO_GHFK_PREFETCH`` (default 1).
+
+    1 keeps the paper-faithful hot loop (one block fetched and decoded
+    per distinct history location); larger values batch that many
+    distinct blocks into one block-store round trip, coalescing
+    same-file reads.
+    """
+    raw = os.environ.get(GHFK_PREFETCH_ENV_VAR, "1")
+    try:
+        prefetch = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{GHFK_PREFETCH_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if not 1 <= prefetch <= 4096:
+        raise ConfigError(
+            f"{GHFK_PREFETCH_ENV_VAR} must be in [1, 4096], got {prefetch}"
+        )
+    return prefetch
+
+
 @dataclass(frozen=True)
 class QueryConfig:
     """How temporal queries execute (orthogonal to what they compute).
@@ -160,6 +226,10 @@ class QueryConfig:
 
     #: Worker threads per query (1 = serial, no thread pool at all).
     workers: int = field(default_factory=default_query_workers)
+    #: Distinct blocks per GHFK block-store round trip (1 = the paper's
+    #: serial hot loop; more batches same-file reads).  Rows are
+    #: byte-identical at every setting.
+    ghfk_prefetch: int = field(default_factory=default_ghfk_prefetch)
 
     def __post_init__(self) -> None:
         _require_positive(self.workers, "workers")
@@ -167,6 +237,10 @@ class QueryConfig:
             raise ConfigError(
                 f"workers must be <= 128, got {self.workers} "
                 "(per-key fan-out saturates well before that)"
+            )
+        if not 1 <= self.ghfk_prefetch <= 4096:
+            raise ConfigError(
+                f"ghfk_prefetch must be in [1, 4096], got {self.ghfk_prefetch}"
             )
 
 

@@ -46,9 +46,12 @@ RANGE_SCAN_CALLS = "query.range_scan_calls"
 KV_READS = "kv.reads"
 KV_WRITES = "kv.writes"
 KV_SSTABLE_READS = "kv.sstable_reads"
+KV_BLOOM_NEGATIVES = "kv.bloom_negatives"
 KV_COMPACTIONS = "kv.compactions"
+KV_CHECKPOINTS = "kv.checkpoints"
 WAL_RECORDS = "kv.wal_records"
 STATE_TABLES_QUARANTINED = "kv.tables_quarantined"
+BLOCK_BATCH_READS = "ledger.block_batch_reads"
 
 GHFK_SECONDS = "query.ghfk_seconds"
 COMMIT_SECONDS = "ledger.commit_seconds"

@@ -60,19 +60,22 @@ class Ledger:
             cache_blocks=self._config.block_store.cache_blocks,
             durability=self._config.block_store.durability,
             fs=fs,
+            mmap_io=self._config.block_store.mmap_io,
         )
         state_config = self._config.state_db
-        kv_kwargs = {}
-        if state_config.backend == "lsm":
-            kv_kwargs = {
-                "memtable_limit": state_config.memtable_limit,
-                "compaction_trigger": state_config.compaction_trigger,
-                "compaction": state_config.compaction,
-                "durability": state_config.durability,
-                "fs": fs,
-            }
+        # The uniform option set: every backend factory picks the options
+        # it honours and ignores the rest (see repro.storage.kv.registry).
         self.state_db = StateDB(
-            open_kv_store(state_config.backend, path=path / "statedb", **kv_kwargs),
+            open_kv_store(
+                state_config.backend,
+                path=path / "statedb",
+                memtable_limit=state_config.memtable_limit,
+                compaction_trigger=state_config.compaction_trigger,
+                compaction=state_config.compaction,
+                durability=state_config.durability,
+                metrics=metrics,
+                fs=fs,
+            ),
             metrics=metrics,
         )
         self.history_db = HistoryDB(metrics=metrics)
@@ -261,7 +264,9 @@ class Ledger:
     def get_history_for_key(self, key: str) -> Iterator[HistoryEntry]:
         """Fabric GHFK: lazy, oldest-first history iterator for ``key``."""
         self._drain()
-        return self.history_db.get_history_for_key(key, self.block_store)
+        return self.history_db.get_history_for_key(
+            key, self.block_store, prefetch=self._config.query.ghfk_prefetch
+        )
 
     def get_query_result(self, selector: dict) -> Iterator[Tuple[str, Any]]:
         """CouchDB-style rich query over current states."""

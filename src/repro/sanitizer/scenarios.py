@@ -136,6 +136,39 @@ def _scenario_lsm(workers: int) -> None:
         _run_threads(workers, work)
 
 
+def _scenario_blockfile(workers: int) -> None:
+    """One committer appending across rollovers while readers hammer
+    ``read``/``read_many``/``file_size`` -- the shared-append-handle seam
+    (reader-side visibility flush vs mid-record writes and rollover)."""
+    from repro.storage.blockfile import BlockFileManager
+
+    with tempfile.TemporaryDirectory(prefix="repro-san-blockfile-") as tmp:
+        manager = BlockFileManager(tmp, max_file_bytes=512)
+        locations = [manager.append(b"seed-payload")]
+        try:
+
+            def work(index: int) -> None:
+                for step in range(25):
+                    if index == 0:  # the committer thread
+                        locations.append(
+                            manager.append(f"blk-{step:03d}".encode() * 4)
+                        )
+                    else:
+                        location = locations[(index + step) % len(locations)]
+                        manager.read(location)
+                        manager.file_size(manager.current_file_num)
+                        if step % 5 == 0:
+                            count = len(locations)
+                            manager.read_many(
+                                [locations[(index + d) % count]
+                                 for d in range(3)]
+                            )
+
+            _run_threads(workers, work)
+        finally:
+            manager.close()
+
+
 def _scenario_breaker(workers: int) -> None:
     """Half-open probe contention: many threads, one probe allowed."""
     from repro.common.resilience import CircuitBreaker
@@ -218,6 +251,7 @@ SCENARIOS: Dict[str, Scenario] = {
     "blockcache": _scenario_blockcache,
     "historydb": _scenario_historydb,
     "lsm": _scenario_lsm,
+    "blockfile": _scenario_blockfile,
     "breaker": _scenario_breaker,
     "executor": _scenario_executor,
     "faultyfile": _scenario_faultyfile,

@@ -1,40 +1,138 @@
-"""A from-scratch sorted key-value store.
+"""A from-scratch sorted key-value store with pluggable backends.
 
-Two interchangeable backends implement :class:`~repro.storage.kv.api.KVStore`:
+Every backend implements :class:`~repro.storage.kv.api.KVStore` and is
+reached by name through the registry (:func:`open_kv_store`):
 
-* :class:`~repro.storage.kv.lsm.LSMStore` -- file-backed, LevelDB-like:
-  writes go to a write-ahead log and a sorted memtable; full memtables are
-  flushed to immutable SSTables; reads consult memtable then SSTables
-  newest-first; background-style compaction merges SSTables.
-* :class:`~repro.storage.kv.memstore.MemStore` -- an in-memory sorted map
-  with the same semantics, used when durability is not under test.
+* ``lsm`` -- :class:`~repro.storage.kv.lsm.LSMStore`, file-backed,
+  LevelDB-like: writes go to a write-ahead log and a sorted memtable;
+  full memtables are flushed to immutable SSTables; reads consult
+  memtable then SSTables newest-first (Bloom filters skip tables that
+  definitely lack the key); compaction merges SSTables under a manifest.
+* ``lsm-mmap`` -- the same store serving SSTable data sections through
+  per-operation memory maps instead of resident copies.
+* ``btree`` -- :class:`~repro.storage.kv.btree.BTreeStore`, a sorted
+  in-memory map with WAL + checkpoint durability: every read is one
+  in-process lookup, at the cost of holding the whole state in memory.
+* ``memory`` -- :class:`~repro.storage.kv.memstore.MemStore`, an
+  in-memory sorted map with the same semantics and no durability, used
+  when the state-db is not the variable under test.
+
+Factories accept one uniform option set (``memtable_limit``,
+``compaction_trigger``, ``compaction``, ``durability``, ``metrics``,
+``fs``) and each picks what it needs, so the ledger opens any backend
+without per-backend plumbing.  New backends register a
+:class:`~repro.storage.kv.registry.BackendSpec` via
+:func:`register_backend`.
 """
 
 from pathlib import Path
 from typing import Any, Optional, Union
 
 from repro.storage.kv.api import KVStore
+from repro.storage.kv.btree import BTreeStore
 from repro.storage.kv.lsm import LSMStore
 from repro.storage.kv.memstore import MemStore
+from repro.storage.kv.registry import (
+    BackendSpec,
+    backend_names,
+    backend_specs,
+    get_backend,
+    open_kv_store,
+    register_backend,
+)
+
+#: Option names shared by the LSM variants (documentation on the spec).
+_LSM_OPTIONS = (
+    "memtable_limit",
+    "compaction_trigger",
+    "compaction",
+    "durability",
+    "metrics",
+    "fs",
+)
 
 
-def open_kv_store(
-    backend: str, path: Optional[Union[str, Path]] = None, **kwargs: Any
+def _make_memory(path: Optional[Union[str, Path]] = None, **_: Any) -> KVStore:
+    """``memory`` ignores the path and every durability option."""
+    return MemStore()
+
+
+def _make_lsm(
+    path: Optional[Union[str, Path]] = None, mmap_io: bool = False, **options: Any
 ) -> KVStore:
-    """Open a KV store by backend name (``lsm`` or ``memory``).
-
-    Args:
-        backend: ``"lsm"`` (requires ``path``) or ``"memory"``.
-        path: directory for the LSM backend's files.
-        **kwargs: backend-specific options (e.g. ``memtable_limit``).
-    """
-    if backend == "memory":
-        return MemStore()
-    if backend == "lsm":
-        if path is None:
-            raise ValueError("the 'lsm' backend requires a path")
-        return LSMStore(path, **kwargs)
-    raise ValueError(f"unknown KV backend {backend!r}")
+    assert path is not None  # registry enforces file_backed
+    kwargs = {name: options[name] for name in _LSM_OPTIONS if name in options}
+    return LSMStore(path, mmap_io=mmap_io, **kwargs)
 
 
-__all__ = ["KVStore", "LSMStore", "MemStore", "open_kv_store"]
+def _make_lsm_mmap(
+    path: Optional[Union[str, Path]] = None, **options: Any
+) -> KVStore:
+    options.pop("mmap_io", None)
+    return _make_lsm(path, mmap_io=True, **options)
+
+
+def _make_btree(path: Optional[Union[str, Path]] = None, **options: Any) -> KVStore:
+    kwargs: dict[str, Any] = {}
+    if "memtable_limit" in options:
+        # The knob that means "mutations between durability events" maps
+        # onto the btree's checkpoint cadence.
+        kwargs["checkpoint_interval"] = options["memtable_limit"]
+    for name in ("durability", "metrics", "fs"):
+        if name in options:
+            kwargs[name] = options[name]
+    return BTreeStore(path, **kwargs)
+
+
+register_backend(
+    BackendSpec(
+        name="memory",
+        factory=_make_memory,
+        file_backed=False,
+        durable=False,
+        description="sorted in-memory map, no durability (fast baseline)",
+    )
+)
+register_backend(
+    BackendSpec(
+        name="lsm",
+        factory=_make_lsm,
+        file_backed=True,
+        durable=True,
+        description="LevelDB-like WAL + memtable + SSTables with compaction",
+        options=_LSM_OPTIONS,
+    )
+)
+register_backend(
+    BackendSpec(
+        name="lsm-mmap",
+        factory=_make_lsm_mmap,
+        file_backed=True,
+        durable=True,
+        description="LSM store with zero-copy mmap'd SSTable reads",
+        options=_LSM_OPTIONS,
+    )
+)
+register_backend(
+    BackendSpec(
+        name="btree",
+        factory=_make_btree,
+        file_backed=True,
+        durable=True,
+        description="sorted in-memory map with WAL + checkpoint durability",
+        options=("memtable_limit", "durability", "metrics", "fs"),
+    )
+)
+
+__all__ = [
+    "BTreeStore",
+    "BackendSpec",
+    "KVStore",
+    "LSMStore",
+    "MemStore",
+    "backend_names",
+    "backend_specs",
+    "get_backend",
+    "open_kv_store",
+    "register_backend",
+]

@@ -1,0 +1,307 @@
+"""A sorted in-memory KV backend with optional WAL + checkpoint durability.
+
+The store keeps the whole key set in memory (a dict plus a bisect-sorted
+key list -- the flat cousin of a B-tree at our scale), so every read is a
+single in-process lookup with no SSTable consultation at all.  That makes
+it the natural baseline in the state-db shootout: it shows what the LSM
+store's layered read path costs.
+
+Durability, when a ``path`` is given, follows the classic pattern:
+
+* every mutation is appended to a write-ahead log *before* the in-memory
+  structures change;
+* every ``checkpoint_interval`` mutations (and on close) the full sorted
+  state is written to ``btree-checkpoint.sst`` -- reusing the SSTable
+  format, staged + atomically renamed -- and the WAL is truncated;
+* reopen loads the checkpoint, replays the WAL on top, and converges no
+  matter where in that sequence a crash landed (replay is idempotent).
+
+A checkpoint that fails its CRC at open is moved to ``quarantine/`` and
+reads raise :class:`~repro.common.errors.QuarantinedError` until the
+owner (the ledger, replaying the chain) acknowledges the loss -- the same
+scrub-and-quarantine contract as the LSM store.
+
+Without a ``path`` the store is purely in-memory (still registered, used
+when durability is not under test).
+"""
+
+from __future__ import annotations
+
+import bisect
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.common import metrics as metric_names
+from repro.common.errors import QuarantinedError, SSTableError
+from repro.common.locks import make_rlock
+from repro.common.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.faults.crashpoints import (
+    BTREE_POST_CHECKPOINT,
+    BTREE_PRE_CHECKPOINT,
+    crash_point,
+)
+from repro.faults.fs import REAL_FS, FileSystem
+from repro.sanitizer.shared import sanitize_shared
+from repro.storage.kv.api import OP_PUT, KVStore
+from repro.storage.kv.sstable import TMP_SUFFIX, SSTableReader, write_sstable
+from repro.storage.kv.wal import WriteAheadLog, replay
+
+_WAL_NAME = "btree.wal"
+_CHECKPOINT_NAME = "btree-checkpoint.sst"
+
+#: Subdirectory a corrupt checkpoint is moved into (same contract as the
+#: LSM store's quarantine).
+QUARANTINE_DIR = "quarantine"
+
+
+@sanitize_shared("_values", "_sorted_keys", "_dirty", "_quarantined")
+class BTreeStore(KVStore):
+    """Sorted in-memory store with optional WAL-backed durability.
+
+    All operations -- including reads -- take the instance lock: the
+    structures are mutated in place (unlike the LSM store's rebind-only
+    snapshots), so a lock-free reader could watch ``_sorted_keys`` shift
+    under a scan.  Scans therefore materialize their result under the
+    lock and yield outside it.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        checkpoint_interval: int = 8192,
+        metrics: MetricsRegistry = NULL_REGISTRY,
+        durability: str = "flush",
+        fs: FileSystem = REAL_FS,
+    ) -> None:
+        if checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        if durability not in ("flush", "fsync"):
+            raise ValueError(
+                f"durability must be 'flush' or 'fsync', got {durability!r}"
+            )
+        self._lock = make_rlock("BTreeStore._lock")
+        self._values: Dict[bytes, bytes] = {}
+        self._sorted_keys: List[bytes] = []
+        self._checkpoint_interval = checkpoint_interval
+        self._dirty = 0  # mutations since the last durable checkpoint
+        self._metrics = metrics
+        self._fs = fs
+        self._fsync = durability == "fsync"
+        self._quarantined: List[str] = []
+        self.path = Path(path) if path is not None else None
+        self._wal: Optional[WriteAheadLog] = None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            with self._lock:
+                self._load_checkpoint_locked()
+                self._wal = WriteAheadLog(
+                    self.path / _WAL_NAME, fsync=self._fsync, fs=fs
+                )
+                self._replay_wal_locked()
+
+    # -- startup ---------------------------------------------------------
+
+    def _checkpoint_path(self) -> Path:
+        assert self.path is not None
+        return self.path / _CHECKPOINT_NAME
+
+    def _load_checkpoint_locked(self) -> None:
+        checkpoint = self._checkpoint_path()
+        stray = checkpoint.with_name(checkpoint.name + TMP_SUFFIX)
+        # A crash mid-checkpoint left a staged file that was never renamed
+        # live; the WAL still holds everything, so drop it.
+        stray.unlink(missing_ok=True)
+        if not checkpoint.exists():
+            return
+        try:
+            reader = SSTableReader(checkpoint, fs=self._fs)
+        except SSTableError:
+            self._quarantine_checkpoint_locked(checkpoint)
+            return
+        for key, value in reader.scan(None, None):
+            if value is None:
+                continue  # checkpoints are full snapshots; no tombstones
+            self._values[key] = value
+            self._sorted_keys.append(key)
+        self._sorted_keys.sort()
+
+    def _quarantine_checkpoint_locked(self, checkpoint: Path) -> None:
+        assert self.path is not None
+        quarantine = self.path / QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        checkpoint.rename(quarantine / checkpoint.name)
+        self._quarantined.append(checkpoint.name)
+
+    def _replay_wal_locked(self) -> None:
+        assert self.path is not None
+        for op, key, value in replay(self.path / _WAL_NAME):
+            if op == OP_PUT:
+                assert value is not None
+                self._set_locked(key, value)
+            else:
+                self._drop_locked(key)
+
+    def _check_quarantine_locked(self) -> None:
+        if self._quarantined:
+            raise QuarantinedError(
+                f"store has a quarantined checkpoint {sorted(self._quarantined)}; "
+                "rebuild from the authoritative source and call "
+                "acknowledge_quarantine() before reading",
+                tables=tuple(self._quarantined),
+            )
+
+    # -- in-memory primitives (call with the lock held) -------------------
+
+    def _set_locked(self, key: bytes, value: bytes) -> None:
+        if key not in self._values:
+            bisect.insort(self._sorted_keys, key)
+        self._values[key] = value
+
+    def _drop_locked(self, key: bytes) -> None:
+        if key in self._values:
+            del self._values[key]
+            index = bisect.bisect_left(self._sorted_keys, key)
+            del self._sorted_keys[index]
+
+    # -- write path -------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self._check_key(key)
+        self._check_value(value)
+        key, value = bytes(key), bytes(value)
+        with self._lock:
+            if self._wal is not None:
+                self._wal.append_put(key, value)
+                self._metrics.increment(metric_names.WAL_RECORDS)
+            self._metrics.increment(metric_names.KV_WRITES)
+            self._set_locked(key, value)
+            self._dirty += 1
+            self._maybe_checkpoint_locked()
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        self._check_key(key)
+        key = bytes(key)
+        with self._lock:
+            if self._wal is not None:
+                self._wal.append_delete(key)
+                self._metrics.increment(metric_names.WAL_RECORDS)
+            self._metrics.increment(metric_names.KV_WRITES)
+            self._drop_locked(key)
+            self._dirty += 1
+            self._maybe_checkpoint_locked()
+
+    def _maybe_checkpoint_locked(self) -> None:
+        if self._wal is not None and self._dirty >= self._checkpoint_interval:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Write the full state to the checkpoint table, then truncate the
+        WAL.
+
+        Ordering is the recovery invariant (the WAL is synced first, the
+        snapshot is atomically renamed live, only then is the WAL cut):
+        a crash before the rename replays the whole WAL over the *old*
+        checkpoint; a crash after it replays the same records over the
+        *new* one -- replay is idempotent, so both converge.
+        """
+        with self._lock:
+            if self._wal is None or not self._dirty:
+                return
+            self._wal.sync()
+            crash_point(BTREE_PRE_CHECKPOINT)
+            write_sstable(
+                self._checkpoint_path(),
+                ((key, self._values[key]) for key in self._sorted_keys),
+                fs=self._fs,
+                fsync=self._fsync,
+            )
+            crash_point(BTREE_POST_CHECKPOINT)
+            self._wal.truncate()
+            self._dirty = 0
+            self._metrics.increment(metric_names.KV_CHECKPOINTS)
+
+    # -- read path ---------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        self._check_key(key)
+        self._metrics.increment(metric_names.KV_READS)
+        with self._lock:
+            self._check_quarantine_locked()
+            return self._values.get(bytes(key))
+
+    def scan(
+        self, start: Optional[bytes] = None, end: Optional[bytes] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_open()
+        with self._lock:
+            self._check_quarantine_locked()
+            lo = (
+                0
+                if start is None
+                else bisect.bisect_left(self._sorted_keys, bytes(start))
+            )
+            hi = (
+                len(self._sorted_keys)
+                if end is None
+                else bisect.bisect_left(self._sorted_keys, bytes(end))
+            )
+            pairs = [
+                (key, self._values[key]) for key in self._sorted_keys[lo:hi]
+            ]
+        return iter(pairs)
+
+    # -- quarantine --------------------------------------------------------
+
+    def quarantined_tables(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._quarantined)
+
+    def acknowledge_quarantine(self) -> Tuple[str, ...]:
+        with self._lock:
+            lost = tuple(self._quarantined)
+            self._quarantined = []
+            return lost
+
+    def scrub(self) -> Tuple[str, ...]:
+        """Re-verify the on-disk checkpoint; quarantine it on failure.
+
+        Same contract as the LSM store's scrub: a failure isolates the
+        corrupt file and blocks reads with ``QuarantinedError`` until the
+        owner acknowledges the loss.  Writes stay open -- the rebuild
+        path (and the next checkpoint) writes the state back.
+        """
+        if self.path is None:
+            return ()
+        with self._lock:
+            checkpoint = self._checkpoint_path()
+            if not checkpoint.exists():
+                return ()
+            try:
+                SSTableReader(checkpoint, fs=self._fs)
+            except SSTableError:
+                self._quarantine_checkpoint_locked(checkpoint)
+                # Everything surviving in memory must reach a fresh
+                # checkpoint before the WAL can be trusted alone.
+                self._dirty = max(self._dirty, 1)
+                return (checkpoint.name,)
+            return ()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self._wal is not None:
+                self.checkpoint()
+                self._wal.close()
+            self._closed = True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)

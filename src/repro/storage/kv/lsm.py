@@ -12,13 +12,28 @@ process crash between flushes loses no acknowledged writes.  Crash
 recovery also sweeps leftover ``.tmp`` table files (a crash mid-flush)
 -- the atomic rename in :func:`~repro.storage.kv.sstable.write_sstable`
 guarantees they were never visible as live tables.
+
+The live table set is recorded in a ``MANIFEST.json`` sibling (written
+via the same staged-rename discipline) after every table-set change.  On
+open, the manifest is authoritative: listed tables load, ``.sst`` files
+*not* listed are deleted as strays.  That matters because compaction no
+longer unlinks its victims inline -- lock-free readers may still hold a
+snapshot that references them (and in mmap mode they re-open the file by
+path on every read), so victims are retired via a GC finalizer that
+deletes the file only once the last reader reference drains.  If the
+process dies before a finalizer runs, the orphaned victim would
+resurrect deleted keys on a glob-based reopen; the manifest makes it a
+stray instead.  Directories from before the manifest existed load by
+glob and gain a manifest on first open.
 """
 
 from __future__ import annotations
 
 import heapq
+import json
+import weakref
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.common import metrics as metric_names
 from repro.common.errors import QuarantinedError, SSTableError, StorageError
@@ -35,6 +50,15 @@ from repro.storage.kv.wal import WriteAheadLog, replay
 _SST_PREFIX = "sst-"
 _SST_SUFFIX = ".sst"
 _WAL_NAME = "wal.log"
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+def _unlink_retired(path: Path, pending: Set[Path]) -> None:
+    """Finalizer for a compacted-away SSTable reader: delete the file now
+    that no reader snapshot can reference it.  Module-level (not a bound
+    method) so the finalizer does not keep the store alive."""
+    path.unlink(missing_ok=True)
+    pending.discard(path)
 
 #: Subdirectory corrupt tables are moved into.  Keeping the bytes (rather
 #: than deleting) preserves forensic evidence and keeps the quarantined
@@ -67,6 +91,7 @@ class LSMStore(KVStore):
         metrics: MetricsRegistry = NULL_REGISTRY,
         durability: str = "flush",
         fs: FileSystem = REAL_FS,
+        mmap_io: bool = False,
     ) -> None:
         """``compaction`` picks the strategy once ``compaction_trigger``
         SSTables accumulate:
@@ -77,6 +102,11 @@ class LSMStore(KVStore):
           tombstones survive unless the merge happens to include the
           oldest table (size-tiered trade-off: cheaper compactions, more
           tables to consult on reads).
+
+        ``mmap_io`` serves SSTable data sections through per-operation
+        memory maps instead of resident copies (see
+        :class:`~repro.storage.kv.sstable.SSTableReader`); it is ignored
+        on filesystems that cannot map (``fs.supports_mmap`` false).
         """
         if memtable_limit <= 0:
             raise ValueError(f"memtable_limit must be positive, got {memtable_limit}")
@@ -104,10 +134,15 @@ class LSMStore(KVStore):
         self._metrics = metrics
         self._fs = fs
         self._fsync = durability == "fsync"
+        self._mmap_io = bool(mmap_io)
         self._memtable = Memtable()
         self._tables: List[Tuple[int, SSTableReader]] = []  # newest last
         self._next_sequence = 0
         self._quarantined: List[str] = []
+        #: Paths of compacted-away tables whose deletion is deferred
+        #: until their last reader reference drains (see
+        #: :func:`_unlink_retired`); ``close`` force-deletes leftovers.
+        self._pending_unlinks: Set[Path] = set()
         with self._lock:
             self._load_tables_locked()
         self._wal = WriteAheadLog(self.path / _WAL_NAME, fsync=self._fsync, fs=fs)
@@ -115,15 +150,89 @@ class LSMStore(KVStore):
 
     # -- startup ---------------------------------------------------------
 
+    def _manifest_path(self) -> Path:
+        return self.path / _MANIFEST_NAME
+
+    def _read_manifest(self) -> Optional[List[int]]:
+        """The manifest's live sequence list, or ``None`` for a legacy or
+        unreadable manifest (the caller falls back to a glob load)."""
+        manifest = self._manifest_path()
+        if not manifest.exists():
+            return None
+        try:
+            payload = json.loads(manifest.read_text())
+            sequences = payload["tables"]
+            if not isinstance(sequences, list):
+                return None
+            return sorted(int(sequence) for sequence in sequences)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _write_manifest_locked(self) -> None:
+        """Record the current live table set, staged + atomically renamed
+        (same durability discipline as the tables themselves)."""
+        payload = json.dumps(
+            {"tables": [sequence for sequence, _ in self._tables]}
+        ).encode("ascii")
+        manifest = self._manifest_path()
+        tmp = manifest.with_name(manifest.name + TMP_SUFFIX)
+        handle = self._fs.open(tmp, "wb")
+        try:
+            handle.write(payload)
+            if self._fsync:
+                self._fs.fsync(handle)
+        finally:
+            handle.close()
+        self._fs.replace(tmp, manifest)
+
     def _load_tables_locked(self) -> None:
-        for stray in self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}{TMP_SUFFIX}"):
-            # A crash mid-flush left a staged table that was never renamed
-            # live; its records are still in the WAL, so drop it.
+        for stray in self.path.glob(f"*{TMP_SUFFIX}"):
+            # A crash mid-flush (or mid-manifest-write) left a staged file
+            # that was never renamed live; drop it.
             stray.unlink()
-        for file in sorted(self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}")):
-            sequence = int(file.name[len(_SST_PREFIX) : -len(_SST_SUFFIX)])
+        listed = self._read_manifest()
+        if listed is None:
+            # Legacy directory (or unreadable manifest): trust the glob,
+            # then write the manifest this directory never had.
+            candidates = [
+                (int(file.name[len(_SST_PREFIX) : -len(_SST_SUFFIX)]), file)
+                for file in sorted(self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}"))
+            ]
+        else:
+            candidates = [
+                (sequence, self._table_path(sequence)) for sequence in listed
+            ]
+            known = {path.name for _, path in candidates}
+            for file in sorted(self.path.glob(f"{_SST_PREFIX}*{_SST_SUFFIX}")):
+                # Not in the manifest: either a flushed table whose WAL
+                # was never truncated (records replay from the WAL) or a
+                # compaction victim whose deferred unlink never ran.
+                # Loading it would resurrect deleted keys.  A *healthy*
+                # stray is safe to delete (its records live in the WAL or
+                # the merged table); a corrupt one is evidence of a fault
+                # -- bit rot, torn write -- and is quarantined so the
+                # damage is surfaced, exactly as a corrupt live table
+                # would be.
+                if file.name in known:
+                    continue
+                sequence = int(file.name[len(_SST_PREFIX) : -len(_SST_SUFFIX)])
+                self._next_sequence = max(self._next_sequence, sequence + 1)
+                try:
+                    SSTableReader(file, fs=self._fs)
+                except SSTableError:
+                    self._quarantine_file_locked(file)
+                    continue
+                file.unlink()
+        for sequence, file in candidates:
+            self._next_sequence = max(self._next_sequence, sequence + 1)
+            if not file.exists():
+                # Listed but gone: the data is lost outside our control
+                # (nothing to move to quarantine/), so record the loss and
+                # block reads exactly like corruption would.
+                self._quarantined.append(file.name)
+                continue
             try:
-                reader = SSTableReader(file, fs=self._fs)
+                reader = SSTableReader(file, fs=self._fs, mmap_io=self._mmap_io)
             except SSTableError:
                 # Scrub-and-quarantine: a table failing its CRC (bit rot,
                 # torn bytes, injected flip) is isolated rather than
@@ -131,11 +240,10 @@ class LSMStore(KVStore):
                 # QuarantinedError until a recovery layer that can
                 # rebuild the range acknowledges the loss.
                 self._quarantine_file_locked(file)
-                self._next_sequence = max(self._next_sequence, sequence + 1)
                 continue
             self._tables.append((sequence, reader))
-            self._next_sequence = max(self._next_sequence, sequence + 1)
         self._tables.sort(key=lambda pair: pair[0])
+        self._write_manifest_locked()
 
     def _quarantine_file_locked(self, file: Path) -> None:
         quarantine = self.path / QUARANTINE_DIR
@@ -216,9 +324,15 @@ class LSMStore(KVStore):
             # duplicated entries are harmless (newest-wins), a window
             # where the records exist nowhere would not be.
             self._tables = self._tables + [
-                (sequence, SSTableReader(table_path, fs=self._fs))
+                (sequence, SSTableReader(table_path, fs=self._fs,
+                                         mmap_io=self._mmap_io))
             ]
             self._memtable = Memtable()
+            # Manifest before WAL truncation: a crash in between leaves
+            # the records both listed and replayable -- idempotent.  The
+            # reverse order could truncate the WAL while the manifest
+            # still omits the table, deleting it as a stray on reopen.
+            self._write_manifest_locked()
             self._wal.truncate()
             if len(self._tables) >= self._compaction_trigger:
                 self._compact_locked()
@@ -240,7 +354,17 @@ class LSMStore(KVStore):
     def _merge_tables_locked(self, victims: List[Tuple[int, SSTableReader]]) -> None:
         """Merge ``victims`` (a suffix of the table list, newest last)
         into one table.  Tombstones can be dropped only when no older
-        table survives to be shadowed."""
+        table survives to be shadowed.
+
+        Victim files are *not* deleted here: a lock-free reader may hold
+        a pre-compaction snapshot that still consults them (fatally so in
+        mmap mode, where every read re-opens the file by path).  Each
+        victim is instead scheduled for deletion when its reader object
+        is garbage-collected -- i.e. once the table-list rebind below and
+        every outstanding snapshot have dropped their references.  The
+        manifest already omits the victims, so a crash before a deferred
+        unlink runs leaves only a stray that reopen deletes.
+        """
         self._metrics.increment(metric_names.KV_COMPACTIONS)
         survivors = self._tables[: len(self._tables) - len(victims)]
         merged = self._merged_entries(
@@ -254,10 +378,16 @@ class LSMStore(KVStore):
         self._next_sequence += 1
         table_path = self._table_path(sequence)
         write_sstable(table_path, merged, fs=self._fs, fsync=self._fsync)
-        old_paths = [reader.path for _, reader in victims]
-        self._tables = survivors + [(sequence, SSTableReader(table_path, fs=self._fs))]
-        for old in old_paths:
-            old.unlink(missing_ok=True)
+        retired = list(victims)
+        self._tables = survivors + [
+            (sequence, SSTableReader(table_path, fs=self._fs,
+                                     mmap_io=self._mmap_io))
+        ]
+        self._write_manifest_locked()
+        for _, reader in retired:
+            self._pending_unlinks.add(reader.path)
+            weakref.finalize(reader, _unlink_retired, reader.path,
+                             self._pending_unlinks)
 
     # -- read path ---------------------------------------------------------
 
@@ -281,6 +411,12 @@ class LSMStore(KVStore):
         if found:
             return value
         for reader in reversed(tables):  # newest first
+            if not reader.may_contain(key):
+                # Bloom says definitely absent: skip the table without
+                # touching its data section (the common case for point
+                # lookups once compaction has layered the key space).
+                self._metrics.increment(metric_names.KV_BLOOM_NEGATIVES)
+                continue
             self._metrics.increment(metric_names.KV_SSTABLE_READS)
             found, value = reader.lookup(key)
             if found:
@@ -356,6 +492,14 @@ class LSMStore(KVStore):
             self.flush()
             self._wal.close()
             self._closed = True
+            # Backstop for deferred compaction-victim deletion: any
+            # finalizer that has not fired yet (a snapshot tuple kept a
+            # reader alive, or a reference cycle delayed collection) is
+            # forced now -- the store owns the directory and no new
+            # readers can start after close.
+            for retired in list(self._pending_unlinks):
+                retired.unlink(missing_ok=True)
+            self._pending_unlinks.clear()
 
     # -- quarantine --------------------------------------------------------
 
@@ -388,11 +532,16 @@ class LSMStore(KVStore):
             newly: List[str] = []
             for sequence, reader in self._tables:
                 try:
-                    healthy.append((sequence, SSTableReader(reader.path, fs=self._fs)))
+                    healthy.append(
+                        (sequence, SSTableReader(reader.path, fs=self._fs,
+                                                 mmap_io=self._mmap_io))
+                    )
                 except SSTableError:
                     self._quarantine_file_locked(reader.path)
                     newly.append(reader.path.name)
             self._tables = healthy
+            if newly:
+                self._write_manifest_locked()
             return tuple(newly)
 
     @property

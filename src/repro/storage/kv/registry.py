@@ -1,0 +1,102 @@
+"""The state-db backend registry: name -> factory, with capability flags.
+
+The ledger opens its state store through :func:`open_kv_store`, which
+dispatches on a backend *name* (``memory``, ``lsm``, ``lsm-mmap``,
+``btree``, ...).  Each name maps to a :class:`BackendSpec` describing how
+to construct the store and what it guarantees -- whether it needs a
+directory (``file_backed``) and whether acknowledged writes survive a
+reopen (``durable``, which is what makes a backend eligible for the
+crash-point sweeps).
+
+Factories receive one uniform option set (the fields of
+:class:`~repro.common.config.StateDbConfig` plus ``metrics`` and ``fs``)
+and ignore what they do not use, so the ledger can open *any* backend
+without per-backend plumbing.  Registration happens in
+:mod:`repro.storage.kv` at import time; this module stays free of backend
+imports so it can be imported from anywhere (including config validation)
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.storage.kv.api import KVStore
+
+#: A factory takes ``(path, **options)`` and returns an open store.
+#: ``path`` is ``None`` for purely in-memory backends.
+BackendFactory = Callable[..., KVStore]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered state-db backend and its capabilities."""
+
+    #: The name used in :class:`~repro.common.config.StateDbConfig` and
+    #: the ``REPRO_STATEDB`` environment variable.
+    name: str
+    #: Constructs the store: ``factory(path=..., **options)``.
+    factory: BackendFactory
+    #: Whether the backend needs a directory to open.
+    file_backed: bool
+    #: Whether acknowledged writes survive close + reopen (and therefore
+    #: whether the backend belongs in the crash-point sweeps).
+    durable: bool
+    #: One-line description shown by ``repro-bench`` help and the docs.
+    description: str = ""
+    #: Option names the factory honours (documentation only; factories
+    #: must ignore unknown options rather than reject them).
+    options: Tuple[str, ...] = field(default=())
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> None:
+    """Register ``spec``; re-registering a name replaces it (tests use
+    this to inject instrumented backends)."""
+    _REGISTRY[spec.name] = spec
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, sorted (for config validation and
+    error messages)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_specs() -> Tuple[BackendSpec, ...]:
+    """All registered specs, sorted by name (the conformance suite and
+    the shootout benchmark parametrize over this)."""
+    return tuple(_REGISTRY[name] for name in backend_names())
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Look up one backend; unknown names raise ``ValueError`` listing
+    what is available."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown KV backend {name!r}; available: {list(backend_names())}"
+        ) from None
+
+
+def open_kv_store(
+    backend: str, path: Optional[Union[str, Path]] = None, **options: Any
+) -> KVStore:
+    """Open a KV store by backend name.
+
+    Args:
+        backend: a registered name (see :func:`backend_names`).
+        path: directory for file-backed backends (required for them,
+            ignored by in-memory ones).
+        **options: the uniform option set (``memtable_limit``,
+            ``compaction_trigger``, ``compaction``, ``durability``,
+            ``metrics``, ``fs``); each factory picks what it needs.
+    """
+    spec = get_backend(backend)
+    if spec.file_backed and path is None:
+        raise ValueError(f"the {backend!r} backend requires a path")
+    return spec.factory(path=path, **options)

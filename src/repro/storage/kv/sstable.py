@@ -34,10 +34,12 @@ footer's CRC32 covers every byte before it, so any surviving corruption
 from __future__ import annotations
 
 import bisect
+import mmap
 import struct
 import zlib
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, cast
 
 from repro.common.codec import read_uvarint, write_uvarint
 from repro.common.errors import SSTableError
@@ -119,17 +121,32 @@ def write_sstable(
 class SSTableReader:
     """Read-only view over one SSTable file.
 
-    The whole file is read into memory on open (tables are bounded by the
-    memtable flush limit, so this mirrors LevelDB's block cache at our
-    scale) but only the sparse index is parsed eagerly.
+    Two data-access modes share one verification pass (the whole file is
+    read once at open so the CRC covers every byte either way):
+
+    * **eager** (default): the raw bytes stay in memory and every lookup
+      or scan decodes from them -- LevelDB's block cache at our scale.
+    * **mmap** (``mmap_io=True`` on a filesystem that supports it): only
+      the sparse index and the Bloom filter are kept; the data section is
+      memory-mapped *per operation*, so resident memory is the index and
+      the OS page cache serves the data pages without a userspace copy.
+      Each lookup maps for the duration of the call; each scan maps for
+      the lifetime of its iterator.  The map is opened by path, so the
+      file must still exist when the read starts -- which is exactly why
+      the LSM store defers deleting compacted tables until every reader
+      that might still consult them has drained.
     """
 
-    def __init__(self, path: str | Path, fs: FileSystem = REAL_FS) -> None:
+    def __init__(
+        self, path: str | Path, fs: FileSystem = REAL_FS, mmap_io: bool = False
+    ) -> None:
         self.path = Path(path)
+        self._fs = fs
+        self.mmap_io = bool(mmap_io) and getattr(fs, "supports_mmap", False)
         handle = None
         try:
             handle = fs.open(self.path, "rb")
-            self._raw = handle.read()
+            raw = handle.read()
         except OSError as exc:
             # An injected or genuine I/O fault (EIO) while loading the
             # table surfaces as the same typed error as corruption: the
@@ -138,54 +155,88 @@ class SSTableReader:
         finally:
             if handle is not None:
                 handle.close()
-        if len(self._raw) < _FOOTER.size:
+        if len(raw) < _FOOTER.size:
             raise SSTableError(f"{self.path.name}: file too small for footer")
         index_offset, bloom_offset, count, crc, magic = _FOOTER.unpack_from(
-            self._raw, len(self._raw) - _FOOTER.size
+            raw, len(raw) - _FOOTER.size
         )
         if magic != MAGIC:
             raise SSTableError(f"{self.path.name}: bad magic {magic:#x}")
-        body = self._raw[: len(self._raw) - _FOOTER.size]
+        body = raw[: len(raw) - _FOOTER.size]
         if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
             raise SSTableError(
                 f"{self.path.name}: content checksum mismatch (corrupt table)"
             )
-        if not index_offset <= bloom_offset <= len(self._raw) - _FOOTER.size:
+        if not index_offset <= bloom_offset <= len(raw) - _FOOTER.size:
             raise SSTableError(f"{self.path.name}: section offsets out of range")
         self.entry_count = count
         self._data_end = index_offset
         self._index_keys: List[bytes] = []
         self._index_offsets: List[int] = []
-        self._parse_index(index_offset, bloom_offset)
+        self._parse_index(raw, index_offset, bloom_offset)
         try:
             self.bloom = BloomFilter.from_bytes(
-                self._raw[bloom_offset : len(self._raw) - _FOOTER.size]
+                raw[bloom_offset : len(raw) - _FOOTER.size]
             )
         except (ValueError, struct.error) as exc:
             raise SSTableError(f"{self.path.name}: bad bloom section: {exc}") from exc
+        # In mmap mode the verified bytes are dropped: data pages come
+        # from per-operation maps, index and bloom stay parsed above.
+        self._raw: Optional[bytes] = None if self.mmap_io else raw
 
-    def _parse_index(self, index_offset: int, end: int) -> None:
+    def _parse_index(self, raw: bytes, index_offset: int, end: int) -> None:
         offset = index_offset
         while offset < end:
-            key_len, offset = read_uvarint(self._raw, offset)
-            key = self._raw[offset : offset + key_len]
+            key_len, offset = read_uvarint(raw, offset)
+            key = raw[offset : offset + key_len]
             offset += key_len
-            data_offset, offset = read_uvarint(self._raw, offset)
+            data_offset, offset = read_uvarint(raw, offset)
             self._index_keys.append(key)
             self._index_offsets.append(data_offset)
 
+    @contextmanager
+    def _buffer(self) -> Iterator[bytes]:
+        """The data section as a readable buffer.
+
+        Eager mode yields the in-memory bytes; mmap mode opens the file
+        and maps it for the duration of the ``with`` block.  A missing or
+        unreadable file (e.g. the table was deleted after this reader was
+        snapshotted) raises :class:`SSTableError` at entry.
+        """
+        if self._raw is not None:
+            yield self._raw
+            return
+        handle = None
+        mapped: Optional[mmap.mmap] = None
+        try:
+            handle = self._fs.open(self.path, "rb")
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            if handle is not None:
+                handle.close()
+            raise SSTableError(f"{self.path.name}: read failed: {exc}") from exc
+        try:
+            # mmap quacks like bytes for every operation the decoders
+            # use (indexing, slicing, len).
+            yield cast(bytes, mapped)
+        finally:
+            mapped.close()
+            handle.close()
+
     # -- entry decoding --------------------------------------------------
 
-    def _read_entry(self, offset: int) -> Tuple[bytes, Optional[bytes], int]:
+    def _read_entry(
+        self, buf: bytes, offset: int
+    ) -> Tuple[bytes, Optional[bytes], int]:
         """Decode the entry at ``offset``; return ``(key, value, next_offset)``."""
-        key_len, offset = read_uvarint(self._raw, offset)
-        key = self._raw[offset : offset + key_len]
+        key_len, offset = read_uvarint(buf, offset)
+        key = buf[offset : offset + key_len]
         offset += key_len
-        op = self._raw[offset]
+        op = buf[offset]
         offset += 1
         if op == OP_PUT:
-            value_len, offset = read_uvarint(self._raw, offset)
-            value: Optional[bytes] = self._raw[offset : offset + value_len]
+            value_len, offset = read_uvarint(buf, offset)
+            value: Optional[bytes] = buf[offset : offset + value_len]
             offset += value_len
         elif op == OP_DELETE:
             value = None
@@ -204,33 +255,45 @@ class SSTableReader:
 
     # -- public API -------------------------------------------------------
 
+    def may_contain(self, key: bytes) -> bool:
+        """Bloom pre-check: ``False`` means definitely absent (no data
+        access needed); ``True`` means the data section must be consulted."""
+        return self.bloom.may_contain(key)
+
     def lookup(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
         """Return ``(found, value)``; ``(True, None)`` means a tombstone."""
         if not self.bloom.may_contain(key):
             return False, None  # definitely absent, no data access
         if not self._index_keys or key < self._index_keys[0]:
             return False, None
-        offset = self._seek_offset(key)
-        while offset < self._data_end:
-            entry_key, value, offset = self._read_entry(offset)
-            if entry_key == key:
-                return True, value
-            if entry_key > key:
-                return False, None
+        with self._buffer() as buf:
+            offset = self._seek_offset(key)
+            while offset < self._data_end:
+                entry_key, value, offset = self._read_entry(buf, offset)
+                if entry_key == key:
+                    return True, value
+                if entry_key > key:
+                    return False, None
         return False, None
 
     def scan(
         self, start: Optional[bytes], end: Optional[bytes]
     ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
-        """Yield ``(key, value-or-tombstone-None)`` within ``[start, end)``."""
-        offset = 0 if start is None else self._seek_offset(start)
-        while offset < self._data_end:
-            key, value, offset = self._read_entry(offset)
-            if start is not None and key < start:
-                continue
-            if end is not None and key >= end:
-                return
-            yield key, value
+        """Yield ``(key, value-or-tombstone-None)`` within ``[start, end)``.
+
+        In mmap mode the map is established when iteration *starts* (the
+        generator body runs on the first ``next()``) and held until the
+        iterator is exhausted or closed.
+        """
+        with self._buffer() as buf:
+            offset = 0 if start is None else self._seek_offset(start)
+            while offset < self._data_end:
+                key, value, offset = self._read_entry(buf, offset)
+                if start is not None and key < start:
+                    continue
+                if end is not None and key >= end:
+                    return
+                yield bytes(key), None if value is None else bytes(value)
 
     @property
     def smallest_key(self) -> Optional[bytes]:

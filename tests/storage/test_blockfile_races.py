@@ -1,0 +1,170 @@
+"""Regression tests for the block-file manager's shared-handle races and
+the foreign-entry crash.
+
+Two bugs are pinned here:
+
+* ``read``/``file_size`` used to call ``flush()`` on the shared append
+  handle with no lock while the committer was midway through the two
+  ``write()`` calls of one record -- reader threads could interleave a
+  flush between header and payload (harmless on CPython today, undefined
+  under the sanitizer's scheduling and on any buffered-IO change).  The
+  fix routes every touch of the handle through the instance lock
+  (:meth:`BlockFileManager._flush_for_read`).
+* ``_latest_file_num`` crashed at open with ``ValueError`` on any stray
+  directory entry sharing the ``blockfile_`` prefix but lacking a
+  numeric suffix (``blockfile_backup``), and trusted lexicographic glob
+  order, which misorders ``blockfile_1000000`` vs ``blockfile_999999``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.errors import BlockFileError
+from repro.storage.blockfile import BlockFileManager
+from repro.storage.blockindex import BlockLocation
+
+
+def _payload(i: int) -> bytes:
+    return (f"block-{i:05d}-" + "x" * (i % 7) * 10).encode()
+
+
+class TestForeignEntries:
+    def test_stray_non_numeric_entry_is_skipped_with_warning(self, tmp_path):
+        (tmp_path / "blockfile_000000").write_bytes(b"")
+        (tmp_path / "blockfile_backup").write_bytes(b"not a block file")
+        with pytest.warns(UserWarning, match="blockfile_backup"):
+            manager = BlockFileManager(tmp_path)
+        try:
+            assert manager.current_file_num == 0
+            location = manager.append(_payload(1))
+            assert manager.read(location) == _payload(1)
+        finally:
+            manager.close()
+
+    def test_latest_file_num_is_numeric_not_lexicographic(self, tmp_path):
+        # Lexicographically blockfile_1000000 < blockfile_999999; the
+        # numeric parse must still pick 1000000 as the live tail.
+        (tmp_path / "blockfile_999999").write_bytes(b"")
+        (tmp_path / "blockfile_1000000").write_bytes(b"")
+        manager = BlockFileManager(tmp_path)
+        try:
+            assert manager.current_file_num == 1000000
+        finally:
+            manager.close()
+
+    def test_total_bytes_ignores_foreign_entries(self, tmp_path):
+        with pytest.warns(UserWarning):
+            manager = BlockFileManager(tmp_path)
+            try:
+                manager.append(b"payload")
+                manager.sync()
+                real = manager.total_bytes()
+                (tmp_path / "blockfile_backup").write_bytes(b"z" * 4096)
+                assert manager.total_bytes() == real
+                # Reopening next to the stray must not crash either.
+                manager.close()
+                BlockFileManager(tmp_path).close()
+            finally:
+                manager.close()
+
+
+class TestReadMany:
+    @pytest.mark.parametrize("mmap_io", [False, True])
+    def test_batch_matches_single_reads_across_files(self, tmp_path, mmap_io):
+        manager = BlockFileManager(tmp_path, max_file_bytes=256, mmap_io=mmap_io)
+        try:
+            locations = [manager.append(_payload(i)) for i in range(40)]
+            assert manager.current_file_num > 0  # rollovers happened
+            # Shuffled, duplicated, cross-file batch: results must come
+            # back in input order regardless of the coalescing.
+            batch = [locations[i] for i in (7, 31, 7, 0, 39, 12, 25, 3)]
+            expected = [manager.read(location) for location in batch]
+            assert manager.read_many(batch) == expected
+            assert manager.read_many([]) == []
+            assert manager.read_many(locations) == [
+                _payload(i) for i in range(40)
+            ]
+        finally:
+            manager.close()
+
+    def test_read_many_sees_unflushed_tail(self, tmp_path):
+        manager = BlockFileManager(tmp_path)
+        try:
+            location = manager.append(_payload(0))
+            # No sync(): the visibility flush inside the batch path must
+            # surface the buffered record.
+            assert manager.read_many([location]) == [_payload(0)]
+        finally:
+            manager.close()
+
+    def test_read_many_missing_file_raises(self, tmp_path):
+        manager = BlockFileManager(tmp_path)
+        try:
+            ghost = BlockLocation(file_num=7, offset=0, length=4)
+            with pytest.raises(BlockFileError, match="does not exist"):
+                manager.read_many([ghost])
+        finally:
+            manager.close()
+
+    def test_mmap_serves_sealed_files_only(self, tmp_path):
+        manager = BlockFileManager(tmp_path, max_file_bytes=64, mmap_io=True)
+        try:
+            locations = [manager.append(_payload(i)) for i in range(10)]
+            current = manager.current_file_num
+            sealed = [l for l in locations if l.file_num < current]
+            growing = [l for l in locations if l.file_num == current]
+            assert sealed and growing
+            for location in sealed + growing:
+                assert manager.read(location) == _payload(
+                    locations.index(location)
+                )
+            assert manager._sealed_map(current) is None
+        finally:
+            manager.close()
+
+
+def test_concurrent_readers_vs_committer_hammer(tmp_path):
+    """Reader threads hammer ``read``/``file_size``/``read_many`` against
+    the file the committer is actively appending to (tiny
+    ``max_file_bytes`` forces rollovers mid-hammer).  Before the lock
+    fix, the reader-side ``flush()`` of the shared append handle raced
+    the committer's buffered writes."""
+    manager = BlockFileManager(tmp_path, max_file_bytes=2048)
+    locations: list[BlockLocation] = [manager.append(_payload(0))]
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def reader() -> None:
+        try:
+            i = 0
+            while not stop.is_set():
+                count = len(locations)
+                location = locations[i % count]
+                assert manager.read(location) == _payload(i % count)
+                manager.file_size(manager.current_file_num)
+                if count >= 4:
+                    batch = [locations[(i + d) % count] for d in range(4)]
+                    payloads = manager.read_many(batch)
+                    assert payloads == [
+                        _payload((i + d) % count) for d in range(4)
+                    ]
+                i += 1
+        except BaseException as exc:  # noqa: B036 - collected for the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    try:
+        for i in range(1, 400):
+            locations.append(manager.append(_payload(i)))
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+        manager.close()
+    assert errors == []
+    assert manager.current_file_num > 0

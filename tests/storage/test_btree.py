@@ -1,0 +1,193 @@
+"""Tests for the BTree state-db backend: durability, checkpoints,
+crash-window recovery and the quarantine contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import metrics as metric_names
+from repro.common.errors import (
+    ClosedStoreError,
+    QuarantinedError,
+    SimulatedCrashError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.faults import FaultPlan
+from repro.faults.crashpoints import (
+    BTREE_POST_CHECKPOINT,
+    BTREE_PRE_CHECKPOINT,
+    active_plan,
+)
+from repro.storage.kv.btree import BTreeStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with BTreeStore(tmp_path / "db", checkpoint_interval=64) as store:
+        yield store
+
+
+class TestBasicOps:
+    def test_put_get_delete(self, store):
+        store.put(b"k", b"v1")
+        assert store.get(b"k") == b"v1"
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_scan_sorted_half_open(self, store):
+        for key in (b"c", b"a", b"e", b"b", b"d"):
+            store.put(key, b"v-" + key)
+        assert [k for k, _ in store.scan()] == [b"a", b"b", b"c", b"d", b"e"]
+        assert [k for k, _ in store.scan(b"b", b"d")] == [b"b", b"c"]
+
+    def test_scan_snapshot_is_stable(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        iterator = store.scan()
+        store.put(b"c", b"3")
+        store.delete(b"a")
+        # The scan materialized under the lock: later mutations must not
+        # shift the sorted-key list under it.
+        assert list(iterator) == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_in_memory_mode_without_path(self):
+        store = BTreeStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert len(store) == 1
+        store.close()
+
+    def test_closed_store_raises(self, tmp_path):
+        store = BTreeStore(tmp_path / "db")
+        store.close()
+        with pytest.raises(ClosedStoreError):
+            store.get(b"k")
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            store.put(b"", b"v")
+        with pytest.raises(TypeError):
+            store.put("str", b"v")  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            BTreeStore(checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            BTreeStore(durability="maybe")
+
+
+class TestDurability:
+    def test_reopen_replays_wal(self, tmp_path):
+        store = BTreeStore(tmp_path / "db", checkpoint_interval=1000)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        # Abandon without close(): only the WAL holds the records.
+        del store
+        reopened = BTreeStore(tmp_path / "db", checkpoint_interval=1000)
+        try:
+            assert reopened.get(b"a") is None
+            assert reopened.get(b"b") == b"2"
+        finally:
+            reopened.close()
+
+    def test_interval_checkpoint_truncates_wal(self, tmp_path):
+        metrics = MetricsRegistry()
+        store = BTreeStore(
+            tmp_path / "db", checkpoint_interval=4, metrics=metrics
+        )
+        try:
+            for i in range(10):
+                store.put(f"k{i}".encode(), b"v")
+            assert metrics.counter(metric_names.KV_CHECKPOINTS) == 2
+            assert (tmp_path / "db" / "btree-checkpoint.sst").exists()
+        finally:
+            store.close()
+
+    def test_close_checkpoints_pending_writes(self, tmp_path):
+        store = BTreeStore(tmp_path / "db", checkpoint_interval=1000)
+        store.put(b"k", b"v")
+        store.close()
+        wal = tmp_path / "db" / "btree.wal"
+        assert wal.stat().st_size == 0  # truncated by the close checkpoint
+        reopened = BTreeStore(tmp_path / "db")
+        try:
+            assert reopened.get(b"k") == b"v"
+        finally:
+            reopened.close()
+
+    @pytest.mark.parametrize(
+        "point", [BTREE_PRE_CHECKPOINT, BTREE_POST_CHECKPOINT]
+    )
+    def test_crash_in_checkpoint_window_loses_nothing(self, tmp_path, point):
+        store = BTreeStore(tmp_path / "db", checkpoint_interval=4)
+        plan = FaultPlan().crash_at(point)
+        with active_plan(plan):
+            with pytest.raises(SimulatedCrashError):
+                for i in range(10):
+                    store.put(f"k{i}".encode(), f"v{i}".encode())
+        # The crash interrupted the 4th put inside checkpoint(); every
+        # *acknowledged* write (k0..k2) must survive reopen, whichever
+        # side of the snapshot rename the crash landed on.
+        reopened = BTreeStore(tmp_path / "db")
+        try:
+            for i in range(3):
+                assert reopened.get(f"k{i}".encode()) == f"v{i}".encode()
+        finally:
+            reopened.close()
+
+
+class TestQuarantine:
+    def _corrupt_checkpoint(self, tmp_path) -> None:
+        checkpoint = tmp_path / "db" / "btree-checkpoint.sst"
+        payload = bytearray(checkpoint.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        checkpoint.write_bytes(payload)
+
+    def test_corrupt_checkpoint_quarantined_at_open(self, tmp_path):
+        store = BTreeStore(tmp_path / "db", checkpoint_interval=2)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")  # checkpoint
+        store.close()
+        self._corrupt_checkpoint(tmp_path)
+        reopened = BTreeStore(tmp_path / "db")
+        try:
+            assert reopened.quarantined_tables() == ("btree-checkpoint.sst",)
+            with pytest.raises(QuarantinedError):
+                reopened.get(b"a")
+            with pytest.raises(QuarantinedError):
+                list(reopened.scan())
+            # The corrupt bytes are preserved for forensics, not deleted.
+            assert (
+                tmp_path / "db" / "quarantine" / "btree-checkpoint.sst"
+            ).exists()
+            # Acknowledging the loss reopens reads; the checkpointed data
+            # is gone (the owner rebuilds from the chain).
+            assert reopened.acknowledge_quarantine() == (
+                "btree-checkpoint.sst",
+            )
+            assert reopened.get(b"a") is None
+            reopened.put(b"a", b"rebuilt")
+            assert reopened.get(b"a") == b"rebuilt"
+        finally:
+            reopened.close()
+
+    def test_scrub_detects_bit_rot(self, tmp_path):
+        store = BTreeStore(tmp_path / "db", checkpoint_interval=2)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")  # checkpoint
+        assert store.scrub() == ()
+        self._corrupt_checkpoint(tmp_path)
+        assert store.scrub() == ("btree-checkpoint.sst",)
+        with pytest.raises(QuarantinedError):
+            store.get(b"a")
+        # Acknowledge, then close: the close checkpoint re-materializes
+        # the surviving in-memory state durably.
+        store.acknowledge_quarantine()
+        store.close()
+        reopened = BTreeStore(tmp_path / "db")
+        try:
+            assert reopened.get(b"a") == b"1"
+            assert reopened.get(b"b") == b"2"
+        finally:
+            reopened.close()
