@@ -91,6 +91,31 @@ def test_lockset_engine_memoized(benchmark):
     assert analysis is first
 
 
+def test_symbolic_verification_cold(benchmark):
+    """The TEMP002-004 probe grid: load the temporal modules, run every
+    axiom check over the u-grid, anchor the verdicts."""
+    from repro.analysis.symbolic import verify_project
+
+    def cold():
+        project = build_project([SRC], root=REPO_ROOT)
+        return verify_project(project)
+
+    verification = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert verification.ok
+    assert verification.checks > 1_000
+
+
+def test_symbolic_verification_memoized(benchmark):
+    """Repeat requests on one project replay the memoized pass, so
+    TEMP002/003/004 and --scheme-report share a single probe-grid run."""
+    from repro.analysis.symbolic import verify_project
+
+    project = build_project([SRC], root=REPO_ROOT)
+    first = verify_project(project)
+    verification = benchmark(lambda: verify_project(project))
+    assert verification is first
+
+
 def test_cached_run_is_fast_enough(tmp_path):
     """The headline number: a cached full-tree run in under 100 ms."""
     cache = tmp_path / "cache.json"

@@ -35,7 +35,9 @@ from repro.analysis.findings import Finding
 #: 2: the CFG/lockset layer landed (CONC002-004, TEMP001 rewrite) --
 #: results from schema-1 runs no longer reflect the rule set.
 #: 3: results gained ``dropped_baseline`` (pruned stale entries).
-CACHE_SCHEMA = 4
+#: 5: the symbolic scheme verifier landed (TEMP002-004) -- schema-4
+#: results predate three rule families and must not be replayed.
+CACHE_SCHEMA = 5
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     exceptions,
     footprint,
     resources,
+    scheme,
     temporal_model,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "exceptions",
     "footprint",
     "resources",
+    "scheme",
     "temporal_model",
 ]

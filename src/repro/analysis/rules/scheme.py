@@ -1,0 +1,98 @@
+"""TEMP002/TEMP003/TEMP004: the symbolic temporal-scheme verifier.
+
+Where TEMP001 polices *how* temporal code is written (tombstones,
+arithmetic through the scheme), these three families prove *what it
+computes*: the :mod:`repro.analysis.symbolic` engine executes the
+analyzed project's own ``temporal/intervals.py`` and
+``temporal/planners.py`` against symbolic boundary terms materialized
+over a ``u``-grid and convicts any scheme or planner that violates the
+paper's interval axioms.
+
+* **TEMP002** -- scheme-axiom violation: ``interval_for`` fails to
+  cover a positive timestamp, produces overlapping or misaligned
+  intervals, ``previous_interval`` breaks the monotone walk to the
+  timeline start, ``intervals_overlapping`` disagrees with
+  ``interval_for``, or ``partition``/``partition_clipped`` do not tile
+  their window; hierarchical schemes add per-level alignment and
+  branch-exact nesting.
+
+* **TEMP003** -- planner incompleteness/overlap: a planner's ``plan``
+  leaves a gap or overlap in the query window, misses an event's
+  timestamp, raises on a legal window, or (for hierarchical planners)
+  deviates from the canonical coarsest-covering decomposition.
+
+* **TEMP004** -- boundary convention: the half-open ``(lo, hi]``
+  contract -- ``contains`` off-by-one at either endpoint,
+  ``overlaps``/``intersection`` disagreeing with endpoint arithmetic,
+  an interval that contains ``0``, ``t = k*u`` landing in the wrong
+  bucket, or ``interval_for`` arithmetic contradicting
+  ``TimeInterval.contains``.
+
+All three rules share one memoized verification pass per project, so
+selecting the whole TEMP family costs a single probe-grid run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import Rule, register
+from repro.analysis.symbolic.verifier import verify_project
+
+
+class _SchemeRule(Rule):
+    """Shared shape: surface the memoized verifier's findings."""
+
+    def check_project(self, project: Project) -> List[Finding]:
+        return verify_project(project).findings_for(self.rule_id)
+
+
+@register
+class SchemeAxiomRule(_SchemeRule):
+    """TEMP002: an interval scheme violates the timeline axioms.
+
+    The symbolic verifier drove the scheme through boundary and window
+    probes over the ``u``-grid and found a timestamp with no index
+    interval, overlapping or gapped intervals, a non-monotone
+    ``previous_interval`` walk, an ``intervals_overlapping`` listing
+    that disagrees with ``interval_for``, a ``partition`` /
+    ``partition_clipped`` that does not tile its window, or a
+    hierarchical level that is misaligned or breaks nesting.  Any of
+    these makes M1/M2 disagree with TQF on some query.
+    """
+
+    rule_id = "TEMP002"
+
+
+@register
+class PlannerCompletenessRule(_SchemeRule):
+    """TEMP003: an interval planner's plan is incomplete or overlapping.
+
+    The verifier planned every probe window under every event multiset
+    and found a plan that leaves part of the window uncovered, overlaps
+    itself, misses an event timestamp, raises on a legal window, or --
+    for planners over a hierarchical scheme -- deviates from the
+    canonical coarsest-covering decomposition (a skipped level
+    multiplies the per-query bundle probes without changing answers,
+    silently destroying the M3 speedup).
+    """
+
+    rule_id = "TEMP003"
+
+
+@register
+class BoundaryConventionRule(_SchemeRule):
+    """TEMP004: the half-open ``(lo, hi]`` boundary convention is broken.
+
+    ``TimeInterval.contains`` includes its start or excludes its end,
+    ``overlaps``/``intersection`` disagree with endpoint arithmetic, an
+    interval claims the unindexable timestamp ``0``, the boundary
+    timestamp ``t = k*u`` lands in the wrong bucket, or the scheme's
+    arithmetic and the interval's own ``contains`` disagree about the
+    same timestamp.  Off-by-ones here are precisely the bugs that make
+    the indexer and the query engine read different bundles.
+    """
+
+    rule_id = "TEMP004"

@@ -264,6 +264,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="always analyze from scratch, ignoring and not writing the cache",
     )
     lint.add_argument(
+        "--scheme-report",
+        default=None,
+        metavar="PATH",
+        help="run the symbolic scheme verifier (TEMP002-004) plus the "
+        "seeded property-based fuzzer over the analyzed tree, write the "
+        "combined scheme-report JSON artifact to PATH, and print the "
+        "static-vs-fuzz bridge verdicts; exits 1 on any conviction",
+    )
+    lint.add_argument(
+        "--scheme-fuzz-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="random (u, window, events) rounds per scheme/planner class "
+        "for --scheme-report (default: 40; seed comes from REPRO_SEED)",
+    )
+    lint.add_argument(
         "--dynamic-witness",
         default=None,
         metavar="REPORT",
@@ -502,6 +519,37 @@ def _run_dynamic_witness(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _run_scheme_report(args: argparse.Namespace) -> int:
+    """``lint --scheme-report``: symbolic verification + seeded fuzzing."""
+    from pathlib import Path
+
+    from repro.analysis.project import build_project
+    from repro.analysis.symbolic import bridge, render_scheme_report
+    from repro.analysis.symbolic.fuzz import DEFAULT_ROUNDS
+
+    try:
+        project = build_project(
+            [Path(path) for path in args.paths],
+            root=Path(args.root) if args.root else None,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    rounds = (
+        args.scheme_fuzz_rounds
+        if args.scheme_fuzz_rounds is not None
+        else DEFAULT_ROUNDS
+    )
+    result = bridge(project, rounds=rounds)
+    Path(args.scheme_report).write_text(
+        render_scheme_report(result) + "\n", encoding="utf-8"
+    )
+    print(result.render_text())
+    print(f"(scheme report written to {args.scheme_report})")
+    clean = result.verification.ok and not result.fuzz.witnesses
+    return 0 if clean else 1
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """The ``lint`` subcommand; returns the process exit code directly
     (0 clean, 1 findings, 2 usage error)."""
@@ -512,6 +560,9 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     if args.dynamic_witness:
         return _run_dynamic_witness(args)
+
+    if args.scheme_report:
+        return _run_scheme_report(args)
 
     if args.explain:
         rules = all_rules()

@@ -27,7 +27,11 @@ from typing import List, Optional, Sequence
 
 from repro.common.errors import TemporalQueryError
 from repro.temporal.events import Event
-from repro.temporal.intervals import FixedIntervalScheme, TimeInterval
+from repro.temporal.intervals import (
+    FixedIntervalScheme,
+    HierarchicalIntervalScheme,
+    TimeInterval,
+)
 
 
 class IntervalPlanner(ABC):
@@ -131,15 +135,72 @@ class GeometricPlanner(IntervalPlanner):
         start = window.start
         length = float(self.base)
         while start < window.end:
-            end = min(window.end, start + max(1, int(length)))
+            remaining = window.end - start
+            if length >= remaining:
+                # Close the range without truncating the accumulator: on
+                # very long windows the float length saturates to inf and
+                # int(length) would raise OverflowError mid-plan, leaving
+                # the tail of the window unindexed.
+                end = window.end
+            else:
+                end = start + max(1, int(length))
+                length *= self.ratio
             intervals.append(TimeInterval(start, end))
             start = end
-            length *= self.ratio
+        return intervals
+
+
+class HierarchicalPlanner(IntervalPlanner):
+    """Coarsest-covering-level planning over a hierarchical scheme.
+
+    The M3 prototype: walk the window left to right and at each position
+    emit the *longest* level length whose aligned interval both starts
+    here and fits inside the window; where not even a base interval fits
+    aligned, clip to the next base boundary (or the window end).  Long
+    windows thus cost a few coarse bundles plus ragged edges instead of
+    ``|window| / u`` fine bundles, and the result still tiles the window
+    exactly -- the TEMP003 verifier holds every plan to the canonical
+    coarsest-covering decomposition, so skipping a level is a lint
+    failure, not a silent slowdown.
+
+    Like the other data-independent-but-non-fixed planners it rides the
+    per-key interval-directory path (``deterministic = False``): the M1
+    query engine reads the planned intervals back from the ledger, so no
+    query-side code needs to understand levels.
+    """
+
+    name = "hierarchical"
+    deterministic = False
+
+    def __init__(self, u: int, levels: int = 3, branch: int = 4) -> None:
+        self.scheme = HierarchicalIntervalScheme(u, levels=levels, branch=branch)
+
+    def plan(self, events: Sequence[Event], window: TimeInterval) -> List[TimeInterval]:
+        lengths = sorted(self.scheme.level_lengths, reverse=True)
+        base = self.scheme.level_lengths[0]
+        intervals: List[TimeInterval] = []
+        position = window.start
+        while position < window.end:
+            end: Optional[int] = None
+            for length in lengths:
+                if position % length == 0 and position + length <= window.end:
+                    end = position + length
+                    break
+            if end is None:
+                end = min(window.end, (position // base + 1) * base)
+            intervals.append(TimeInterval(position, end))
+            position = end
         return intervals
 
 
 def make_planner(
-    name: str, u: Optional[int] = None, events_per_interval: Optional[int] = None
+    name: str,
+    u: Optional[int] = None,
+    events_per_interval: Optional[int] = None,
+    base: Optional[int] = None,
+    ratio: float = 2.0,
+    levels: int = 3,
+    branch: int = 4,
 ) -> IntervalPlanner:
     """Planner factory used by the CLI and benches."""
     if name == "fixed":
@@ -152,4 +213,12 @@ def make_planner(
                 "the equicount planner requires events_per_interval"
             )
         return EquiCountPlanner(events_per_interval)
+    if name == "geometric":
+        if base is None and u is None:
+            raise TemporalQueryError("the geometric planner requires base (or u)")
+        return GeometricPlanner(base if base is not None else u, ratio)  # type: ignore[arg-type]
+    if name == "hierarchical":
+        if u is None:
+            raise TemporalQueryError("the hierarchical planner requires u")
+        return HierarchicalPlanner(u, levels=levels, branch=branch)
     raise TemporalQueryError(f"unknown planner {name!r}")

@@ -31,6 +31,9 @@ def test_registry_exposes_the_documented_rule_families():
         "ERR001",
         "DET002",
         "TEMP001",
+        "TEMP002",
+        "TEMP003",
+        "TEMP004",
         "CONC001",
         "CONC002",
         "CONC003",

@@ -1,0 +1,168 @@
+"""The verified hierarchical (M3) scheme and planner, end to end.
+
+The scheme nests ``u``, ``4u`` and ``16u`` intervals; the planner covers
+each indexing range with the coarsest aligned levels that fit.  These
+tests pin the level arithmetic, the planner's canonical decomposition,
+and -- the shipping gate from the issue -- byte-identical M1-vs-TQF
+answers when a hierarchical run feeds the per-key interval directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import TemporalQueryError
+from repro.temporal.engine import TemporalQueryEngine
+from repro.temporal.intervals import (
+    FixedIntervalScheme,
+    HierarchicalIntervalScheme,
+    TimeInterval,
+)
+from repro.temporal.m1 import SCHEME_DIRECTORY, M1Indexer, M1QueryEngine
+from repro.temporal.planners import HierarchicalPlanner, make_planner
+from repro.workload.generator import WorkloadConfig, generate
+from tests.helpers import build_plain_network
+
+CONFIG = WorkloadConfig(
+    name="hier",
+    n_shipments=5,
+    n_containers=3,
+    n_trucks=2,
+    events_per_key=24,
+    t_max=1_600,  # one full 16u block at u=100 plus a ragged tail
+    distribution="uniform",
+    seed=88,
+)
+
+
+class TestHierarchicalScheme:
+    def test_level_lengths_are_geometric_in_the_branch(self):
+        scheme = HierarchicalIntervalScheme(100, levels=3, branch=4)
+        assert scheme.level_lengths == [100, 400, 1_600]
+        assert HierarchicalIntervalScheme(7, levels=2, branch=3).level_lengths == [7, 21]
+
+    def test_level_zero_matches_the_fixed_scheme(self):
+        scheme = HierarchicalIntervalScheme(100)
+        fixed = FixedIntervalScheme(100)
+        for t in (1, 99, 100, 101, 250, 400, 1_599):
+            assert scheme.interval_for(t) == fixed.interval_for(t)
+
+    def test_coarse_levels_nest_the_fine_ones(self):
+        scheme = HierarchicalIntervalScheme(100, levels=3, branch=4)
+        coarse = scheme.interval_for(250, level=2)
+        assert coarse == TimeInterval(0, 1_600)
+        mid = scheme.interval_for(250, level=1)
+        assert mid == TimeInterval(0, 400)
+        fine = scheme.interval_for(250, level=0)
+        assert fine == TimeInterval(200, 300)
+        # Each finer interval sits fully inside the next coarser one.
+        assert coarse.start <= mid.start and mid.end <= coarse.end
+        assert mid.start <= fine.start and fine.end <= mid.end
+
+    def test_boundary_belongs_left_on_every_level(self):
+        scheme = HierarchicalIntervalScheme(100, levels=3, branch=4)
+        for level, length in enumerate(scheme.level_lengths):
+            assert scheme.interval_for(length, level=level).end == length
+            assert scheme.interval_for(length + 1, level=level).start == length
+
+    def test_unindexable_timestamps_rejected(self):
+        scheme = HierarchicalIntervalScheme(100)
+        for t in (0, -1, -100):
+            with pytest.raises(TemporalQueryError):
+                scheme.interval_for(t)
+
+    def test_bad_construction_rejected(self):
+        for kwargs in ({"u": 0}, {"u": 100, "levels": 0}, {"u": 100, "branch": 1}):
+            with pytest.raises(TemporalQueryError):
+                HierarchicalIntervalScheme(**kwargs)
+
+
+class TestHierarchicalPlanner:
+    def test_aligned_window_gets_one_coarse_interval(self):
+        planner = HierarchicalPlanner(100, levels=3, branch=4)
+        assert planner.plan([], TimeInterval(0, 1_600)) == [TimeInterval(0, 1_600)]
+
+    def test_ragged_window_tiles_exactly(self):
+        planner = HierarchicalPlanner(100, levels=3, branch=4)
+        plan = planner.plan([], TimeInterval(150, 2_050))
+        assert plan[0].start == 150 and plan[-1].end == 2_050
+        for left, right in zip(plan, plan[1:]):
+            assert left.end == right.start
+
+    def test_long_window_is_mostly_coarse(self):
+        planner = HierarchicalPlanner(100, levels=3, branch=4)
+        plan = planner.plan([], TimeInterval(0, 16_000))
+        # 10 blocks of 1600 -- versus 160 fine intervals for fixed-u.
+        assert len(plan) == 10
+        assert all(interval.length == 1_600 for interval in plan)
+
+    def test_make_planner_names(self):
+        assert make_planner("hierarchical", u=100).name == "hierarchical"
+        assert make_planner("geometric", base=50).name == "geometric"
+        with pytest.raises(TemporalQueryError):
+            make_planner("hierarchical")  # u is required
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def network(tmp_path_factory, workload):
+    network = build_plain_network(tmp_path_factory.mktemp("hier"), workload)
+    indexer = M1Indexer(
+        ledger=network.ledger,
+        gateway=network.gateway("indexer"),
+        key_prefixes=["S", "C"],
+        metrics=network.metrics,
+    )
+    report = indexer.run_with_planner(
+        0, CONFIG.t_max, HierarchicalPlanner(100, levels=3, branch=4)
+    )
+    yield network, report
+    network.close()
+
+
+class TestHierarchicalRun:
+    def test_run_recorded_as_directory_scheme(self, network):
+        net, report = network
+        assert report.planner == "hierarchical"
+        assert report.run.scheme == SCHEME_DIRECTORY
+
+    def test_directory_holds_the_coarsest_cover(self, network, workload):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger)
+        expected = HierarchicalPlanner(100).plan([], TimeInterval(0, CONFIG.t_max))
+        for key in workload.shipments:
+            assert engine.directory_intervals(key) == expected
+
+    def test_queries_match_oracle(self, network, workload):
+        net, _ = network
+        engine = M1QueryEngine(net.ledger, metrics=net.metrics)
+        for window in (
+            TimeInterval(0, 1_600),  # exactly the coarse block
+            TimeInterval(100, 400),  # inside one mid-level block
+            TimeInterval(350, 1_250),  # straddles mid-level boundaries
+            TimeInterval(1_550, 1_600),  # the ragged tail
+            TimeInterval(0, CONFIG.t_max),
+        ):
+            for key in workload.shipments + workload.containers:
+                expected = sorted(
+                    e for e in workload.events
+                    if e.key == key and window.contains(e.time)
+                )
+                assert engine.fetch_events(key, window) == expected, (key, str(window))
+
+    def test_join_rows_byte_identical_to_tqf(self, network):
+        net, _ = network
+        facade = TemporalQueryEngine(net.ledger, net.metrics)
+        for window in (
+            TimeInterval(0, 800),
+            TimeInterval(400, 1_300),
+            TimeInterval(0, CONFIG.t_max),
+        ):
+            rows_tqf = facade.run_join("tqf", window).rows
+            rows_m1 = facade.run_join("m1", window).rows
+            assert rows_tqf == rows_m1, str(window)
+            assert repr(rows_tqf) == repr(rows_m1), str(window)
